@@ -1,0 +1,223 @@
+// Package ccnvm is a from-scratch reproduction of "No Compromises:
+// Secure NVM with Crash Consistency, Write-Efficiency and
+// High-Performance" (Yang, Lu, Chen, Mao, Shu — DAC 2019).
+//
+// It bundles a cycle-level memory-hierarchy simulator (trace-driven
+// core, L1/L2 caches, metadata cache, memory controller with an
+// ADR-backed write pending queue, banked PCM device), a fully
+// functional security layer (real AES counter-mode encryption,
+// truncated HMAC-SHA-1 authentication, a 4-ary Bonsai Merkle Tree),
+// the cc-NVM crash-consistency design with epoch-based consistent BMT
+// and deferred spreading, and every baseline the paper evaluates
+// against: secure NVM without crash consistency, strict consistency,
+// Osiris Plus, and cc-NVM without deferred spreading.
+//
+// The three entry points most users need:
+//
+//   - Simulation: NewMachine / RunBenchmark run a design over a
+//     workload and report IPC, NVM traffic and engine activity.
+//   - Evaluation: RunFig5 / RunFig6a / RunFig6b regenerate the paper's
+//     figures over the built-in SPEC CPU2006 stand-in workloads.
+//   - Recovery: Crash a machine, optionally inject attacks with the
+//     Spoof/Splice/Replay helpers, then Recover the image to detect and
+//     locate tampering exactly as the paper's §4.4 describes.
+//
+// Everything is deterministic: the same configuration and seed always
+// produce the same cycle counts, traffic and recovery outcomes.
+package ccnvm
+
+import (
+	"io"
+
+	"ccnvm/internal/attack"
+	"ccnvm/internal/engine"
+	"ccnvm/internal/experiments"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/nvm"
+	"ccnvm/internal/recovery"
+	"ccnvm/internal/sim"
+	"ccnvm/internal/trace"
+)
+
+// Core simulation types.
+type (
+	// Config describes one simulated machine; the zero value selects the
+	// paper's configuration (16 GiB PCM, 32 KB/256 KB caches, 128 KB
+	// metadata cache, N=16, M=64).
+	Config = sim.Config
+	// Machine is a runnable simulated system.
+	Machine = sim.Machine
+	// Result is the outcome of a simulation run.
+	Result = sim.Result
+	// Params carries the security engine's latencies and limits (N, M).
+	Params = engine.Params
+
+	// Addr is a physical line-aligned NVM address.
+	Addr = mem.Addr
+	// Line is one 64-byte memory line.
+	Line = mem.Line
+
+	// Op is one trace operation; Profile parameterizes a synthetic
+	// workload; Generator produces deterministic op streams.
+	Op        = trace.Op
+	Profile   = trace.Profile
+	Generator = trace.Generator
+
+	// CrashImage is the persistent state surviving a power failure.
+	CrashImage = engine.CrashImage
+	// NVMImage is a raw snapshot of NVM contents (used by replay
+	// attacks, which need an older image).
+	NVMImage = nvm.Image
+	// RecoveryReport is the outcome of post-crash recovery.
+	RecoveryReport = recovery.Report
+	// Recovered is the state a rebooted controller resumes from.
+	Recovered = recovery.Recovered
+	// TamperedBlock is a located spoofing/splicing attack.
+	TamperedBlock = recovery.TamperedBlock
+
+	// WriteBreakdown counts NVM line writes by region.
+	WriteBreakdown = nvm.WriteBreakdown
+
+	// EvalOptions control the figure-regeneration sweeps.
+	EvalOptions = experiments.Options
+	// Fig5 is the design x benchmark matrix behind Figures 5(a)/(b).
+	Fig5 = experiments.Fig5
+	// Fig6 is one sensitivity sweep behind Figures 6(a)/(b).
+	Fig6 = experiments.Fig6
+	// Headline holds the paper's summary claims computed from a run.
+	Headline = experiments.Headline
+	// RecoveryMatrix is the §4.4 design x attack capability table.
+	RecoveryMatrix = experiments.RecoveryMatrix
+	// Lifetime is the per-design NVM endurance summary.
+	Lifetime = experiments.Lifetime
+)
+
+// Memory-operation kinds for hand-built traces.
+const (
+	Load  = trace.Load
+	Store = trace.Store
+)
+
+// Designs returns the five evaluated designs in the paper's order:
+// "wocc", "sc", "osiris", "ccnvm-wods", "ccnvm".
+func Designs() []string { return sim.Designs() }
+
+// AllDesigns additionally includes "ccnvm-ext", the paper's §4.4
+// future-work extension: persistent per-line update registers that let
+// recovery localize even the deferred-spreading replay window.
+func AllDesigns() []string { return sim.AllDesigns() }
+
+// DesignLabel maps a design name to the paper's label (e.g. "ccnvm" ->
+// "cc-NVM").
+func DesignLabel(d string) string { return sim.DesignLabel(d) }
+
+// Benchmarks returns the eight SPEC CPU2006 stand-in workloads in the
+// paper's figure order.
+func Benchmarks() []string { return trace.Benchmarks() }
+
+// ProfileByName returns a built-in workload profile.
+func ProfileByName(name string) (Profile, error) { return trace.ProfileByName(name) }
+
+// NewGenerator builds a deterministic trace generator.
+func NewGenerator(p Profile, seed int64) (*Generator, error) { return trace.NewGenerator(p, seed) }
+
+// CollectOps materializes n operations from a generator so that every
+// design can replay an identical stream.
+func CollectOps(g *Generator, n int) []Op { return trace.Collect(g, n) }
+
+// NewMachine builds a simulated machine.
+func NewMachine(cfg Config) (*Machine, error) { return sim.New(cfg) }
+
+// RunBenchmark builds a machine for design, generates the named
+// built-in workload with the given seed and runs n memory operations.
+func RunBenchmark(design, benchmark string, n int, seed int64, cfg Config) (Result, error) {
+	return sim.RunBenchmark(design, benchmark, n, seed, cfg)
+}
+
+// RunFig5 runs the full design x benchmark matrix behind Figure 5.
+func RunFig5(o EvalOptions) (*Fig5, error) { return experiments.RunFig5(o) }
+
+// RunFig6a sweeps the update-times limit N (Figure 6(a)); nil selects
+// the paper's {4, 8, 16, 32, 64}.
+func RunFig6a(o EvalOptions, ns []uint64) (*Fig6, error) { return experiments.RunFig6a(o, ns) }
+
+// RunFig6b sweeps the dirty-address-queue entries M (Figure 6(b)); nil
+// selects the paper's {32, 40, 48, 56, 64}.
+func RunFig6b(o EvalOptions, ms []int) (*Fig6, error) { return experiments.RunFig6b(o, ms) }
+
+// RunRecoveryMatrix crashes every design under every §4.4 attack and
+// classifies the recovery outcome (clean / detected / located /
+// unrecoverable). nil selects all designs including the extension.
+func RunRecoveryMatrix(designs []string) (*RecoveryMatrix, error) {
+	return experiments.RunRecoveryMatrix(designs)
+}
+
+// RunLifetime measures the endurance impact (total writes, hottest-line
+// wear, relative lifetime) of every design on one workload.
+func RunLifetime(o EvalOptions, benchmark string) (*Lifetime, error) {
+	return experiments.RunLifetime(o, benchmark)
+}
+
+// Recover runs the paper's four-step crash recovery and attack location
+// on a crash image.
+func Recover(img *CrashImage) *RecoveryReport { return recovery.Recover(img) }
+
+// ApplyRecovery writes the recovered counters and rebuilt Merkle tree
+// into the image and returns the TCB state a rebooted machine resumes
+// from. Call it only for a clean (or located-and-discarded) report.
+func ApplyRecovery(img *CrashImage, rep *RecoveryReport) Recovered {
+	return recovery.Apply(img, rep)
+}
+
+// Attack injection (the §2.1 adversary: full control of NVM, no access
+// to the TCB registers).
+
+// SpoofData flips bits in the data block at addr.
+func SpoofData(img *CrashImage, addr Addr) error { return attack.SpoofData(img, addr) }
+
+// SpliceData exchanges the contents of two data blocks.
+func SpliceData(img *CrashImage, a, b Addr) error { return attack.SpliceData(img, a, b) }
+
+// ReplayBlock restores a data block and its HMAC from an older
+// snapshot (Figure 4's attack).
+func ReplayBlock(img *CrashImage, old *NVMImage, addr Addr) error {
+	return attack.ReplayBlock(img, old, addr)
+}
+
+// ReplayCounterLine restores the counter line covering addr from an
+// older snapshot (the replay recovery step 1 locates).
+func ReplayCounterLine(img *CrashImage, old *NVMImage, addr Addr) error {
+	return attack.ReplayCounterLine(img, old, addr)
+}
+
+// SpoofTreeNode corrupts a Merkle-tree node in the image.
+func SpoofTreeNode(img *CrashImage, level int, idx uint64) error {
+	return attack.SpoofTreeNode(img, level, idx)
+}
+
+// SaveTrace writes ops to w in the binary trace format; ParseTrace
+// reads them back. Recorded traces replay byte-identically across
+// machines, tools and versions.
+func SaveTrace(w io.Writer, ops []Op) error { return trace.Save(w, ops) }
+
+// ParseTrace reads a trace written by SaveTrace.
+func ParseTrace(r io.Reader) ([]Op, error) { return trace.Parse(r) }
+
+// Workload toolkit: generic shapes beyond the SPEC stand-ins, for
+// custom experiments. All return ordinary Profiles.
+
+// UniformProfile is uniformly random line access over footprintPages
+// 4 KiB pages.
+func UniformProfile(name string, footprintPages int, storeFraction float64) Profile {
+	return trace.UniformProfile(name, footprintPages, storeFraction)
+}
+
+// StreamProfile is a pure unit-stride sweep (copy/init kernels).
+func StreamProfile(name string, footprintPages int, storeFraction float64) Profile {
+	return trace.StreamProfile(name, footprintPages, storeFraction)
+}
+
+// PointerChaseProfile is a dependent random walk (linked lists, trees).
+func PointerChaseProfile(name string, footprintPages int) Profile {
+	return trace.PointerChaseProfile(name, footprintPages)
+}

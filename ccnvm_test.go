@@ -1,0 +1,87 @@
+package ccnvm_test
+
+import (
+	"testing"
+
+	"ccnvm"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// The full public workflow: build, run, crash, attack, recover.
+	m, err := ccnvm.NewMachine(ccnvm.Config{Design: "ccnvm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ccnvm.ProfileByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ccnvm.NewGenerator(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run("lbm", ccnvm.CollectOps(g, 30000))
+	if res.IPC <= 0 || res.NVMWrites.Total() == 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	img := m.Crash()
+	victim := firstData(t, img)
+	if err := ccnvm.SpoofData(img, victim); err != nil {
+		t.Fatal(err)
+	}
+	rep := ccnvm.Recover(img)
+	if !rep.Located() || len(rep.Tampered) != 1 || rep.Tampered[0].Addr != victim {
+		t.Fatalf("spoof not located: %+v", rep.Tampered)
+	}
+}
+
+func TestPublicDesignsAndBenchmarks(t *testing.T) {
+	if len(ccnvm.Designs()) != 5 {
+		t.Fatalf("want 5 designs, got %v", ccnvm.Designs())
+	}
+	if len(ccnvm.Benchmarks()) != 8 {
+		t.Fatalf("want 8 benchmarks, got %v", ccnvm.Benchmarks())
+	}
+	if ccnvm.DesignLabel("ccnvm") != "cc-NVM" {
+		t.Fatal("label mapping broken")
+	}
+}
+
+func TestPublicRunBenchmark(t *testing.T) {
+	r, err := ccnvm.RunBenchmark("osiris", "hmmer", 5000, 2, ccnvm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Design != "osiris" || r.Instructions == 0 {
+		t.Fatalf("bad result %+v", r)
+	}
+}
+
+func TestPublicRecoveryResume(t *testing.T) {
+	m, err := ccnvm.NewMachine(ccnvm.Config{Design: "ccnvm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := ccnvm.ProfileByName("gcc")
+	g, _ := ccnvm.NewGenerator(p, 3)
+	_, img := m.RunWithCrash("gcc", ccnvm.CollectOps(g, 20000), 20000)
+	rep := ccnvm.Recover(img)
+	if !rep.Clean() {
+		t.Fatalf("clean crash flagged: %+v", rep)
+	}
+	rec := ccnvm.ApplyRecovery(img, rep)
+	if rec.TCB.RootNew != rep.RebuiltRoot || rec.TCB.Nwb != 0 {
+		t.Fatal("recovered TCB inconsistent with report")
+	}
+}
+
+func firstData(t *testing.T, img *ccnvm.CrashImage) ccnvm.Addr {
+	t.Helper()
+	for _, a := range img.Image.Store.Addrs() {
+		if uint64(a) < img.Image.Layout.DataBytes {
+			return a
+		}
+	}
+	t.Fatal("no data in image")
+	return 0
+}

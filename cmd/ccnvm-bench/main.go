@@ -1,0 +1,119 @@
+// Command ccnvm-bench regenerates the paper's evaluation: Figure 5(a)
+// system IPC, Figure 5(b) NVM write traffic, Figure 6(a)/(b) trigger
+// sensitivity, and the headline summary claims. Results are printed as
+// fixed-width tables normalized to the w/o-CC baseline, matching the
+// figures' series.
+//
+// Usage:
+//
+//	ccnvm-bench -fig all            # everything (default)
+//	ccnvm-bench -fig 5a -ops 500000 # one figure, bigger traces
+//	ccnvm-bench -summary            # headline claims only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"ccnvm/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5, 6a, 6b, 6, all")
+	summary := flag.Bool("summary", false, "print only the headline claims")
+	lifetime := flag.String("lifetime", "", "also print the NVM endurance table for this workload (e.g. lbm)")
+	recoveryTab := flag.Bool("recovery", false, "also print the design x attack recovery matrix")
+	csvDir := flag.String("csv", "", "also write fig5.csv / fig6a.csv / fig6b.csv into this directory")
+	ops := flag.Int("ops", 300000, "memory operations per trace")
+	warmup := flag.Int("warmup", 0, "warm-up operations excluded from statistics")
+	seed := flag.Int64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
+	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
+	flag.Parse()
+
+	o := experiments.Options{Ops: *ops, Warmup: *warmup, Seed: *seed, Parallelism: *parallel}
+	if *benchList != "" {
+		o.Benchmarks = strings.Split(*benchList, ",")
+	}
+
+	runFig5 := *summary || *fig == "all" || strings.HasPrefix(*fig, "5")
+	runF6a := !*summary && (*fig == "all" || *fig == "6" || *fig == "6a")
+	runF6b := !*summary && (*fig == "all" || *fig == "6" || *fig == "6b")
+
+	if runFig5 {
+		f5, err := experiments.RunFig5(o)
+		if err != nil {
+			fatal(err)
+		}
+		if !*summary && (*fig == "all" || *fig == "5" || *fig == "5a") {
+			fmt.Println(f5.IPCTable())
+		}
+		if !*summary && (*fig == "all" || *fig == "5" || *fig == "5b") {
+			fmt.Println(f5.WriteTable())
+		}
+		fmt.Println(f5.Headline())
+		if *csvDir != "" {
+			if err := writeCSV(filepath.Join(*csvDir, "fig5.csv"), f5.WriteCSV); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if runF6a {
+		f6, err := experiments.RunFig6a(o, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f6.Tables())
+		if *csvDir != "" {
+			if err := writeCSV(filepath.Join(*csvDir, "fig6a.csv"), f6.WriteCSV); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if runF6b {
+		f6, err := experiments.RunFig6b(o, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f6.Tables())
+		if *csvDir != "" {
+			if err := writeCSV(filepath.Join(*csvDir, "fig6b.csv"), f6.WriteCSV); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *lifetime != "" {
+		lt, err := experiments.RunLifetime(o, *lifetime)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(lt.Table(*lifetime))
+	}
+	if *recoveryTab {
+		rm, err := experiments.RunRecoveryMatrix(nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rm.Table())
+	}
+}
+
+// writeCSV creates path and streams one table into it.
+func writeCSV(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccnvm-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command ccnvm-sim runs one simulation — a single design on a single
+// workload — and dumps the full statistics: IPC, NVM traffic by region,
+// cache hit ratios, security-engine activity, draining behaviour and
+// controller contention. It is the inspection tool behind the
+// aggregated figures of ccnvm-bench.
+//
+// Usage:
+//
+//	ccnvm-sim -design ccnvm -benchmark gcc -ops 300000
+//	ccnvm-sim -design sc -benchmark lbm -n 8 -m 48
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ccnvm/internal/engine"
+	"ccnvm/internal/report"
+	"ccnvm/internal/sim"
+	"ccnvm/internal/trace"
+)
+
+func main() {
+	design := flag.String("design", "ccnvm", "design: wocc, sc, osiris, ccnvm-wods, ccnvm, ccnvm-ext")
+	bench := flag.String("benchmark", "gcc", "workload: one of the eight SPEC stand-ins")
+	ops := flag.Int("ops", 300000, "memory operations")
+	seed := flag.Int64("seed", 1, "workload seed")
+	n := flag.Uint64("n", 16, "update-times limit N")
+	m := flag.Int("m", 64, "dirty address queue entries M")
+	capacity := flag.Uint64("capacity", 16<<30, "NVM capacity in bytes")
+	traceFile := flag.String("trace", "", "replay a recorded trace file instead of a generated workload")
+	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	flag.Parse()
+
+	cfg := sim.Config{
+		Capacity: *capacity,
+		Params:   engine.Params{UpdateLimit: *n, QueueEntries: *m},
+	}
+	var r sim.Result
+	var err error
+	if *traceFile != "" {
+		r, err = runTraceFile(*design, *traceFile, cfg)
+	} else {
+		r, err = sim.RunBenchmark(*design, *bench, *ops, *seed, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccnvm-sim:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, "ccnvm-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(Render(r))
+}
+
+// runTraceFile replays a recorded trace on the chosen design.
+func runTraceFile(design, path string, cfg sim.Config) (sim.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer f.Close()
+	ops, err := trace.Parse(f)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cfg.Design = design
+	m, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return m.Run(path, ops), nil
+}
+
+// Render formats one result as a detailed report.
+func Render(r sim.Result) string {
+	t := report.NewTable(fmt.Sprintf("%s on %s", sim.DesignLabel(r.Design), r.Workload), "value")
+	t.AddRow("instructions", fmt.Sprintf("%d", r.Instructions))
+	t.AddRow("cycles", fmt.Sprintf("%d", r.Cycles))
+	t.AddRow("IPC", fmt.Sprintf("%.4f", r.IPC))
+	t.AddRow("NVM reads", fmt.Sprintf("%d", r.NVMReads))
+	t.AddRow("NVM writes total", fmt.Sprintf("%d", r.NVMWrites.Total()))
+	t.AddRow("  data", fmt.Sprintf("%d", r.NVMWrites.Data))
+	t.AddRow("  hmac", fmt.Sprintf("%d", r.NVMWrites.HMAC))
+	t.AddRow("  counter", fmt.Sprintf("%d", r.NVMWrites.Counter))
+	t.AddRow("  tree", fmt.Sprintf("%d", r.NVMWrites.Tree))
+	t.AddRow("L1 hit ratio", fmt.Sprintf("%.4f", r.L1.HitRatio()))
+	t.AddRow("L2 hit ratio", fmt.Sprintf("%.4f", r.L2.HitRatio()))
+	t.AddRow("meta hit ratio", fmt.Sprintf("%.4f", r.Meta.HitRatio()))
+	t.AddRow("LLC write-backs", fmt.Sprintf("%d", r.Sec.Writebacks))
+	t.AddRow("memory reads (engine)", fmt.Sprintf("%d", r.Sec.Reads))
+	t.AddRow("HMAC ops", fmt.Sprintf("%d", r.Sec.HMACOps))
+	t.AddRow("AES ops", fmt.Sprintf("%d", r.Sec.AESOps))
+	t.AddRow("integrity violations", fmt.Sprintf("%d", r.Sec.IntegrityViolations))
+	t.AddRow("counter overflows", fmt.Sprintf("%d", r.Sec.CounterOverflows))
+	t.AddRow("stale-counter retries", fmt.Sprintf("%d", r.Sec.StaleCounterRetries))
+	t.AddRow("drains", fmt.Sprintf("%d", r.Sec.Drains))
+	t.AddRow("  queue-full", fmt.Sprintf("%d", r.Sec.DrainQueueFull))
+	t.AddRow("  meta-evict", fmt.Sprintf("%d", r.Sec.DrainEvict))
+	t.AddRow("  update-limit", fmt.Sprintf("%d", r.Sec.DrainUpdateLimit))
+	t.AddRow("drain lines flushed", fmt.Sprintf("%d", r.Sec.DrainLinesFlushed))
+	t.AddRow("avg epoch length (wb)", fmt.Sprintf("%.1f", r.AvgEpochLen))
+	t.AddRow("wb buffer stalls", fmt.Sprintf("%d", r.Sec.WritebackBufferStalls))
+	t.AddRow("WPQ full stalls", fmt.Sprintf("%d", r.Ctrl.WPQFullStalls))
+	t.AddRow("max line wear", fmt.Sprintf("%d", r.MaxWear))
+	return t.String()
+}

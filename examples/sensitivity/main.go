@@ -1,0 +1,53 @@
+// sensitivity reproduces Figure 6: how the two draining triggers —
+// the per-line update-times limit N and the dirty-address-queue size M
+// — trade epoch length against crash-recovery bound and queue hardware.
+// Larger N and M mean longer epochs, fewer drains, less metadata
+// traffic and higher IPC, with both knobs flattening once the other
+// trigger dominates.
+//
+//	go run ./examples/sensitivity
+//	go run ./examples/sensitivity -benchmarks lbm,milc -ops 150000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"ccnvm"
+)
+
+func main() {
+	ops := flag.Int("ops", 80000, "memory operations per trace")
+	benches := flag.String("benchmarks", "gcc,lbm", "comma-separated workloads")
+	flag.Parse()
+
+	o := ccnvm.EvalOptions{Ops: *ops, Benchmarks: strings.Split(*benches, ",")}
+
+	fmt.Println("sweeping the update-times limit N (M fixed at 64)...")
+	f6a, err := ccnvm.RunFig6a(o, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(f6a.Tables())
+
+	fmt.Println("sweeping the dirty address queue entries M (N fixed at 16)...")
+	f6b, err := ccnvm.RunFig6b(o, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(f6b.Tables())
+
+	fmt.Println("what to look for (paper §5.3):")
+	fmt.Println(" - larger N: fewer update-limit drains, so cc-NVM's write traffic falls steeply")
+	fmt.Println("   and flattens beyond N=32, where the other triggers dominate;")
+	fmt.Println(" - larger M: longer epochs until the WPQ bound (64) is reached, with the")
+	fmt.Println("   effect slowing past M=48;")
+	fmt.Println(" - Osiris Plus only persists counters every N updates, so N barely moves it")
+	fmt.Println("   and M does not apply to it at all;")
+	fmt.Println(" - the recovery cost of a larger N is more HMAC retries per stalled counter")
+	fmt.Println("   after a crash - the paper's fast-recovery motivation for trigger 3.")
+}

@@ -1,0 +1,3 @@
+module ccnvm
+
+go 1.22

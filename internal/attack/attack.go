@@ -1,0 +1,88 @@
+// Package attack injects the threat model's integrity attacks into
+// crash images: spoofing (direct tampering), splicing (swapping content
+// between addresses) and replay (restoring an older value at the same
+// location). The attacker controls everything outside the TCB — the NVM
+// image — but not the TCB registers, which is exactly the paper's §2.1
+// adversary.
+package attack
+
+import (
+	"fmt"
+
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/nvm"
+)
+
+// SpoofData flips bits in the data block at addr: a spoofing attack the
+// data HMAC must catch.
+func SpoofData(img *engine.CrashImage, addr mem.Addr) error {
+	addr = mem.Align(addr)
+	if img.Image.Layout.RegionOf(addr) != mem.RegionData {
+		return fmt.Errorf("attack: %#x is not a data address", uint64(addr))
+	}
+	l, _ := img.Image.Read(addr)
+	l[0] ^= 0xFF
+	l[63] ^= 0x0F
+	img.Image.Write(addr, l)
+	return nil
+}
+
+// SpliceData exchanges the contents of data blocks a and b: a splicing
+// attack; both HMACs bind the address, so both blocks must be flagged.
+func SpliceData(img *engine.CrashImage, a, b mem.Addr) error {
+	a, b = mem.Align(a), mem.Align(b)
+	lay := img.Image.Layout
+	if lay.RegionOf(a) != mem.RegionData || lay.RegionOf(b) != mem.RegionData {
+		return fmt.Errorf("attack: splice endpoints %#x/%#x must be data addresses", uint64(a), uint64(b))
+	}
+	la, _ := img.Image.Read(a)
+	lb, _ := img.Image.Read(b)
+	img.Image.Write(a, lb)
+	img.Image.Write(b, la)
+	return nil
+}
+
+// ReplayBlock restores the data block at addr and its HMAC line from an
+// older snapshot: the replay attack of Figure 4. Against a consistent
+// but old Merkle tree the pair still verifies, so the attack is
+// detectable only through the Nwb/Nretry bookkeeping (or, for designs
+// that update the root per write-back, the rebuilt-root comparison).
+func ReplayBlock(img *engine.CrashImage, old *nvm.Image, addr mem.Addr) error {
+	addr = mem.Align(addr)
+	lay := img.Image.Layout
+	if lay.RegionOf(addr) != mem.RegionData {
+		return fmt.Errorf("attack: %#x is not a data address", uint64(addr))
+	}
+	data, _ := old.Read(addr)
+	ha, _ := lay.HMACLineOf(addr)
+	hmacLine, _ := old.Read(ha)
+	img.Image.Write(addr, data)
+	img.Image.Write(ha, hmacLine)
+	return nil
+}
+
+// ReplayCounterLine restores the counter line covering addr from an
+// older snapshot: the "normal" replay attack that step 1 of recovery
+// locates as a parent/child mismatch in the NVM tree.
+func ReplayCounterLine(img *engine.CrashImage, old *nvm.Image, addr mem.Addr) error {
+	lay := img.Image.Layout
+	ca := lay.CounterLineOf(mem.Align(addr))
+	l, _ := old.Read(ca)
+	img.Image.Write(ca, l)
+	return nil
+}
+
+// SpoofTreeNode corrupts the Merkle node at (level, idx); recovery must
+// locate it as a mismatch.
+func SpoofTreeNode(img *engine.CrashImage, level int, idx uint64) error {
+	lay := img.Image.Layout
+	if level < 1 || level > lay.InternalLevels {
+		return fmt.Errorf("attack: tree level %d out of range", level)
+	}
+	a := lay.NodeAddr(level, idx)
+	l, _ := img.Image.Read(a)
+	l[7] ^= 0xA5
+	img.Image.Write(a, l)
+	return nil
+}

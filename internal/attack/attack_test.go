@@ -1,0 +1,137 @@
+package attack_test
+
+import (
+	"testing"
+
+	"ccnvm/internal/attack"
+	"ccnvm/internal/core"
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/memctrl"
+	"ccnvm/internal/metacache"
+	"ccnvm/internal/nvm"
+	"ccnvm/internal/seccrypto"
+)
+
+func image(t *testing.T) *engine.CrashImage {
+	t.Helper()
+	lay := mem.MustLayout(256 << 20)
+	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
+	e := core.NewCCNVM(lay, seccrypto.DefaultKeys(), memctrl.New(memctrl.Config{}, dev), metacache.Config{}, engine.Params{})
+	now := int64(0)
+	var pt mem.Line
+	for i := 0; i < 8; i++ {
+		pt[0] = byte(i)
+		now = e.WriteBack(now, mem.Addr(i*4096), pt) + 50
+	}
+	return e.Crash()
+}
+
+func TestSpoofMutatesExactlyOneLine(t *testing.T) {
+	img := image(t)
+	before := img.Image.Store.Clone()
+	if err := attack.SpoofData(img, 0); err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for _, a := range img.Image.Store.Addrs() {
+		old, _ := before.Read(a)
+		cur, _ := img.Image.Read(a)
+		if old != cur {
+			changed++
+			if a != 0 {
+				t.Fatalf("spoof touched %#x", uint64(a))
+			}
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("spoof changed %d lines, want 1", changed)
+	}
+}
+
+func TestSpoofRejectsNonDataAddress(t *testing.T) {
+	img := image(t)
+	if err := attack.SpoofData(img, mem.Addr(img.Image.Layout.DataBytes)); err == nil {
+		t.Fatal("spoof of counter region accepted")
+	}
+}
+
+func TestSpliceSwapsContents(t *testing.T) {
+	img := image(t)
+	a, b := mem.Addr(0), mem.Addr(4096)
+	la, _ := img.Image.Read(a)
+	lb, _ := img.Image.Read(b)
+	if err := attack.SpliceData(img, a, b); err != nil {
+		t.Fatal(err)
+	}
+	ga, _ := img.Image.Read(a)
+	gb, _ := img.Image.Read(b)
+	if ga != lb || gb != la {
+		t.Fatal("splice did not swap")
+	}
+	if err := attack.SpliceData(img, a, img.Image.Layout.CounterBase); err == nil {
+		t.Fatal("splice into metadata accepted")
+	}
+}
+
+func TestReplayRestoresOldVersion(t *testing.T) {
+	lay := mem.MustLayout(256 << 20)
+	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
+	e := core.NewCCNVM(lay, seccrypto.DefaultKeys(), memctrl.New(memctrl.Config{}, dev), metacache.Config{}, engine.Params{})
+	var v1, v2 mem.Line
+	v1[0], v2[0] = 1, 2
+	now := e.WriteBack(0, 0, v1) + 50
+	old := dev.Snapshot()
+	e.WriteBack(now, 0, v2)
+	img := e.Crash()
+	if err := attack.ReplayBlock(img, old, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := img.Image.Read(0)
+	want, _ := old.Read(0)
+	if got != want {
+		t.Fatal("replay did not restore the old data")
+	}
+	// The HMAC line must come along, or the attack would be trivially
+	// caught by the data HMAC rather than the replay logic.
+	ha, _ := lay.HMACLineOf(0)
+	gh, _ := img.Image.Read(ha)
+	wh, _ := old.Read(ha)
+	if gh != wh {
+		t.Fatal("replay did not restore the HMAC line")
+	}
+	if err := attack.ReplayBlock(img, old, lay.CounterBase); err == nil {
+		t.Fatal("replay of metadata address accepted")
+	}
+}
+
+func TestReplayCounterLine(t *testing.T) {
+	img := image(t)
+	old := img.Image.Clone()
+	// Mutate the counter line in the live image, then replay the old one.
+	ca := img.Image.Layout.CounterLineOf(0)
+	l, _ := img.Image.Read(ca)
+	l[0] ^= 1
+	img.Image.Write(ca, l)
+	if err := attack.ReplayCounterLine(img, old, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := img.Image.Read(ca)
+	want, _ := old.Read(ca)
+	if got != want {
+		t.Fatal("counter line not restored")
+	}
+}
+
+func TestSpoofTreeNodeBounds(t *testing.T) {
+	img := image(t)
+	if err := attack.SpoofTreeNode(img, 0, 0); err == nil {
+		t.Fatal("level 0 accepted (counters are not tree nodes)")
+	}
+	if err := attack.SpoofTreeNode(img, img.Image.Layout.InternalLevels+1, 0); err == nil {
+		t.Fatal("out-of-range level accepted")
+	}
+	if err := attack.SpoofTreeNode(img, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+package bmt
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccnvm/internal/mem"
+	"ccnvm/internal/seccrypto"
+)
+
+func tree(t testing.TB, capacity uint64) (*Tree, *mem.Store) {
+	t.Helper()
+	lay := mem.MustLayout(capacity)
+	cry := seccrypto.MustEngine(seccrypto.DefaultKeys())
+	return New(lay, cry), &mem.Store{}
+}
+
+// persistTree writes a full consistent tree for the written counter
+// lines in st, returning the root node, by materializing Rebuild output.
+func persistTree(tr *Tree, st *mem.Store) mem.Line {
+	var counters []mem.Addr
+	for _, a := range st.Addrs() {
+		if tr.Layout().RegionOf(a) == mem.RegionCounter {
+			counters = append(counters, a)
+		}
+	}
+	nodes, root := tr.Rebuild(st, counters)
+	for a, n := range nodes {
+		st.Write(a, n)
+	}
+	return root
+}
+
+func writeCounter(tr *Tree, st *mem.Store, leaf uint64, bumps int) {
+	a := tr.Layout().CounterLineAddr(leaf)
+	l, _ := st.Read(a)
+	c := seccrypto.DecodeCounterLine(l)
+	for i := 0; i < bumps; i++ {
+		c.Bump(i % mem.BlocksPerPage)
+	}
+	st.Write(a, c.Encode())
+}
+
+func TestDefaultNodesChain(t *testing.T) {
+	tr, _ := tree(t, 64<<20)
+	lay := tr.Layout()
+	// Each level's default must hold the HMAC of the previous level's
+	// default in every slot.
+	for k := 1; k <= lay.InternalLevels; k++ {
+		for s := 0; s < mem.HMACsPerLine; s++ {
+			if !tr.VerifyChild(tr.DefaultNode(k), s, tr.DefaultNode(k-1)) {
+				t.Fatalf("default chain broken at level %d slot %d", k, s)
+			}
+		}
+	}
+}
+
+func TestEmptyTreeVerifies(t *testing.T) {
+	tr, st := tree(t, 64<<20)
+	root := tr.RootNode(st)
+	if bad := tr.VerifyAll(st, root, st.Addrs()); len(bad) != 0 {
+		t.Fatalf("empty tree has mismatches: %v", bad)
+	}
+}
+
+func TestRebuildMatchesRootNode(t *testing.T) {
+	tr, st := tree(t, 64<<20)
+	writeCounter(tr, st, 0, 3)
+	writeCounter(tr, st, 5, 1)
+	writeCounter(tr, st, tr.Layout().LevelNodes(0)-1, 2)
+	root := persistTree(tr, st)
+	if got := tr.RootNode(st); got != root {
+		t.Fatal("RootNode over persisted tree differs from Rebuild root")
+	}
+	if bad := tr.VerifyAll(st, root, st.Addrs()); len(bad) != 0 {
+		t.Fatalf("persisted rebuilt tree has mismatches: %v", bad)
+	}
+}
+
+func TestRebuildIgnoresStaleTreeNodes(t *testing.T) {
+	tr, st := tree(t, 64<<20)
+	writeCounter(tr, st, 7, 1)
+	root1 := persistTree(tr, st)
+	// Mutate the counter again without updating the tree: stale nodes.
+	writeCounter(tr, st, 7, 1)
+	_, root2 := tr.Rebuild(st, []mem.Addr{tr.Layout().CounterLineAddr(7)})
+	if root1 == root2 {
+		t.Fatal("rebuild insensitive to counter change")
+	}
+	// Rebuild must ignore the stale persisted nodes entirely.
+	nodes, root3 := tr.Rebuild(st, []mem.Addr{tr.Layout().CounterLineAddr(7)})
+	if root3 != root2 {
+		t.Fatal("rebuild not deterministic")
+	}
+	for a, n := range nodes {
+		st.Write(a, n)
+	}
+	if bad := tr.VerifyAll(st, root2, st.Addrs()); len(bad) != 0 {
+		t.Fatalf("re-persisted tree has mismatches: %v", bad)
+	}
+}
+
+func TestVerifyAllLocatesTamperedCounter(t *testing.T) {
+	tr, st := tree(t, 64<<20)
+	writeCounter(tr, st, 3, 2)
+	writeCounter(tr, st, 9, 1)
+	root := persistTree(tr, st)
+	// Replay counter line 3 to an older value (fewer bumps).
+	a := tr.Layout().CounterLineAddr(3)
+	var old seccrypto.CounterLine
+	old.Bump(0)
+	st.Write(a, old.Encode())
+	bad := tr.VerifyAll(st, root, st.Addrs())
+	if len(bad) == 0 {
+		t.Fatal("replayed counter not detected")
+	}
+	found := false
+	for _, m := range bad {
+		if m.Level == 0 && m.Index == 3 {
+			found = true
+		}
+		if m.Level == 0 && m.Index == 9 {
+			t.Fatal("untampered counter flagged")
+		}
+	}
+	if !found {
+		t.Fatalf("mismatch list %v does not locate counter 3", bad)
+	}
+}
+
+func TestVerifyAllLocatesTamperedInternalNode(t *testing.T) {
+	tr, st := tree(t, 64<<20)
+	writeCounter(tr, st, 0, 1)
+	root := persistTree(tr, st)
+	na := tr.Layout().NodeAddr(1, 0)
+	n, _ := st.Read(na)
+	n[0] ^= 0xFF
+	st.Write(na, n)
+	bad := tr.VerifyAll(st, root, st.Addrs())
+	if len(bad) == 0 {
+		t.Fatal("tampered internal node not detected")
+	}
+	hasNode := false
+	for _, m := range bad {
+		if m.Addr == na {
+			hasNode = true
+		}
+	}
+	if !hasNode {
+		t.Fatalf("mismatches %v do not include tampered node %#x", bad, uint64(na))
+	}
+}
+
+func TestVerifyAllDetectsRootMismatch(t *testing.T) {
+	tr, st := tree(t, 64<<20)
+	writeCounter(tr, st, 1, 1)
+	root := persistTree(tr, st)
+	root[0] ^= 1
+	if bad := tr.VerifyAll(st, root, st.Addrs()); len(bad) == 0 {
+		t.Fatal("wrong TCB root not detected")
+	}
+}
+
+func TestVerifyAllDetectsSplicedCounters(t *testing.T) {
+	tr, st := tree(t, 64<<20)
+	writeCounter(tr, st, 2, 1)
+	writeCounter(tr, st, 4, 3)
+	root := persistTree(tr, st)
+	lay := tr.Layout()
+	a2, a4 := lay.CounterLineAddr(2), lay.CounterLineAddr(4)
+	l2, _ := st.Read(a2)
+	l4, _ := st.Read(a4)
+	st.Write(a2, l4)
+	st.Write(a4, l2)
+	bad := tr.VerifyAll(st, root, st.Addrs())
+	idx := map[uint64]bool{}
+	for _, m := range bad {
+		if m.Level == 0 {
+			idx[m.Index] = true
+		}
+	}
+	if !idx[2] || !idx[4] {
+		t.Fatalf("splice not located at both counters: %v", bad)
+	}
+}
+
+func TestSetParentSlotRoundTrip(t *testing.T) {
+	tr, _ := tree(t, 64<<20)
+	var parent, child mem.Line
+	child[5] = 42
+	tr.SetParentSlot(&parent, 2, child)
+	if !tr.VerifyChild(parent, 2, child) {
+		t.Fatal("SetParentSlot/VerifyChild round-trip failed")
+	}
+	child[5] = 43
+	if tr.VerifyChild(parent, 2, child) {
+		t.Fatal("VerifyChild accepted modified child")
+	}
+}
+
+func TestNodeContentBeyondPopulatedRangeIsDefault(t *testing.T) {
+	tr, st := tree(t, 64<<20)
+	lay := tr.Layout()
+	got := tr.NodeContent(st, 1, lay.LevelNodes(1)+10)
+	if got != tr.DefaultNode(1) {
+		t.Fatal("out-of-range node content not default")
+	}
+}
+
+func TestRandomizedRebuildConsistency(t *testing.T) {
+	tr, st := tree(t, 16<<20)
+	rng := rand.New(rand.NewSource(42))
+	leaves := tr.Layout().LevelNodes(0)
+	for i := 0; i < 50; i++ {
+		writeCounter(tr, st, rng.Uint64()%leaves, 1+rng.Intn(4))
+	}
+	root := persistTree(tr, st)
+	if bad := tr.VerifyAll(st, root, st.Addrs()); len(bad) != 0 {
+		t.Fatalf("randomized tree has %d mismatches: %v", len(bad), bad[0])
+	}
+	// Tamper one random written counter; exactly that leaf (and possibly
+	// only it) must be flagged at level 0.
+	var counterAddrs []mem.Addr
+	for _, a := range st.Addrs() {
+		if tr.Layout().RegionOf(a) == mem.RegionCounter {
+			counterAddrs = append(counterAddrs, a)
+		}
+	}
+	victim := counterAddrs[rng.Intn(len(counterAddrs))]
+	l, _ := st.Read(victim)
+	l[20] ^= 0x10
+	st.Write(victim, l)
+	bad := tr.VerifyAll(st, root, st.Addrs())
+	if len(bad) == 0 {
+		t.Fatal("tampered counter not detected")
+	}
+	for _, m := range bad {
+		if m.Level == 0 && m.Addr != victim {
+			t.Fatalf("innocent counter flagged: %v (victim %#x)", m, uint64(victim))
+		}
+	}
+}
+
+func TestTinyTreeGeometry(t *testing.T) {
+	// A capacity so small the counter lines hang directly off the root.
+	tr, st := tree(t, 4*mem.PageSize)
+	lay := tr.Layout()
+	if lay.InternalLevels != 0 {
+		t.Skipf("layout has %d internal levels; test targets 0", lay.InternalLevels)
+	}
+	writeCounter(tr, st, 1, 2)
+	root := persistTree(tr, st)
+	if bad := tr.VerifyAll(st, root, st.Addrs()); len(bad) != 0 {
+		t.Fatalf("tiny tree mismatches: %v", bad)
+	}
+	writeCounter(tr, st, 1, 1)
+	if bad := tr.VerifyAll(st, root, st.Addrs()); len(bad) == 0 {
+		t.Fatal("stale root accepted in tiny tree")
+	}
+}
+
+func TestAnyBitFlipDetectedProperty(t *testing.T) {
+	// Property: flipping any single bit of any persisted counter or tree
+	// line breaks verification somewhere.
+	tr, st := tree(t, 16<<20)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 12; i++ {
+		writeCounter(tr, st, rng.Uint64()%tr.Layout().LevelNodes(0), 1+rng.Intn(3))
+	}
+	root := persistTree(tr, st)
+	addrs := st.Addrs()
+	for trial := 0; trial < 60; trial++ {
+		victim := addrs[rng.Intn(len(addrs))]
+		l, _ := st.Read(victim)
+		bit := rng.Intn(mem.LineSize * 8)
+		l[bit/8] ^= 1 << (bit % 8)
+		mut := st.Clone()
+		mut.Write(victim, l)
+		if bad := tr.VerifyAll(mut, root, mut.Addrs()); len(bad) == 0 {
+			t.Fatalf("bit flip at %#x bit %d undetected", uint64(victim), bit)
+		}
+	}
+}
+
+func TestRebuildIdempotentProperty(t *testing.T) {
+	// Property: rebuilding from an already-consistent image reproduces
+	// the identical tree and root.
+	tr, st := tree(t, 16<<20)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		writeCounter(tr, st, rng.Uint64()%tr.Layout().LevelNodes(0), 1+rng.Intn(5))
+	}
+	root := persistTree(tr, st)
+	var counters []mem.Addr
+	for _, a := range st.Addrs() {
+		if tr.Layout().RegionOf(a) == mem.RegionCounter {
+			counters = append(counters, a)
+		}
+	}
+	nodes, root2 := tr.Rebuild(st, counters)
+	if root2 != root {
+		t.Fatal("rebuild of consistent image changed the root")
+	}
+	for a, n := range nodes {
+		cur, _ := st.Read(a)
+		if cur != n {
+			t.Fatalf("rebuild changed node %#x", uint64(a))
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccnvm/internal/mem"
+)
+
+func line(b byte) mem.Line {
+	var l mem.Line
+	l[0] = b
+	return l
+}
+
+func small(t testing.TB, onEvict func(mem.Addr, mem.Line, bool)) *Cache {
+	t.Helper()
+	// 4 sets × 2 ways × 64 B = 512 B.
+	c, err := New(Config{Name: "t", SizeBytes: 512, Ways: 2}, onEvict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Name: "zero", SizeBytes: 0, Ways: 2},
+		{Name: "noways", SizeBytes: 512, Ways: 0},
+		{Name: "negways", SizeBytes: 512, Ways: -1},
+		{Name: "indivisible", SizeBytes: 512, Ways: 3},
+		{Name: "nonpow2sets", SizeBytes: 3 * 128, Ways: 2},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, nil); err == nil {
+			t.Errorf("config %q accepted, want error", cfg.Name)
+		}
+	}
+}
+
+func TestReadMissThenFillHit(t *testing.T) {
+	c := small(t, nil)
+	if _, hit := c.Read(0); hit {
+		t.Fatal("hit in empty cache")
+	}
+	c.Fill(0, line(7), false)
+	got, hit := c.Read(0)
+	if !hit || got != line(7) {
+		t.Fatal("fill did not install line")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", st)
+	}
+}
+
+func TestWriteAllocateSemantics(t *testing.T) {
+	c := small(t, nil)
+	if c.Write(64, line(1)) {
+		t.Fatal("write hit in empty cache")
+	}
+	c.Fill(64, line(0), false)
+	if !c.Write(64, line(2)) {
+		t.Fatal("write missed after fill")
+	}
+	if !c.IsDirty(64) {
+		t.Fatal("written line not dirty")
+	}
+	got, _ := c.Read(64)
+	if got != line(2) {
+		t.Fatal("write content lost")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	var evicted []mem.Addr
+	c := small(t, func(a mem.Addr, _ mem.Line, _ bool) { evicted = append(evicted, a) })
+	// Set stride: 4 sets => addresses 0, 256, 512 share set 0.
+	c.Fill(0, line(1), false)
+	c.Fill(256, line(2), false)
+	c.Read(0) // make 0 MRU; 256 becomes LRU
+	c.Fill(512, line(3), false)
+	if len(evicted) != 1 || evicted[0] != 256 {
+		t.Fatalf("evicted %v, want [256]", evicted)
+	}
+	if !c.Contains(0) || !c.Contains(512) || c.Contains(256) {
+		t.Fatal("wrong resident set after eviction")
+	}
+}
+
+func TestDirtyEvictionCarriesData(t *testing.T) {
+	type ev struct {
+		a     mem.Addr
+		l     mem.Line
+		dirty bool
+	}
+	var evs []ev
+	c := small(t, func(a mem.Addr, l mem.Line, d bool) { evs = append(evs, ev{a, l, d}) })
+	c.Fill(0, line(0), false)
+	c.Write(0, line(9))
+	c.Fill(256, line(1), false)
+	c.Fill(512, line(2), false) // evicts LRU = 0 (dirty)
+	if len(evs) != 1 {
+		t.Fatalf("got %d evictions, want 1", len(evs))
+	}
+	if evs[0].a != 0 || !evs[0].dirty || evs[0].l != line(9) {
+		t.Fatalf("eviction = %+v, want dirty line(9) at 0", evs[0])
+	}
+	if got := c.Stats().DirtyEvicts; got != 1 {
+		t.Fatalf("DirtyEvicts = %d, want 1", got)
+	}
+}
+
+func TestFillDirtySeedsDirtyBit(t *testing.T) {
+	c := small(t, nil)
+	c.Fill(0, line(1), true)
+	if !c.IsDirty(0) {
+		t.Fatal("dirty fill left line clean")
+	}
+}
+
+func TestFillExistingMergesDirty(t *testing.T) {
+	c := small(t, nil)
+	c.Fill(0, line(1), true)
+	c.Fill(0, line(2), false)
+	if !c.IsDirty(0) {
+		t.Fatal("re-fill cleared dirty bit")
+	}
+	got, _ := c.Read(0)
+	if got != line(2) {
+		t.Fatal("re-fill did not update content")
+	}
+}
+
+func TestCleanLine(t *testing.T) {
+	c := small(t, nil)
+	c.Fill(0, line(1), true)
+	c.CleanLine(0)
+	if c.IsDirty(0) {
+		t.Fatal("CleanLine left line dirty")
+	}
+	if !c.Contains(0) {
+		t.Fatal("CleanLine evicted the line")
+	}
+}
+
+func TestInvalidateLosesLineSilently(t *testing.T) {
+	evicts := 0
+	c := small(t, func(mem.Addr, mem.Line, bool) { evicts++ })
+	c.Fill(0, line(1), true)
+	l, dirty, ok := c.Invalidate(0)
+	if !ok || !dirty || l != line(1) {
+		t.Fatal("Invalidate returned wrong state")
+	}
+	if c.Contains(0) {
+		t.Fatal("line survived Invalidate")
+	}
+	if evicts != 0 {
+		t.Fatal("Invalidate invoked OnEvict")
+	}
+}
+
+func TestFlushAllEmitsEverything(t *testing.T) {
+	var addrs []mem.Addr
+	c := small(t, func(a mem.Addr, _ mem.Line, _ bool) { addrs = append(addrs, a) })
+	c.Fill(0, line(1), true)
+	c.Fill(64, line(2), false)
+	c.FlushAll()
+	if len(addrs) != 2 {
+		t.Fatalf("flushed %d lines, want 2", len(addrs))
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not empty after FlushAll")
+	}
+}
+
+func TestDirtyAddrsSortedAndComplete(t *testing.T) {
+	c := small(t, nil)
+	for _, a := range []mem.Addr{512, 0, 320, 64} {
+		c.Fill(a, line(1), true)
+	}
+	c.Fill(128, line(1), false)
+	d := c.DirtyAddrs()
+	want := []mem.Addr{0, 64, 320, 512}
+	if len(d) != len(want) {
+		t.Fatalf("DirtyAddrs = %v, want %v", d, want)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("DirtyAddrs = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestAddressReconstruction(t *testing.T) {
+	// Evicted addresses must be exactly the addresses filled, across the
+	// whole index range (catches addrAt bugs).
+	seen := map[mem.Addr]bool{}
+	c := MustNew(Config{Name: "recon", SizeBytes: 4096, Ways: 4}, func(a mem.Addr, _ mem.Line, _ bool) { seen[a] = true })
+	filled := map[mem.Addr]bool{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := mem.Addr(rng.Intn(1<<16)) &^ 63
+		filled[a] = true
+		c.Fill(a, line(byte(a)), false)
+	}
+	c.FlushAll()
+	for a := range seen {
+		if !filled[a] {
+			t.Fatalf("evicted address %#x was never filled", uint64(a))
+		}
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	c := small(t, nil)
+	c.Fill(0, line(1), false)
+	c.Read(0)
+	c.Read(64)
+	st := c.Stats()
+	if r := st.HitRatio(); r != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", r)
+	}
+	var empty Stats
+	if empty.HitRatio() != 0 {
+		t.Fatal("empty stats hit ratio should be 0")
+	}
+}
+
+func TestUnalignedAddressesNormalize(t *testing.T) {
+	c := small(t, nil)
+	c.Fill(3, line(1), false)
+	if _, hit := c.Read(0); !hit {
+		t.Fatal("unaligned fill not visible at aligned address")
+	}
+	if !c.Contains(63) {
+		t.Fatal("Contains not alignment-normalized")
+	}
+}

@@ -1,0 +1,181 @@
+// Package compress implements base-delta-immediate (BDI) cache-line
+// compression [Pekhimenko et al., PACT'12], the mechanism the Arsenal
+// secure-NVM baseline [Swami & Mohanram, IEEE CAL'18] relies on: if a
+// 64 B block compresses enough to leave room for its encryption counter
+// and data HMAC, all three ride in one NVM line and reach memory
+// atomically — crash consistency without any extra writes.
+//
+// The encoder tries, in order: all-zero, repeated 8-byte value, and
+// base(8 B)+delta with delta widths 1, 2 and 4. The decoder inverts
+// exactly; Compress/Decompress round-trip losslessly or report
+// incompressible.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccnvm/internal/mem"
+)
+
+// Encoding identifies how a block was packed.
+type Encoding byte
+
+// Encodings, in the order the encoder attempts them.
+const (
+	EncZero   Encoding = iota // all bytes zero: 0 payload bytes
+	EncRepeat                 // one repeated 8-byte word: 8 payload bytes
+	EncDelta1                 // 8-byte base + 8x1-byte deltas: 16 bytes
+	EncDelta2                 // 8-byte base + 8x2-byte deltas: 24 bytes
+	EncDelta4                 // 8-byte base + 8x4-byte deltas: 40 bytes
+	EncRaw                    // incompressible
+)
+
+// String implements fmt.Stringer.
+func (e Encoding) String() string {
+	switch e {
+	case EncZero:
+		return "zero"
+	case EncRepeat:
+		return "repeat"
+	case EncDelta1:
+		return "base+delta1"
+	case EncDelta2:
+		return "base+delta2"
+	case EncDelta4:
+		return "base+delta4"
+	case EncRaw:
+		return "raw"
+	default:
+		return "?"
+	}
+}
+
+// PayloadSize returns the compressed payload size in bytes, or 64 for
+// raw.
+func (e Encoding) PayloadSize() int {
+	switch e {
+	case EncZero:
+		return 0
+	case EncRepeat:
+		return 8
+	case EncDelta1:
+		return 16
+	case EncDelta2:
+		return 24
+	case EncDelta4:
+		return 40
+	default:
+		return mem.LineSize
+	}
+}
+
+func words(l mem.Line) [8]uint64 {
+	var w [8]uint64
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint64(l[i*8 : i*8+8])
+	}
+	return w
+}
+
+// Compress packs l into at most budget bytes. It returns the encoding,
+// the payload (nil for EncZero), and whether the block fit.
+func Compress(l mem.Line, budget int) (Encoding, []byte, bool) {
+	w := words(l)
+	allZero, allSame := true, true
+	for _, v := range w {
+		if v != 0 {
+			allZero = false
+		}
+		if v != w[0] {
+			allSame = false
+		}
+	}
+	if allZero && EncZero.PayloadSize() <= budget {
+		return EncZero, nil, true
+	}
+	if allSame && EncRepeat.PayloadSize() <= budget {
+		p := make([]byte, 8)
+		binary.LittleEndian.PutUint64(p, w[0])
+		return EncRepeat, p, true
+	}
+	base := w[0]
+	fits := func(width uint) bool {
+		limit := uint64(1)<<(8*width-1) - 1
+		for _, v := range w {
+			d := int64(v - base)
+			if d > int64(limit) || d < -int64(limit)-1 {
+				return false
+			}
+		}
+		return true
+	}
+	pack := func(enc Encoding, width int) (Encoding, []byte, bool) {
+		if enc.PayloadSize() > budget {
+			return EncRaw, nil, false
+		}
+		p := make([]byte, 8+8*width)
+		binary.LittleEndian.PutUint64(p[:8], base)
+		for i, v := range w {
+			d := uint64(v - base)
+			for b := 0; b < width; b++ {
+				p[8+i*width+b] = byte(d >> (8 * b))
+			}
+		}
+		return enc, p, true
+	}
+	if fits(1) {
+		if e, p, ok := pack(EncDelta1, 1); ok {
+			return e, p, true
+		}
+	}
+	if fits(2) {
+		if e, p, ok := pack(EncDelta2, 2); ok {
+			return e, p, true
+		}
+	}
+	if fits(4) {
+		if e, p, ok := pack(EncDelta4, 4); ok {
+			return e, p, true
+		}
+	}
+	return EncRaw, nil, false
+}
+
+// Decompress inverts Compress.
+func Decompress(enc Encoding, payload []byte) (mem.Line, error) {
+	var l mem.Line
+	put := func(i int, v uint64) { binary.LittleEndian.PutUint64(l[i*8:i*8+8], v) }
+	switch enc {
+	case EncZero:
+		return l, nil
+	case EncRepeat:
+		if len(payload) < 8 {
+			return l, fmt.Errorf("compress: repeat payload too short: %d", len(payload))
+		}
+		v := binary.LittleEndian.Uint64(payload[:8])
+		for i := 0; i < 8; i++ {
+			put(i, v)
+		}
+		return l, nil
+	case EncDelta1, EncDelta2, EncDelta4:
+		width := map[Encoding]int{EncDelta1: 1, EncDelta2: 2, EncDelta4: 4}[enc]
+		if len(payload) < 8+8*width {
+			return l, fmt.Errorf("compress: delta payload too short: %d", len(payload))
+		}
+		base := binary.LittleEndian.Uint64(payload[:8])
+		for i := 0; i < 8; i++ {
+			var d uint64
+			for b := 0; b < width; b++ {
+				d |= uint64(payload[8+i*width+b]) << (8 * b)
+			}
+			// Sign-extend the delta.
+			shift := uint(64 - 8*width)
+			sd := int64(d<<shift) >> shift
+			put(i, base+uint64(sd))
+		}
+		return l, nil
+	default:
+		return l, fmt.Errorf("compress: cannot decompress encoding %v", enc)
+	}
+}

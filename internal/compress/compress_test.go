@@ -1,0 +1,129 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccnvm/internal/mem"
+)
+
+func lineOfWords(ws [8]uint64) mem.Line {
+	var l mem.Line
+	for i, w := range ws {
+		binary.LittleEndian.PutUint64(l[i*8:i*8+8], w)
+	}
+	return l
+}
+
+func TestZeroLine(t *testing.T) {
+	enc, p, ok := Compress(mem.Line{}, 40)
+	if !ok || enc != EncZero || p != nil {
+		t.Fatalf("zero line: enc=%v ok=%v", enc, ok)
+	}
+	got, err := Decompress(enc, p)
+	if err != nil || got != (mem.Line{}) {
+		t.Fatal("zero round trip failed")
+	}
+}
+
+func TestRepeatLine(t *testing.T) {
+	l := lineOfWords([8]uint64{7, 7, 7, 7, 7, 7, 7, 7})
+	enc, p, ok := Compress(l, 40)
+	if !ok || enc != EncRepeat {
+		t.Fatalf("repeat line: enc=%v ok=%v", enc, ok)
+	}
+	got, _ := Decompress(enc, p)
+	if got != l {
+		t.Fatal("repeat round trip failed")
+	}
+}
+
+func TestDeltaWidths(t *testing.T) {
+	cases := []struct {
+		ws   [8]uint64
+		want Encoding
+	}{
+		{[8]uint64{1000, 1001, 999, 1005, 1000, 990, 1010, 1002}, EncDelta1},
+		{[8]uint64{100000, 100200, 99800, 100500, 100000, 99000, 101000, 100002}, EncDelta2},
+		{[8]uint64{1 << 40, 1<<40 + 1e6, 1<<40 - 1e6, 1 << 40, 1 << 40, 1 << 40, 1 << 40, 1 << 40}, EncDelta4},
+	}
+	for _, c := range cases {
+		l := lineOfWords(c.ws)
+		enc, p, ok := Compress(l, 40)
+		if !ok || enc != c.want {
+			t.Fatalf("words %v: enc=%v ok=%v, want %v", c.ws, enc, ok, c.want)
+		}
+		got, err := Decompress(enc, p)
+		if err != nil || got != l {
+			t.Fatalf("%v round trip failed", c.want)
+		}
+	}
+}
+
+func TestIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var ws [8]uint64
+	for i := range ws {
+		ws[i] = rng.Uint64()
+	}
+	if enc, _, ok := Compress(lineOfWords(ws), 40); ok {
+		t.Fatalf("random line compressed as %v", enc)
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	l := lineOfWords([8]uint64{1 << 40, 1<<40 + 1e6, 1 << 40, 1 << 40, 1 << 40, 1 << 40, 1 << 40, 1 << 40})
+	// Needs delta4 (40 bytes); a 24-byte budget must refuse it.
+	if _, _, ok := Compress(l, 24); ok {
+		t.Fatal("over-budget block accepted")
+	}
+	if _, _, ok := Compress(l, 40); !ok {
+		t.Fatal("in-budget block refused")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ws [8]uint64, nearBase uint8) bool {
+		// Mix of totally random and near-base lines to exercise all
+		// encoders.
+		if nearBase%2 == 0 {
+			base := ws[0]
+			for i := 1; i < 8; i++ {
+				ws[i] = base + uint64(int64(int8(ws[i])))
+			}
+		}
+		l := lineOfWords(ws)
+		enc, p, ok := Compress(l, 40)
+		if !ok {
+			return true // raw: nothing to verify
+		}
+		got, err := Decompress(enc, p)
+		return err == nil && got == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadSizes(t *testing.T) {
+	want := map[Encoding]int{EncZero: 0, EncRepeat: 8, EncDelta1: 16, EncDelta2: 24, EncDelta4: 40, EncRaw: 64}
+	for e, n := range want {
+		if e.PayloadSize() != n {
+			t.Errorf("%v payload = %d, want %d", e, e.PayloadSize(), n)
+		}
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress(EncRaw, nil); err == nil {
+		t.Fatal("raw decompress accepted")
+	}
+	if _, err := Decompress(EncRepeat, []byte{1}); err == nil {
+		t.Fatal("short repeat payload accepted")
+	}
+	if _, err := Decompress(EncDelta2, make([]byte, 10)); err == nil {
+		t.Fatal("short delta payload accepted")
+	}
+}

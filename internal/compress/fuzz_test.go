@@ -1,0 +1,29 @@
+package compress
+
+import (
+	"testing"
+
+	"ccnvm/internal/mem"
+)
+
+// FuzzCompressRoundTrip: any line the encoder accepts must decompress
+// to exactly the original bytes, and the decoder must never panic on
+// arbitrary payloads.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add(make([]byte, mem.LineSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var l mem.Line
+		copy(l[:], data)
+		enc, payload, ok := Compress(l, 40)
+		if ok {
+			got, err := Decompress(enc, payload)
+			if err != nil || got != l {
+				t.Fatalf("round trip failed for %v", enc)
+			}
+		}
+		// Decoder robustness on raw fuzz bytes.
+		for e := EncZero; e <= EncRaw; e++ {
+			_, _ = Decompress(e, data)
+		}
+	})
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/memctrl"
+	"ccnvm/internal/metacache"
+	"ccnvm/internal/seccrypto"
+)
+
+// DrainCause identifies which trigger fired a drain (paper §4.2).
+type DrainCause int
+
+// Draining triggers. Settle is the administrative end-of-run flush.
+const (
+	DrainQueueFull DrainCause = iota
+	DrainEvict
+	DrainUpdateLimit
+	DrainOverflow
+	DrainSettle
+)
+
+// String implements fmt.Stringer.
+func (c DrainCause) String() string {
+	switch c {
+	case DrainQueueFull:
+		return "queue-full"
+	case DrainEvict:
+		return "meta-evict"
+	case DrainUpdateLimit:
+		return "update-limit"
+	case DrainOverflow:
+		return "counter-overflow"
+	case DrainSettle:
+		return "settle"
+	default:
+		return "unknown"
+	}
+}
+
+// CCNVM is the paper's design: security metadata is aggressively cached
+// and mutated on chip, while the NVM copy of the Merkle tree only ever
+// changes through atomic epoch drains, so it always verifies against
+// ROOTold (or, once the end signal is in, ROOTnew). With deferred
+// spreading enabled (the full cc-NVM), tree nodes are not recomputed per
+// write-back at all; each drain recomputes every affected node exactly
+// once, bottom-up. The ablation without deferred spreading (cc-NVM w/o
+// DS) recomputes the whole path and ROOTnew on every write-back, like
+// the baselines, but still drains in epochs.
+type CCNVM struct {
+	engine.Base
+	deferred bool
+	extRegs  bool // §4.4 extension: persistent per-line update registers
+	queue    *DirtyAddrQueue
+
+	// stash holds the content of dirty metadata lines displaced from the
+	// meta cache since the last drain; they remain part of the epoch's
+	// flush set.
+	stash map[mem.Addr]mem.Line
+
+	epochWritebacks uint64 // write-backs in the current epoch
+	epochLenSum     uint64 // closed-epoch lengths, for average reporting
+
+	// drainBusyUntil blocks subsequent evictions while a drain runs:
+	// §4.2 "step 1 and 2 for the subsequent evicted data blocks is
+	// blocked until the draining is finished", whichever trigger fired.
+	drainBusyUntil int64
+}
+
+// NewCCNVM builds the full cc-NVM design (deferred spreading on).
+func NewCCNVM(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, metaCfg metacache.Config, p engine.Params) *CCNVM {
+	return newCCNVM(lay, keys, ctrl, metaCfg, p, true, false)
+}
+
+// NewCCNVMWoDS builds the cc-NVM w/o DS ablation (deferred spreading
+// off: full path recomputation per write-back).
+func NewCCNVMWoDS(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, metaCfg metacache.Config, p engine.Params) *CCNVM {
+	return newCCNVM(lay, keys, ctrl, metaCfg, p, false, false)
+}
+
+// NewCCNVMExt builds the paper's §4.4 extension: cc-NVM plus persistent
+// registers that record each dirty counter line's update count since
+// the last committed drain. Recovery can then localize a data-replay
+// attack inside the deferred-spreading window to the affected page —
+// the one attack plain cc-NVM detects but cannot locate — at the cost
+// of up to M extra persistent registers in the TCB. Timing is identical
+// to cc-NVM (register updates are on-chip).
+func NewCCNVMExt(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, metaCfg metacache.Config, p engine.Params) *CCNVM {
+	c := newCCNVM(lay, keys, ctrl, metaCfg, p, true, true)
+	c.TCB.ExtDirty = make(map[mem.Addr]uint64)
+	return c
+}
+
+func newCCNVM(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, metaCfg metacache.Config, p engine.Params, ds, ext bool) *CCNVM {
+	c := &CCNVM{deferred: ds, extRegs: ext, stash: make(map[mem.Addr]mem.Line)}
+	c.InitBase(lay, keys, ctrl, metaCfg, p)
+	c.queue = NewDirtyAddrQueue(c.P.QueueEntries)
+	// Stashed epoch lines are still on chip: fetches must see them
+	// instead of the stale NVM copies.
+	c.StashLookup = func(a mem.Addr) (mem.Line, bool) {
+		l, ok := c.stash[a]
+		return l, ok
+	}
+	return c
+}
+
+// Name implements engine.Engine.
+func (c *CCNVM) Name() string {
+	switch {
+	case c.extRegs:
+		return "ccnvm-ext"
+	case c.deferred:
+		return "ccnvm"
+	default:
+		return "ccnvm-wods"
+	}
+}
+
+// Queue exposes the dirty address queue for tests and diagnostics.
+func (c *CCNVM) Queue() *DirtyAddrQueue { return c.queue }
+
+// AvgEpochLength reports the mean number of write-backs per closed
+// epoch, 0 before the first drain.
+func (c *CCNVM) AvgEpochLength() float64 {
+	if c.StatsRef().Drains == 0 {
+		return 0
+	}
+	return float64(c.epochLenSum) / float64(c.StatsRef().Drains)
+}
+
+// ReadBlock implements engine.Engine: the shared verified read path; a
+// fetch that displaces dirty metadata fires draining trigger 2.
+func (c *CCNVM) ReadBlock(now int64, addr mem.Addr) (mem.Line, int64) {
+	pt, done := c.Base.ReadBlock(now, addr)
+	c.absorbEvicts()
+	if len(c.stash) > 0 {
+		c.drain(now, DrainEvict)
+	}
+	return pt, done
+}
+
+// WriteBack implements engine.Engine: the cc-NVM fast path. The
+// write-back waits only for the dirty-address-queue reservation and the
+// data HMAC; Merkle work is deferred to the drain (with DS) or performed
+// on chip (w/o DS) without blocking the data's entry into the WPQ.
+func (c *CCNVM) WriteBack(now int64, addr mem.Addr, pt mem.Line) int64 {
+	c.StatsRef().Writebacks++
+	slot, accept := c.AcquireWBSlot(now)
+	if c.drainBusyUntil > accept {
+		accept = c.drainBusyUntil
+	}
+
+	// Reserve dirty-address-queue entries for the counter line and every
+	// path node (deferred spreading computes them only at drain time).
+	// The reservation — and a drain, if the queue cannot take the new
+	// entries — is on the eviction's critical path: the paper's §5.1
+	// attributes cc-NVM's residual IPC loss to exactly this wait.
+	ca := c.Lay.CounterLineOf(addr)
+	leaf := c.Lay.CounterLineIndex(ca)
+	needed := append([]mem.Addr{ca}, c.Lay.PathFrom(leaf)...)
+	t := accept + c.P.QueueLookupCycles
+	if c.queue.Missing(needed) > c.queue.Free() {
+		t = c.drain(t, DrainQueueFull)
+	}
+	c.queue.Reserve(needed...)
+	accept = t
+
+	r := c.BumpCounter(t, addr)
+	c.TCB.Nwb++
+	c.epochWritebacks++
+	if c.extRegs {
+		c.TCB.ExtDirty[ca]++
+	}
+
+	tready := r.Avail
+	if !c.deferred {
+		// Without deferred spreading the full path and ROOTnew are
+		// recomputed on every write-back; data may enter the WPQ only
+		// after the root is updated.
+		tready, _ = c.UpdatePathInCache(r.Avail, leaf)
+	}
+	done := c.WriteDataBlock(t, tready, addr, pt, r.Counter)
+
+	drained := false
+	if r.Overflow {
+		// The page re-encryption rewrote data under new counters; the
+		// counter line must reach NVM atomically with its path now.
+		done = c.drain(done, DrainOverflow)
+		drained = true
+	}
+	if !drained && r.UpdateCnt >= c.P.UpdateLimit {
+		done = c.drain(done, DrainUpdateLimit)
+		drained = true
+	}
+	c.absorbEvicts()
+	if !drained && len(c.stash) > 0 {
+		done = c.drain(done, DrainEvict)
+	}
+	c.ReleaseWBSlot(slot, done)
+	return accept
+}
+
+// absorbEvicts moves displaced dirty metadata lines into the epoch
+// stash. Every dirty line is tracked in the dirty address queue by
+// construction, so stashed content stays part of the drain's flush set.
+func (c *CCNVM) absorbEvicts() {
+	for _, e := range c.TakePendingEvicts() {
+		if !c.queue.Contains(e.Addr) {
+			panic("ccnvm: dirty metadata line was not tracked in the dirty address queue")
+		}
+		c.stash[e.Addr] = e.Line
+	}
+}
+
+// metaContent returns the newest content of a tracked metadata line:
+// the meta cache, the epoch stash, or NVM (for reserved-but-clean
+// lines).
+func (c *CCNVM) metaContent(a mem.Addr) mem.Line {
+	if l, ok := c.Meta.Peek(a); ok {
+		return l
+	}
+	if l, ok := c.stash[a]; ok {
+		return l
+	}
+	l, ok := c.Ctrl.Device().Peek(a)
+	if !ok {
+		switch c.Lay.RegionOf(a) {
+		case mem.RegionCounter:
+			return c.Tree.DefaultNode(0)
+		case mem.RegionTree:
+			level, _ := c.Lay.NodeAt(a)
+			return c.Tree.DefaultNode(level)
+		}
+	}
+	return l
+}
+
+// drain executes the atomic draining protocol (paper §4.2) and, with
+// deferred spreading, the once-per-node Merkle recomputation (§4.3).
+// It returns the cycle at which the drainer finished issuing — the
+// point from which blocked write-backs may resume; the WPQ continues
+// flushing in the background under ADR.
+func (c *CCNVM) drain(now int64, cause DrainCause) int64 {
+	c.absorbEvicts()
+	tracked := c.queue.Addrs()
+	if len(tracked) == 0 {
+		return now
+	}
+	st := c.StatsRef()
+	st.Drains++
+	switch cause {
+	case DrainQueueFull:
+		st.DrainQueueFull++
+	case DrainEvict:
+		st.DrainEvict++
+	case DrainUpdateLimit, DrainOverflow:
+		st.DrainUpdateLimit++
+	}
+	c.epochLenSum += c.epochWritebacks
+	c.epochWritebacks = 0
+
+	t := now
+	content := make(map[mem.Addr]mem.Line, len(tracked))
+	for _, a := range tracked {
+		content[a] = c.metaContent(a)
+	}
+
+	if c.deferred {
+		// Deferred spreading: recompute each affected tree node exactly
+		// once, bottom-up, from the dirty counter lines. Within a level
+		// every child hash is independent, so the HMAC unit pipelines
+		// them (one issue slot each); levels serialize on each other,
+		// which is the residual cascade a drain cannot avoid.
+		levelTime := func(n int) {
+			if n == 0 {
+				return
+			}
+			c.StatsRef().HMACOps += uint64(n)
+			t += c.P.HMACCycles + int64(n-1)*c.P.HMACIssueCycles
+		}
+		affected := make(map[uint64]mem.Line) // idx -> content at current level
+		for _, a := range tracked {
+			if c.Lay.RegionOf(a) == mem.RegionCounter {
+				affected[c.Lay.CounterLineIndex(a)] = content[a]
+			}
+		}
+		for level := 0; level < c.Lay.TopLevel(); level++ {
+			parents := make(map[uint64]mem.Line)
+			for idx, child := range affected {
+				_, pi, slot := c.Lay.ParentOf(level, idx)
+				pa := c.Lay.NodeAddr(level+1, pi)
+				node, started := parents[pi]
+				if !started {
+					node = c.metaContent(pa)
+					if l, ok := content[pa]; ok {
+						node = l
+					}
+				}
+				c.Tree.SetParentSlot(&node, slot, child)
+				parents[pi] = node
+			}
+			levelTime(len(affected))
+			for pi, node := range parents {
+				pa := c.Lay.NodeAddr(level+1, pi)
+				content[pa] = node
+			}
+			affected = parents
+		}
+		// Fold the recomputed top level into ROOTnew.
+		for idx, node := range affected {
+			c.Tree.SetParentSlot(&c.TCB.RootNew, int(idx), node)
+		}
+		levelTime(len(affected))
+	}
+
+	// Atomic draining: start signal, epoch-held WPQ entries, end signal.
+	c.Ctrl.BeginEpochDrain()
+	for _, a := range tracked {
+		t = max64(t, c.Ctrl.Write(t, a, content[a]))
+	}
+	c.Ctrl.EndEpochDrain(t)
+	st.DrainLinesFlushed += uint64(len(tracked))
+
+	// Commit: ROOTold now matches the NVM tree; the replay-window
+	// counter resets, and so do the extension's per-line registers.
+	c.TCB.RootOld = c.TCB.RootNew
+	c.TCB.Nwb = 0
+	if c.extRegs {
+		c.TCB.ExtDirty = make(map[mem.Addr]uint64)
+	}
+
+	c.drainBusyUntil = t
+
+	// The epoch's lines are now persistent: clean the survivors, refresh
+	// the cache with recomputed nodes, and forget the stash.
+	for _, a := range tracked {
+		if c.Meta.Contains(a) {
+			c.Meta.Fill(a, content[a])
+			c.Meta.Clean(a)
+		}
+	}
+	c.stash = make(map[mem.Addr]mem.Line)
+	c.queue.Clear()
+	// Refreshing resident lines cannot displace anything (Fill of a
+	// resident line updates in place), so no evictions arise here.
+	if recs := c.TakePendingEvicts(); len(recs) != 0 {
+		panic("ccnvm: drain displaced metadata")
+	}
+	return t
+}
+
+// Settle implements engine.Engine: close the epoch.
+func (c *CCNVM) Settle(now int64) int64 {
+	return c.drain(now, DrainSettle)
+}
+
+// Crash implements engine.Engine. Whatever the drainer had not yet
+// committed is lost with the caches; the NVM tree remains the last
+// committed epoch, consistent with ROOTold.
+func (c *CCNVM) Crash() *engine.CrashImage {
+	c.ApplyCrashVolatility()
+	c.stash = make(map[mem.Addr]mem.Line)
+	c.queue.Clear()
+	c.epochWritebacks = 0
+	return c.MakeCrashImage(c.Name())
+}
+
+var _ engine.Engine = (*CCNVM)(nil)
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

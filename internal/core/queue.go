@@ -1,0 +1,88 @@
+// Package core implements the paper's contribution: the cc-NVM secure
+// memory controller with its epoch-based consistent Bonsai Merkle Tree,
+// the drainer and its dirty address queue, the atomic draining protocol
+// over the ADR write pending queue, deferred spreading of Merkle-tree
+// updates, and the Nwb register that closes the deferred-spreading
+// replay window. Both evaluated variants live here: CCNVM (with
+// deferred spreading) and the cc-NVM w/o DS ablation.
+package core
+
+import (
+	"ccnvm/internal/mem"
+)
+
+// DirtyAddrQueue is the drainer's tracking structure: the set of
+// metadata line addresses (counter lines and Merkle-tree nodes) that
+// belong to the current epoch and will be flushed, atomically, at the
+// next drain. Entries are reserved eagerly — a write-back reserves its
+// counter line and every path node even before the nodes are dirtied,
+// as deferred spreading computes them only at drain time.
+//
+// Capacity is the paper's M parameter; exhaustion is draining trigger 1.
+type DirtyAddrQueue struct {
+	capacity int
+	present  map[mem.Addr]bool
+	order    []mem.Addr
+}
+
+// NewDirtyAddrQueue builds a queue with the given capacity (entries).
+func NewDirtyAddrQueue(capacity int) *DirtyAddrQueue {
+	if capacity <= 0 {
+		panic("core: dirty address queue capacity must be positive")
+	}
+	return &DirtyAddrQueue{capacity: capacity, present: make(map[mem.Addr]bool, capacity)}
+}
+
+// Capacity returns M.
+func (q *DirtyAddrQueue) Capacity() int { return q.capacity }
+
+// Len returns the number of tracked addresses.
+func (q *DirtyAddrQueue) Len() int { return len(q.order) }
+
+// Free returns the number of unreserved entries.
+func (q *DirtyAddrQueue) Free() int { return q.capacity - len(q.order) }
+
+// Contains reports whether a is already tracked.
+func (q *DirtyAddrQueue) Contains(a mem.Addr) bool { return q.present[mem.Align(a)] }
+
+// Missing returns how many of addrs are not yet tracked; the caller
+// checks it against Free before reserving.
+func (q *DirtyAddrQueue) Missing(addrs []mem.Addr) int {
+	n := 0
+	for _, a := range addrs {
+		if !q.present[mem.Align(a)] {
+			n++
+		}
+	}
+	return n
+}
+
+// Reserve tracks every address in addrs, skipping duplicates. It panics
+// on overflow: callers must drain first when Missing exceeds Free, as
+// the hardware blocks the write-back in that case.
+func (q *DirtyAddrQueue) Reserve(addrs ...mem.Addr) {
+	for _, a := range addrs {
+		a = mem.Align(a)
+		if q.present[a] {
+			continue
+		}
+		if len(q.order) >= q.capacity {
+			panic("core: dirty address queue overflow; drain before reserving")
+		}
+		q.present[a] = true
+		q.order = append(q.order, a)
+	}
+}
+
+// Addrs returns the tracked addresses in insertion order.
+func (q *DirtyAddrQueue) Addrs() []mem.Addr {
+	out := make([]mem.Addr, len(q.order))
+	copy(out, q.order)
+	return out
+}
+
+// Clear empties the queue after a committed drain.
+func (q *DirtyAddrQueue) Clear() {
+	q.order = q.order[:0]
+	q.present = make(map[mem.Addr]bool, q.capacity)
+}

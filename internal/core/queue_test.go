@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccnvm/internal/mem"
+)
+
+func TestQueueBasics(t *testing.T) {
+	q := NewDirtyAddrQueue(4)
+	if q.Capacity() != 4 || q.Len() != 0 || q.Free() != 4 {
+		t.Fatal("fresh queue state wrong")
+	}
+	q.Reserve(0, 64)
+	if q.Len() != 2 || q.Free() != 2 {
+		t.Fatalf("after reserve: len=%d free=%d", q.Len(), q.Free())
+	}
+	if !q.Contains(0) || !q.Contains(64) || q.Contains(128) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestQueueDeduplicates(t *testing.T) {
+	q := NewDirtyAddrQueue(4)
+	q.Reserve(0, 0, 64, 0)
+	if q.Len() != 2 {
+		t.Fatalf("duplicates counted: len=%d", q.Len())
+	}
+	// Unaligned addresses normalize to the same line.
+	q.Reserve(65)
+	if q.Len() != 2 {
+		t.Fatal("unaligned duplicate counted")
+	}
+}
+
+func TestQueueMissing(t *testing.T) {
+	q := NewDirtyAddrQueue(8)
+	q.Reserve(0, 64)
+	if got := q.Missing([]mem.Addr{0, 64, 128, 192}); got != 2 {
+		t.Fatalf("Missing = %d, want 2", got)
+	}
+}
+
+func TestQueueOverflowPanics(t *testing.T) {
+	q := NewDirtyAddrQueue(2)
+	q.Reserve(0, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow did not panic")
+		}
+	}()
+	q.Reserve(128)
+}
+
+func TestQueueClear(t *testing.T) {
+	q := NewDirtyAddrQueue(2)
+	q.Reserve(0, 64)
+	q.Clear()
+	if q.Len() != 0 || q.Contains(0) {
+		t.Fatal("Clear incomplete")
+	}
+	q.Reserve(128, 192) // capacity restored
+	if q.Len() != 2 {
+		t.Fatal("queue unusable after Clear")
+	}
+}
+
+func TestQueueInsertionOrder(t *testing.T) {
+	q := NewDirtyAddrQueue(8)
+	q.Reserve(192, 0, 64)
+	got := q.Addrs()
+	want := []mem.Addr{192, 0, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Addrs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewDirtyAddrQueue(0)
+}
+
+func TestQueueInvariantProperty(t *testing.T) {
+	// Property: Len + Free == Capacity, and Missing + already-present ==
+	// request size, for random reservation sequences.
+	f := func(raw []uint16) bool {
+		q := NewDirtyAddrQueue(64)
+		for _, r := range raw {
+			a := mem.Addr(r) * mem.LineSize
+			if q.Contains(a) {
+				continue
+			}
+			if q.Free() == 0 {
+				q.Clear()
+			}
+			q.Reserve(a)
+			if q.Len()+q.Free() != q.Capacity() {
+				return false
+			}
+			if !q.Contains(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,549 @@
+package engine
+
+import (
+	"ccnvm/internal/bmt"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/memctrl"
+	"ccnvm/internal/metacache"
+	"ccnvm/internal/nvm"
+	"ccnvm/internal/seccrypto"
+)
+
+// EvictRec describes a dirty metadata line displaced from the meta
+// cache, handed to the owning design's eviction policy.
+type EvictRec struct {
+	Addr mem.Addr
+	Line mem.Line
+}
+
+// Base bundles the state and machinery shared by every consistency
+// design: layout, crypto, tree logic, memory controller, metadata cache,
+// the serialized HMAC unit and AES unit, the writeback victim buffer and
+// the TCB registers. Designs embed Base and differ in their WriteBack,
+// eviction and drain policies.
+type Base struct {
+	Lay  *mem.Layout
+	Cry  *seccrypto.Engine
+	Tree *bmt.Tree
+	Ctrl *memctrl.Controller
+	Meta *metacache.Cache
+	P    Params
+	TCB  TCB
+	Keys seccrypto.Keys
+
+	// VerifyFetchedMeta controls whether counter/tree lines fetched from
+	// NVM are verified against their ancestor chain. Every design except
+	// Osiris Plus (whose in-NVM tree is not maintained) keeps it on.
+	VerifyFetchedMeta bool
+
+	// counterFn obtains the counter line for the read/write paths. It
+	// defaults to Base.CounterLine; Osiris Plus overrides it with its
+	// online-recovery source.
+	counterFn func(now int64, ca mem.Addr) (seccrypto.CounterLine, int64)
+
+	hmacFree int64 // serialized HMAC unit: next-free cycle
+	aesFree  int64 // AES pad-generation unit: next-free cycle
+	wbSlots  []int64
+
+	pendingEvicts []EvictRec
+
+	// OnViolation, when set, observes runtime integrity failures with a
+	// short site tag; tests use it to pinpoint verification bugs.
+	OnViolation func(site string, a mem.Addr, level int)
+
+	// StashLookup, when set, lets the owning design expose additional
+	// on-chip metadata buffers (cc-NVM's epoch stash) to the
+	// victim-forwarding path, so a fetch never reads a stale NVM copy of
+	// a line that is still in flight on chip.
+	StashLookup func(a mem.Addr) (mem.Line, bool)
+
+	stats SecStats
+}
+
+// InitBase wires the shared components. Designs call it from their
+// constructors; the metadata cache is created here so that its eviction
+// hook lands in the shared pending-eviction queue.
+func (b *Base) InitBase(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, metaCfg metacache.Config, p Params) {
+	p.Fill()
+	b.Lay = lay
+	b.Keys = keys
+	b.Cry = seccrypto.MustEngine(keys)
+	b.Tree = bmt.New(lay, b.Cry)
+	b.Ctrl = ctrl
+	b.P = p
+	b.VerifyFetchedMeta = true
+	b.wbSlots = make([]int64, p.WritebackBuffer)
+	b.Meta = metacache.New(metaCfg, func(a mem.Addr, l mem.Line, dirty bool) {
+		if dirty {
+			b.pendingEvicts = append(b.pendingEvicts, EvictRec{Addr: a, Line: l})
+		}
+	})
+	// An empty NVM implies the default tree; both root registers start
+	// at the default root node so verification works from cycle zero.
+	b.TCB.RootNew = b.Tree.RootNode(emptyReader{})
+	b.TCB.RootOld = b.TCB.RootNew
+	b.counterFn = b.CounterLine
+}
+
+// SetCounterSource replaces the counter-line source used by the shared
+// read and write paths.
+func (b *Base) SetCounterSource(fn func(now int64, ca mem.Addr) (seccrypto.CounterLine, int64)) {
+	b.counterFn = fn
+}
+
+type emptyReader struct{}
+
+func (emptyReader) Read(mem.Addr) (mem.Line, bool) { return mem.Line{}, false }
+
+// TakePendingEvicts returns and clears the dirty metadata evictions
+// accumulated by meta-cache fills since the last call. Designs consume
+// them at well-defined points (never inside a Fill) to avoid cache
+// reentrancy.
+func (b *Base) TakePendingEvicts() []EvictRec {
+	e := b.pendingEvicts
+	b.pendingEvicts = nil
+	return e
+}
+
+// RequeueEvicts puts unprocessed eviction records back at the head of
+// the pending queue; designs that persist victims one at a time use it.
+func (b *Base) RequeueEvicts(recs []EvictRec) {
+	b.pendingEvicts = append(recs, b.pendingEvicts...)
+}
+
+// UpdatePendingEvict applies mutate to the pending victim at a, if one
+// exists, returning its updated content. It lets eviction policies fold
+// child HMACs into parents that are themselves awaiting persistence.
+func (b *Base) UpdatePendingEvict(a mem.Addr, mutate func(*mem.Line)) (mem.Line, bool) {
+	for i := len(b.pendingEvicts) - 1; i >= 0; i-- {
+		if b.pendingEvicts[i].Addr == a {
+			mutate(&b.pendingEvicts[i].Line)
+			return b.pendingEvicts[i].Line, true
+		}
+	}
+	return mem.Line{}, false
+}
+
+// StatsRef exposes the mutable statistics to designs in this module.
+func (b *Base) StatsRef() *SecStats { return &b.stats }
+
+// Stats returns a copy of the accumulated statistics.
+func (b *Base) Stats() SecStats { return b.stats }
+
+// HMACOp schedules a chain of n dependent HMAC computations and
+// returns the completion cycle. The unit is modelled as fully
+// pipelined: independent chains overlap freely, but within a chain each
+// HMAC waits for its predecessor, so a Merkle path update still pays
+// the full n x 80-cycle latency — the serialization the paper's §2.3
+// calls out. Cross-operation issue contention is neglected (measured
+// unit utilization stays in the low single digits for every workload).
+func (b *Base) HMACOp(now int64, n int) int64 {
+	if n <= 0 {
+		return now
+	}
+	b.stats.HMACOps += uint64(n)
+	return now + int64(n)*b.P.HMACCycles
+}
+
+// AESOp schedules one pad generation on the AES unit; like the HMAC
+// unit it is fully pipelined, so only latency is charged.
+func (b *Base) AESOp(now int64) int64 {
+	b.stats.AESOps++
+	return now + b.P.AESCycles
+}
+
+// AcquireWBSlot obtains a writeback-buffer slot, blocking (in simulated
+// time) while the buffer is full. It returns the slot index and the
+// acceptance cycle; the caller releases the slot by setting its busy
+// horizon with ReleaseWBSlot once background processing completes.
+func (b *Base) AcquireWBSlot(now int64) (int, int64) {
+	best, bestT := 0, b.wbSlots[0]
+	for i, t := range b.wbSlots {
+		if t < bestT {
+			best, bestT = i, t
+		}
+	}
+	if bestT > now {
+		b.stats.WritebackBufferStalls++
+		b.stats.WritebackStallCycles += bestT - now
+		now = bestT
+	}
+	return best, now
+}
+
+// ReleaseWBSlot marks slot busy until done.
+func (b *Base) ReleaseWBSlot(slot int, done int64) { b.wbSlots[slot] = done }
+
+// DefaultHMACLine synthesizes the content of a never-written data-HMAC
+// line: each slot holds the HMAC of a zero ciphertext with counter 0 at
+// the slot's data address, which is exactly what verification of a
+// never-written block expects.
+func (b *Base) DefaultHMACLine(ha mem.Addr) mem.Line {
+	var l mem.Line
+	lineIdx := uint64(ha-b.Lay.HMACBase) / mem.LineSize
+	for s := 0; s < mem.HMACsPerLine; s++ {
+		dataAddr := mem.Addr((lineIdx*mem.HMACsPerLine + uint64(s)) * mem.LineSize)
+		seccrypto.PutHMAC(&l, s, b.Cry.DataHMAC(dataAddr, 0, mem.Line{}))
+	}
+	return l
+}
+
+// ReadHMACLine fetches the data-HMAC line covering addr, substituting
+// the synthesized default when never written. The core-facing read path
+// uses it; bank contention applies.
+func (b *Base) ReadHMACLine(now int64, addr mem.Addr) (mem.Line, int, int64) {
+	ha, slot := b.Lay.HMACLineOf(addr)
+	l, ok, t := b.Ctrl.Read(now, ha)
+	if !ok {
+		l = b.DefaultHMACLine(ha)
+	}
+	return l, slot, t
+}
+
+// readHMACLineBypass is ReadHMACLine for pipeline-internal callers (the
+// write path's read-modify-write and page re-encryption), which run at
+// future timestamps and must not reserve bank slots there.
+func (b *Base) readHMACLineBypass(now int64, addr mem.Addr) (mem.Line, int, int64) {
+	ha, slot := b.Lay.HMACLineOf(addr)
+	l, ok, t := b.Ctrl.ReadBypass(now, ha)
+	if !ok {
+		l = b.DefaultHMACLine(ha)
+	}
+	return l, slot, t
+}
+
+// onChip returns metadata content that has left the metadata cache but
+// is still on chip: a displaced victim awaiting its design's eviction
+// policy, or a line in the design's stash. Such content is trusted (it
+// never left the TCB) and must shadow the NVM copy.
+func (b *Base) onChip(a mem.Addr) (mem.Line, bool) {
+	for i := len(b.pendingEvicts) - 1; i >= 0; i-- {
+		if b.pendingEvicts[i].Addr == a {
+			return b.pendingEvicts[i].Line, true
+		}
+	}
+	if b.StashLookup != nil {
+		return b.StashLookup(a)
+	}
+	return mem.Line{}, false
+}
+
+// metaNodeAddr returns the NVM address of tree position (level, idx),
+// where level 0 is the counter level.
+func (b *Base) metaNodeAddr(level int, idx uint64) mem.Addr {
+	if level == 0 {
+		return b.Lay.CounterLineAddr(idx)
+	}
+	return b.Lay.NodeAddr(level, idx)
+}
+
+// slotInParent returns the slot the node at (level, idx) occupies in its
+// parent (the TCB root node for top-level nodes).
+func (b *Base) slotInParent(level int, idx uint64) int {
+	if level == b.Lay.TopLevel() {
+		return int(idx)
+	}
+	_, _, s := b.Lay.ParentOf(level, idx)
+	return s
+}
+
+// FetchChain brings the metadata node at (level, idx) into the meta
+// cache: it reads the node and every uncached ancestor from NVM in
+// parallel, verifies the chain top-down against the first trusted
+// on-chip ancestor (a cached node, or the ROOTold register), fills the
+// nodes clean, and returns the node's content and availability cycle.
+// A verification failure counts as a runtime integrity violation.
+//
+// The caller must already have missed in the meta cache for (level,
+// idx); the meta-cache access cost is charged here.
+func (b *Base) FetchChain(now int64, level int, idx uint64) (mem.Line, int64) {
+	// Victim forwarding: content still on chip shadows NVM and needs no
+	// verification.
+	reqAddr := b.metaNodeAddr(level, idx)
+	if ln, ok := b.onChip(reqAddr); ok {
+		b.Meta.Fill(reqAddr, ln)
+		return ln, now + b.P.MetaCycles
+	}
+	type link struct {
+		level int
+		idx   uint64
+		addr  mem.Addr
+		line  mem.Line
+	}
+	chain := []link{{level, idx, reqAddr, mem.Line{}}}
+	var anchor *mem.Line
+	l, i := level, idx
+	for l < b.Lay.TopLevel() {
+		pl, pi, _ := b.Lay.ParentOf(l, i)
+		pa := b.Lay.NodeAddr(pl, pi)
+		if b.Meta.Contains(pa) {
+			break
+		}
+		if ln, ok := b.onChip(pa); ok {
+			// An in-flight victim is as trusted as a cached line and
+			// terminates the walk.
+			anchor = &ln
+			break
+		}
+		chain = append(chain, link{pl, pi, pa, mem.Line{}})
+		l, i = pl, pi
+	}
+	// Parallel NVM reads after the meta-cache miss is known.
+	issue := now + b.P.MetaCycles
+	maxT := issue
+	for k := range chain {
+		ln, ok, t := b.Ctrl.ReadBypass(issue, chain[k].addr)
+		if !ok {
+			ln = b.Tree.DefaultNode(chain[k].level)
+		}
+		chain[k].line = ln
+		if t > maxT {
+			maxT = t
+		}
+	}
+	done := b.HMACOp(maxT, len(chain))
+	if b.VerifyFetchedMeta {
+		// Trusted anchor: the forwarded victim, the cached parent of the
+		// chain's top, or ROOTold.
+		top := chain[len(chain)-1]
+		var parent mem.Line
+		switch {
+		case anchor != nil:
+			parent = *anchor
+		case top.level == b.Lay.TopLevel():
+			parent = b.TCB.RootOld
+		default:
+			pl, pi, _ := b.Lay.ParentOf(top.level, top.idx)
+			pc, ok := b.Meta.Peek(b.Lay.NodeAddr(pl, pi))
+			if !ok {
+				panic("engine: chain anchor vanished from meta cache")
+			}
+			parent = pc
+		}
+		for k := len(chain) - 1; k >= 0; k-- {
+			if !b.Tree.VerifyChild(parent, b.slotInParent(chain[k].level, chain[k].idx), chain[k].line) {
+				b.stats.IntegrityViolations++
+				if b.OnViolation != nil {
+					b.OnViolation("chain", chain[k].addr, chain[k].level)
+				}
+			}
+			parent = chain[k].line
+		}
+	}
+	// Install top-down so the requested node ends most recently used.
+	for k := len(chain) - 1; k >= 0; k-- {
+		b.Meta.Fill(chain[k].addr, chain[k].line)
+	}
+	return chain[0].line, done
+}
+
+// CounterLine returns the decoded counter line at ca and the cycle it
+// becomes available, going through the meta cache and fetching (with
+// verification) on a miss.
+func (b *Base) CounterLine(now int64, ca mem.Addr) (seccrypto.CounterLine, int64) {
+	if l, ok := b.Meta.Read(ca); ok {
+		return seccrypto.DecodeCounterLine(l), now + b.P.MetaCycles
+	}
+	l, t := b.FetchChain(now, 0, b.Lay.CounterLineIndex(ca))
+	return seccrypto.DecodeCounterLine(l), t
+}
+
+// ReadBlock is the shared read path: fetch ciphertext and data HMAC from
+// NVM, obtain the counter, overlap pad generation with the data read,
+// decrypt and authenticate. Designs reuse it directly; Osiris wraps it
+// with online counter recovery.
+func (b *Base) ReadBlock(now int64, addr mem.Addr) (mem.Line, int64) {
+	pt, done, _ := b.readBlockChecked(now, addr)
+	return pt, done
+}
+
+// readBlockChecked is ReadBlock plus an authentication verdict, letting
+// Osiris distinguish "stale counter" from "attack".
+func (b *Base) readBlockChecked(now int64, addr mem.Addr) (mem.Line, int64, bool) {
+	addr = mem.Align(addr)
+	b.stats.Reads++
+	ct, _, tData := b.Ctrl.Read(now, addr)
+	hline, hslot, tH := b.ReadHMACLine(now, addr)
+	ca := b.Lay.CounterLineOf(addr)
+	cl, tCtr := b.counterFn(now, ca)
+	slot := b.Lay.CounterSlotOf(addr)
+	ctr := cl.Counter(slot)
+
+	stored := seccrypto.GetHMAC(hline, hslot)
+	okAuth := b.Cry.DataHMAC(addr, ctr, ct) == stored
+
+	tOTP := b.AESOp(tCtr)
+	tVer := b.HMACOp(max64(max64(tData, tCtr), tH), 1)
+	done := max64(max64(tData, tOTP), tVer)
+	pt := b.Cry.Decrypt(addr, ctr, ct)
+	if !okAuth {
+		b.stats.IntegrityViolations++
+		if b.OnViolation != nil {
+			b.OnViolation("data-hmac", addr, -1)
+		}
+	}
+	return pt, done, okAuth
+}
+
+// WriteDataBlock encrypts pt under ctr, computes its data HMAC and
+// issues the two NVM writes (data line and read-modify-written HMAC
+// line). ctrAvail is when the counter became available; the returned
+// cycle is when both writes were accepted by the WPQ.
+func (b *Base) WriteDataBlock(now, ctrAvail int64, addr mem.Addr, pt mem.Line, ctr uint64) int64 {
+	addr = mem.Align(addr)
+	ct := b.Cry.Encrypt(addr, ctr, pt)
+	tEnc := b.AESOp(ctrAvail)
+	hline, hslot, tH := b.readHMACLineBypass(now, addr)
+	seccrypto.PutHMAC(&hline, hslot, b.Cry.DataHMAC(addr, ctr, ct))
+	tMac := b.HMACOp(max64(tEnc, tH), 1)
+	ha, _ := b.Lay.HMACLineOf(addr)
+	t1 := b.Ctrl.Write(tMac, addr, ct)
+	t2 := b.Ctrl.Write(tMac, ha, hline)
+	return max64(t1, t2)
+}
+
+// BumpResult reports a counter bump.
+type BumpResult struct {
+	Line      seccrypto.CounterLine // post-bump content
+	Slot      int
+	Counter   uint64 // post-bump effective counter for the slot
+	Avail     int64  // cycle the bumped counter is available
+	Overflow  bool   // minor overflow occurred (page re-encrypted)
+	UpdateCnt uint64 // updates since the line became dirty
+}
+
+// BumpCounter advances the counter of data block addr in the meta
+// cache, handling minor-counter overflow by re-encrypting the page.
+// The caller persists the line according to its own policy.
+func (b *Base) BumpCounter(now int64, addr mem.Addr) BumpResult {
+	ca := b.Lay.CounterLineOf(addr)
+	cl, avail := b.counterFn(now, ca)
+	slot := b.Lay.CounterSlotOf(addr)
+	old := cl
+	overflow := cl.Bump(slot)
+	if overflow {
+		b.stats.CounterOverflows++
+		avail = b.ReencryptPage(avail, addr, old, cl)
+	}
+	cnt := b.Meta.Update(ca, cl.Encode())
+	return BumpResult{Line: cl, Slot: slot, Counter: cl.Counter(slot), Avail: avail, Overflow: overflow, UpdateCnt: cnt}
+}
+
+// ReencryptPage rewrites every block of the 4 KB page containing addr
+// under the new (post-overflow) counters: old ciphertexts are decrypted
+// with the old counters and re-encrypted with the new ones, and all data
+// HMACs are refreshed. Writes are durable immediately. It returns the
+// cycle the re-encryption finished issuing.
+func (b *Base) ReencryptPage(now int64, addr mem.Addr, old, new seccrypto.CounterLine) int64 {
+	pageBase := mem.Addr(uint64(addr) / mem.PageSize * mem.PageSize)
+	// Gather and rewrite the page's HMAC lines once each.
+	hmacLines := map[mem.Addr]mem.Line{}
+	t := now
+	for s := 0; s < mem.BlocksPerPage; s++ {
+		da := pageBase + mem.Addr(s*mem.LineSize)
+		ct, _, tr := b.Ctrl.ReadBypass(t, da)
+		pt := b.Cry.Decrypt(da, old.Counter(s), ct)
+		nct := b.Cry.Encrypt(da, new.Counter(s), pt)
+		ha, hslot := b.Lay.HMACLineOf(da)
+		hl, ok := hmacLines[ha]
+		if !ok {
+			raw, present, _ := b.Ctrl.ReadBypass(t, ha)
+			if !present {
+				raw = b.DefaultHMACLine(ha)
+			}
+			hl = raw
+		}
+		seccrypto.PutHMAC(&hl, hslot, b.Cry.DataHMAC(da, new.Counter(s), nct))
+		hmacLines[ha] = hl
+		tw := b.Ctrl.Write(tr, da, nct)
+		if tw > t {
+			t = tw
+		}
+	}
+	// Two pad generations (decrypt + encrypt) per block on the AES unit
+	// and one HMAC per block; the pads pipeline but the page rewrite is
+	// one serial pass, so charge the AES latency once plus the HMACs.
+	b.stats.AESOps += uint64(2 * mem.BlocksPerPage)
+	t += b.P.AESCycles
+	t = b.HMACOp(t, mem.BlocksPerPage)
+	for ha, hl := range hmacLines {
+		tw := b.Ctrl.Write(t, ha, hl)
+		if tw > t {
+			t = tw
+		}
+	}
+	return t
+}
+
+// UpdatePathInCache recomputes the Merkle path of the counter line at
+// leafIdx from the bottom up inside the meta cache, fetching any
+// uncached ancestors, and finally updates the TCB ROOTnew register.
+// This is the cascading per-write-back update that SC, Osiris Plus and
+// cc-NVM w/o DS pay on every eviction; cc-NVM with deferred spreading
+// skips it entirely and recomputes paths once per drain instead.
+// It returns the completion cycle and the number of levels recomputed
+// (internal nodes plus the root).
+func (b *Base) UpdatePathInCache(now int64, leafIdx uint64) (int64, int) {
+	child, ok := b.Meta.Peek(b.Lay.CounterLineAddr(leafIdx))
+	if !ok {
+		panic("engine: path update requires the counter line to be resident")
+	}
+	level, idx := 0, leafIdx
+	t := now
+	levels := 0
+	for level < b.Lay.TopLevel() {
+		pl, pi, slot := b.Lay.ParentOf(level, idx)
+		pa := b.Lay.NodeAddr(pl, pi)
+		node, resident := b.Meta.Peek(pa)
+		if !resident {
+			node, t = b.FetchChain(t, pl, pi)
+		}
+		b.Tree.SetParentSlot(&node, slot, child)
+		t = b.HMACOp(t, 1)
+		b.Meta.Update(pa, node)
+		levels++
+		child = node
+		level, idx = pl, pi
+	}
+	// Update ROOTnew with the new top-level node.
+	b.Tree.SetParentSlot(&b.TCB.RootNew, int(idx), child)
+	t = b.HMACOp(t, 1)
+	levels++
+	return t, levels
+}
+
+// ApplyCrashVolatility models the on-chip losses common to all designs:
+// the metadata cache and in-flight writeback buffer vanish, and the
+// memory controller applies ADR semantics.
+func (b *Base) ApplyCrashVolatility() {
+	b.Meta.Lose()
+	b.pendingEvicts = nil
+	b.Ctrl.Crash()
+	for i := range b.wbSlots {
+		b.wbSlots[i] = 0
+	}
+	b.hmacFree, b.aesFree = 0, 0
+}
+
+// NVMSnapshot captures the current NVM contents non-destructively: the
+// adversary's view of the DIMM at this instant. Unlike Crash it leaves
+// the engine fully operational.
+func (b *Base) NVMSnapshot() *nvm.Image { return b.Ctrl.Device().Snapshot() }
+
+// MakeCrashImage captures the persistent state.
+func (b *Base) MakeCrashImage(design string) *CrashImage {
+	return &CrashImage{
+		Image:       b.Ctrl.Device().Snapshot(),
+		TCB:         b.TCB.CloneExt(),
+		Keys:        b.Keys,
+		UpdateLimit: b.P.UpdateLimit,
+		Design:      design,
+	}
+}
+
+func max64(a, c int64) int64 {
+	if a > c {
+		return a
+	}
+	return c
+}

@@ -1,0 +1,347 @@
+package engine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccnvm/internal/bmt"
+	"ccnvm/internal/core"
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/memctrl"
+	"ccnvm/internal/metacache"
+	"ccnvm/internal/nvm"
+	"ccnvm/internal/seccrypto"
+)
+
+const capacity = 1 << 30
+
+// rig builds one engine by name over a fresh device.
+func rig(t testing.TB, design string, p engine.Params) engine.Engine {
+	t.Helper()
+	return rigMeta(t, design, p, metacache.Config{})
+}
+
+func rigMeta(t testing.TB, design string, p engine.Params, mc metacache.Config) engine.Engine {
+	t.Helper()
+	lay := mem.MustLayout(capacity)
+	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
+	ctrl := memctrl.New(memctrl.Config{}, dev)
+	keys := seccrypto.DefaultKeys()
+	switch design {
+	case "wocc":
+		return engine.NewWoCC(lay, keys, ctrl, mc, p)
+	case "sc":
+		return engine.NewSC(lay, keys, ctrl, mc, p)
+	case "osiris":
+		return engine.NewOsiris(lay, keys, ctrl, mc, p)
+	case "ccnvm":
+		return core.NewCCNVM(lay, keys, ctrl, mc, p)
+	case "ccnvm-wods":
+		return core.NewCCNVMWoDS(lay, keys, ctrl, mc, p)
+	}
+	t.Fatalf("unknown design %q", design)
+	return nil
+}
+
+var allDesigns = []string{"wocc", "sc", "osiris", "ccnvm-wods", "ccnvm"}
+
+func pattern(addr mem.Addr, v byte) mem.Line {
+	var l mem.Line
+	for i := range l {
+		l[i] = byte(uint64(addr)>>(8*(i%8))) ^ v ^ byte(i)
+	}
+	return l
+}
+
+func TestWriteReadRoundTripAllDesigns(t *testing.T) {
+	for _, d := range allDesigns {
+		t.Run(d, func(t *testing.T) {
+			e := rig(t, d, engine.Params{})
+			now := int64(0)
+			addrs := []mem.Addr{0, 64, 4096, 8192 + 128, 1 << 20}
+			for i, a := range addrs {
+				now = e.WriteBack(now, a, pattern(a, byte(i))) + 100
+			}
+			for i, a := range addrs {
+				pt, done := e.ReadBlock(now, a)
+				if pt != pattern(a, byte(i)) {
+					t.Fatalf("%s: read of %#x returned wrong plaintext", d, uint64(a))
+				}
+				if done < now {
+					t.Fatalf("%s: completion %d before issue %d", d, done, now)
+				}
+				now = done + 10
+			}
+			if v := e.Stats().IntegrityViolations; v != 0 {
+				t.Fatalf("%s: %d integrity violations on a clean run", d, v)
+			}
+		})
+	}
+}
+
+func TestNeverWrittenBlockVerifies(t *testing.T) {
+	for _, d := range allDesigns {
+		t.Run(d, func(t *testing.T) {
+			e := rig(t, d, engine.Params{})
+			pt, _ := e.ReadBlock(0, 12345*64)
+			if pt != (mem.Line{}) {
+				t.Fatalf("%s: never-written block not zero", d)
+			}
+			if v := e.Stats().IntegrityViolations; v != 0 {
+				t.Fatalf("%s: violation reading never-written block", d)
+			}
+		})
+	}
+}
+
+func TestRepeatedOverwrites(t *testing.T) {
+	for _, d := range allDesigns {
+		t.Run(d, func(t *testing.T) {
+			e := rig(t, d, engine.Params{})
+			a := mem.Addr(4096)
+			now := int64(0)
+			for i := 0; i < 40; i++ {
+				now = e.WriteBack(now, a, pattern(a, byte(i))) + 50
+			}
+			pt, _ := e.ReadBlock(now, a)
+			if pt != pattern(a, 39) {
+				t.Fatalf("%s: overwrites lost", d)
+			}
+			if v := e.Stats().IntegrityViolations; v != 0 {
+				t.Fatalf("%s: violations after overwrites", d)
+			}
+		})
+	}
+}
+
+func TestCounterOverflowReencryption(t *testing.T) {
+	// 7-bit minors overflow after 127 bumps; the page is re-encrypted
+	// and everything still round-trips.
+	for _, d := range allDesigns {
+		t.Run(d, func(t *testing.T) {
+			e := rig(t, d, engine.Params{})
+			a := mem.Addr(0)
+			b := mem.Addr(2 * 64) // same page, different block
+			now := e.WriteBack(0, b, pattern(b, 1)) + 10
+			for i := 0; i < 130; i++ {
+				now = e.WriteBack(now, a, pattern(a, byte(i))) + 10
+			}
+			if e.Stats().CounterOverflows == 0 {
+				t.Fatalf("%s: no overflow after 130 bumps", d)
+			}
+			pt, _ := e.ReadBlock(now, a)
+			if pt != pattern(a, 129) {
+				t.Fatalf("%s: hot block wrong after overflow", d)
+			}
+			pt2, _ := e.ReadBlock(now, b)
+			if pt2 != pattern(b, 1) {
+				t.Fatalf("%s: cold block of re-encrypted page wrong", d)
+			}
+			if v := e.Stats().IntegrityViolations; v != 0 {
+				t.Fatalf("%s: violations after overflow: %d", d, v)
+			}
+		})
+	}
+}
+
+// nvmTreeConsistent checks the epoch invariant: the NVM image's tree
+// verifies against ROOTold.
+func nvmTreeConsistent(t *testing.T, img *engine.CrashImage) []bmt.Mismatch {
+	t.Helper()
+	cry := seccrypto.MustEngine(img.Keys)
+	tr := bmt.New(img.Image.Layout, cry)
+	return tr.VerifyAll(img.Image.Store, img.TCB.RootOld, img.Image.Store.Addrs())
+}
+
+func TestEpochInvariantAtArbitraryCrashPoints(t *testing.T) {
+	// For cc-NVM (both variants), SC and a settled WoCC, the NVM Merkle
+	// tree must verify against ROOTold at any crash point.
+	for _, d := range []string{"sc", "ccnvm", "ccnvm-wods"} {
+		t.Run(d, func(t *testing.T) {
+			// Crash is destructive, so each crash point gets a fresh
+			// engine replaying the same deterministic prefix.
+			for _, crashAt := range []int{17, 60, 141, 300} {
+				rng := rand.New(rand.NewSource(7))
+				e := rig(t, d, engine.Params{UpdateLimit: 4, QueueEntries: 32})
+				now := int64(0)
+				for i := 0; i < crashAt; i++ {
+					a := mem.Addr(rng.Intn(64) * 4096)
+					now = e.WriteBack(now, a, pattern(a, byte(i))) + 20
+				}
+				img := e.Crash()
+				if bad := nvmTreeConsistent(t, img); len(bad) != 0 {
+					t.Fatalf("%s: inconsistent NVM tree at crash point %d: %v", d, crashAt, bad[0])
+				}
+			}
+		})
+	}
+}
+
+func TestWoCCSettleMakesTreeConsistent(t *testing.T) {
+	e := rig(t, "wocc", engine.Params{})
+	rng := rand.New(rand.NewSource(3))
+	now := int64(0)
+	for i := 0; i < 200; i++ {
+		a := mem.Addr(rng.Intn(128) * 4096)
+		now = e.WriteBack(now, a, pattern(a, byte(i))) + 20
+	}
+	e.Settle(now)
+	img := e.Crash()
+	if bad := nvmTreeConsistent(t, img); len(bad) != 0 {
+		t.Fatalf("wocc settle left inconsistent tree: %v", bad[0])
+	}
+}
+
+func TestOsirisOnlineRecoveryUnderEvictionPressure(t *testing.T) {
+	// A tiny metadata cache forces dirty counter lines to be dropped;
+	// later reads must pay retries but still verify.
+	e := rigMeta(t, "osiris", engine.Params{UpdateLimit: 16}, metacache.Config{SizeBytes: 2048, Ways: 2})
+	rng := rand.New(rand.NewSource(9))
+	now := int64(0)
+	written := map[mem.Addr]byte{}
+	for i := 0; i < 400; i++ {
+		a := mem.Addr(rng.Intn(256) * 4096)
+		written[a] = byte(i)
+		now = e.WriteBack(now, a, pattern(a, byte(i))) + 20
+	}
+	for a, v := range written {
+		pt, done := e.ReadBlock(now, a)
+		if pt != pattern(a, v) {
+			t.Fatalf("osiris: wrong data at %#x", uint64(a))
+		}
+		now = done + 10
+	}
+	st := e.Stats()
+	if st.IntegrityViolations != 0 {
+		t.Fatalf("osiris: %d violations", st.IntegrityViolations)
+	}
+	if st.StaleCounterRetries == 0 {
+		t.Fatal("osiris: expected online-recovery retries under eviction pressure")
+	}
+}
+
+func TestCCNVMUpdateLimitTrigger(t *testing.T) {
+	e := rig(t, "ccnvm", engine.Params{UpdateLimit: 4})
+	a := mem.Addr(0)
+	now := int64(0)
+	for i := 0; i < 12; i++ {
+		now = e.WriteBack(now, a, pattern(a, byte(i))) + 10
+	}
+	st := e.Stats()
+	if st.DrainUpdateLimit < 2 {
+		t.Fatalf("update-limit drains = %d, want >= 2 after 12 same-line write-backs with N=4", st.DrainUpdateLimit)
+	}
+}
+
+func TestCCNVMQueueFullTrigger(t *testing.T) {
+	// Distinct pages spread across the tree exhaust a small queue.
+	e := rig(t, "ccnvm", engine.Params{QueueEntries: 24, UpdateLimit: 1 << 20})
+	now := int64(0)
+	for i := 0; i < 64; i++ {
+		// Far-apart pages share few ancestors, filling the queue fast.
+		a := mem.Addr(uint64(i) * 997 * 4096 % (capacity))
+		now = e.WriteBack(now, a, pattern(a, byte(i))) + 10
+	}
+	if e.Stats().DrainQueueFull == 0 {
+		t.Fatal("no queue-full drains with a 24-entry queue and 64 scattered pages")
+	}
+}
+
+func TestCCNVMNwbAccounting(t *testing.T) {
+	c := core.NewCCNVM(mem.MustLayout(capacity), seccrypto.DefaultKeys(),
+		memctrl.New(memctrl.Config{}, nvm.NewDevice(mem.MustLayout(capacity), nvm.PCMTiming(3))),
+		metacache.Config{}, engine.Params{UpdateLimit: 8})
+	now := int64(0)
+	for i := 0; i < 5; i++ {
+		a := mem.Addr(i * 4096)
+		now = c.WriteBack(now, a, pattern(a, byte(i))) + 10
+	}
+	// Nwb counts write-backs since the last committed drain.
+	img := c.Crash()
+	if img.TCB.Nwb != 5 {
+		t.Fatalf("Nwb = %d, want 5", img.TCB.Nwb)
+	}
+}
+
+func TestCCNVMDrainResetsNwbAndRoots(t *testing.T) {
+	lay := mem.MustLayout(capacity)
+	c := core.NewCCNVM(lay, seccrypto.DefaultKeys(),
+		memctrl.New(memctrl.Config{}, nvm.NewDevice(lay, nvm.PCMTiming(3))),
+		metacache.Config{}, engine.Params{UpdateLimit: 4})
+	now := int64(0)
+	a := mem.Addr(0)
+	for i := 0; i < 4; i++ { // exactly N: the 4th write-back drains
+		now = c.WriteBack(now, a, pattern(a, byte(i))) + 10
+	}
+	img := c.Crash()
+	if img.TCB.Nwb != 0 {
+		t.Fatalf("Nwb = %d after drain, want 0", img.TCB.Nwb)
+	}
+	if img.TCB.RootNew != img.TCB.RootOld {
+		t.Fatal("roots differ right after a committed drain")
+	}
+	if c.Stats().Drains == 0 {
+		t.Fatal("no drain recorded")
+	}
+}
+
+func TestCCNVMAvgEpochLength(t *testing.T) {
+	lay := mem.MustLayout(capacity)
+	c := core.NewCCNVM(lay, seccrypto.DefaultKeys(),
+		memctrl.New(memctrl.Config{}, nvm.NewDevice(lay, nvm.PCMTiming(3))),
+		metacache.Config{}, engine.Params{UpdateLimit: 4})
+	now := int64(0)
+	for i := 0; i < 16; i++ {
+		now = c.WriteBack(now, 0, pattern(0, byte(i))) + 10
+	}
+	if got := c.AvgEpochLength(); got != 4 {
+		t.Fatalf("average epoch length = %v, want 4 (N=4, single hot line)", got)
+	}
+}
+
+func TestWriteTrafficOrdering(t *testing.T) {
+	// The headline write-traffic relation: SC >> ccnvm >= osiris > wocc,
+	// measured on a shared workload.
+	traffic := map[string]uint64{}
+	rng := rand.New(rand.NewSource(11))
+	type op struct {
+		a mem.Addr
+		v byte
+	}
+	var ops []op
+	for i := 0; i < 600; i++ {
+		ops = append(ops, op{mem.Addr(rng.Intn(32) * 4096), byte(i)})
+	}
+	for _, d := range allDesigns {
+		e := rig(t, d, engine.Params{})
+		now := int64(0)
+		for _, o := range ops {
+			now = e.WriteBack(now, o.a, pattern(o.a, o.v)) + 30
+		}
+		var dev *nvm.Device
+		switch x := e.(type) {
+		case *engine.WoCC:
+			dev = x.Ctrl.Device()
+		case *engine.SC:
+			dev = x.Ctrl.Device()
+		case *engine.Osiris:
+			dev = x.Ctrl.Device()
+		case *core.CCNVM:
+			dev = x.Ctrl.Device()
+		}
+		traffic[d] = dev.Writes().Total()
+	}
+	if !(traffic["sc"] > 2*traffic["ccnvm"]) {
+		t.Errorf("SC traffic %d not dominating ccnvm %d", traffic["sc"], traffic["ccnvm"])
+	}
+	if !(traffic["ccnvm"] > traffic["wocc"]) {
+		t.Errorf("ccnvm traffic %d not above wocc %d", traffic["ccnvm"], traffic["wocc"])
+	}
+	if !(traffic["ccnvm"] >= traffic["osiris"]) {
+		t.Errorf("ccnvm traffic %d below osiris %d", traffic["ccnvm"], traffic["osiris"])
+	}
+	if !(traffic["sc"] > traffic["osiris"]) {
+		t.Errorf("sc traffic %d not above osiris %d", traffic["sc"], traffic["osiris"])
+	}
+}

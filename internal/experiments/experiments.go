@@ -1,0 +1,454 @@
+// Package experiments drives the paper's evaluation: it runs the
+// design × workload × parameter sweeps behind Figure 5 (system IPC and
+// NVM write traffic across SPEC stand-ins), Figure 6 (sensitivity to
+// the update-times limit N and the dirty-address-queue size M) and the
+// §2.3/§5 headline numbers, normalizing everything to the w/o-CC
+// baseline exactly as the paper does. The bench harness, the CLI and
+// the examples all call into this package, so every figure has a single
+// source of truth.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"ccnvm/internal/engine"
+	"ccnvm/internal/report"
+	"ccnvm/internal/sim"
+	"ccnvm/internal/trace"
+)
+
+// Options control an evaluation run.
+type Options struct {
+	Ops      int    // memory operations per trace (default 300000)
+	Warmup   int    // warm-up operations excluded from statistics (default 0)
+	Seed     int64  // workload seed (default 1)
+	Capacity uint64 // NVM capacity (default 16 GiB: the paper's geometry)
+
+	Benchmarks []string // default: the paper's eight SPEC stand-ins
+	Designs    []string // default: the paper's five designs
+
+	// UpdateLimit (N) and QueueEntries (M) default to the paper's 16/64.
+	UpdateLimit  uint64
+	QueueEntries int
+
+	// Parallelism bounds concurrent simulations; machines are
+	// independent, so cells of the design x benchmark matrix run on
+	// separate goroutines. Default: 1 (deterministic output ordering is
+	// preserved either way; results are identical by construction).
+	Parallelism int
+}
+
+func (o *Options) fill() {
+	if o.Ops == 0 {
+		o.Ops = 300000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Capacity == 0 {
+		o.Capacity = 16 << 30
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = trace.Benchmarks()
+	}
+	if len(o.Designs) == 0 {
+		o.Designs = sim.Designs()
+	}
+	if o.UpdateLimit == 0 {
+		o.UpdateLimit = 16
+	}
+	if o.QueueEntries == 0 {
+		o.QueueEntries = 64
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = 1
+	}
+}
+
+// Cell is one design's metrics on one workload, normalized to the
+// w/o-CC baseline of the same workload.
+type Cell struct {
+	IPC       float64 // absolute
+	NormIPC   float64 // vs w/o CC
+	Writes    uint64  // absolute NVM line writes
+	NormWrite float64 // vs w/o CC
+	Raw       sim.Result
+}
+
+// Fig5 holds the data behind Figure 5(a) and 5(b).
+type Fig5 struct {
+	Benchmarks []string
+	Designs    []string
+	Cells      map[string]map[string]Cell // design -> benchmark -> cell
+
+	// Averages over benchmarks of the normalized metrics (geometric
+	// mean, the convention for normalized ratios).
+	AvgNormIPC   map[string]float64
+	AvgNormWrite map[string]float64
+}
+
+// RunFig5 runs the full design × benchmark matrix.
+func RunFig5(o Options) (*Fig5, error) {
+	o.fill()
+	f := &Fig5{
+		Benchmarks:   o.Benchmarks,
+		Designs:      o.Designs,
+		Cells:        map[string]map[string]Cell{},
+		AvgNormIPC:   map[string]float64{},
+		AvgNormWrite: map[string]float64{},
+	}
+	designs := o.Designs
+	hasBase := false
+	for _, d := range designs {
+		if d == "wocc" {
+			hasBase = true
+		}
+	}
+	if !hasBase {
+		designs = append([]string{"wocc"}, designs...)
+	}
+	matrix, err := runMatrix(o, designs, o.Benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	base := matrix["wocc"]
+	for _, d := range o.Designs {
+		f.Cells[d] = map[string]Cell{}
+		var ipcs, writes []float64
+		for _, b := range o.Benchmarks {
+			r := matrix[d][b]
+			c := Cell{
+				IPC:    r.IPC,
+				Writes: r.NVMWrites.Total(),
+				Raw:    r,
+			}
+			if base[b].IPC > 0 {
+				c.NormIPC = r.IPC / base[b].IPC
+			}
+			if bw := base[b].NVMWrites.Total(); bw > 0 {
+				c.NormWrite = float64(r.NVMWrites.Total()) / float64(bw)
+			}
+			f.Cells[d][b] = c
+			ipcs = append(ipcs, c.NormIPC)
+			writes = append(writes, c.NormWrite)
+		}
+		f.AvgNormIPC[d] = report.GeoMean(ipcs)
+		f.AvgNormWrite[d] = report.GeoMean(writes)
+	}
+	return f, nil
+}
+
+func runOne(design, bench string, o Options) (sim.Result, error) {
+	cfg := sim.Config{
+		Capacity: o.Capacity,
+		Params: engine.Params{
+			UpdateLimit:  o.UpdateLimit,
+			QueueEntries: o.QueueEntries,
+		},
+	}
+	return sim.RunBenchmarkWarm(design, bench, o.Ops, o.Warmup, o.Seed, cfg)
+}
+
+// runMatrix evaluates f-style (design, benchmark) cells with bounded
+// parallelism; every machine is independent, so concurrency changes
+// nothing but wall-clock time.
+func runMatrix(o Options, designs, benches []string) (map[string]map[string]sim.Result, error) {
+	type job struct{ d, b string }
+	type outcome struct {
+		j   job
+		r   sim.Result
+		err error
+	}
+	jobs := make([]job, 0, len(designs)*len(benches))
+	for _, d := range designs {
+		for _, b := range benches {
+			jobs = append(jobs, job{d, b})
+		}
+	}
+	results := make(map[string]map[string]sim.Result, len(designs))
+	for _, d := range designs {
+		results[d] = make(map[string]sim.Result, len(benches))
+	}
+	in := make(chan job)
+	out := make(chan outcome)
+	workers := o.Parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range in {
+				r, err := runOne(j.d, j.b, o)
+				out <- outcome{j, r, err}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			in <- j
+		}
+		close(in)
+		wg.Wait()
+		close(out)
+	}()
+	var firstErr error
+	for oc := range out {
+		if oc.err != nil && firstErr == nil {
+			firstErr = oc.err
+		}
+		results[oc.j.d][oc.j.b] = oc.r
+	}
+	return results, firstErr
+}
+
+// IPCTable renders Figure 5(a): IPC normalized to w/o CC.
+func (f *Fig5) IPCTable() string {
+	t := report.NewTable("Fig 5(a) IPC (norm. to w/o CC)", labels(f.Designs)...)
+	for _, b := range f.Benchmarks {
+		var vals []float64
+		for _, d := range f.Designs {
+			vals = append(vals, f.Cells[d][b].NormIPC)
+		}
+		t.AddFloats(b, vals...)
+	}
+	var avg []float64
+	for _, d := range f.Designs {
+		avg = append(avg, f.AvgNormIPC[d])
+	}
+	t.AddFloats("average", avg...)
+	return t.String()
+}
+
+// WriteTable renders Figure 5(b): NVM write traffic normalized to
+// w/o CC.
+func (f *Fig5) WriteTable() string {
+	t := report.NewTable("Fig 5(b) # of writes (norm. to w/o CC)", labels(f.Designs)...)
+	for _, b := range f.Benchmarks {
+		var vals []float64
+		for _, d := range f.Designs {
+			vals = append(vals, f.Cells[d][b].NormWrite)
+		}
+		t.AddFloats(b, vals...)
+	}
+	var avg []float64
+	for _, d := range f.Designs {
+		avg = append(avg, f.AvgNormWrite[d])
+	}
+	t.AddFloats("average", avg...)
+	return t.String()
+}
+
+// Headline computes the paper's summary claims from a Fig5 run.
+type Headline struct {
+	SCIPCDrop       float64 // §2.3: SC vs w/o CC performance loss (paper: 41.4%)
+	SCWriteFactor   float64 // §2.3: SC write amplification (paper: 5.5x)
+	CCNVMvsOsirisUp float64 // §5: cc-NVM IPC gain over Osiris Plus (paper: 20.4%)
+	CCNVMExtraWr    float64 // §5: cc-NVM write traffic over Osiris Plus (paper: 29.6%)
+	CCNVMIPCDrop    float64 // §5.1: cc-NVM IPC loss vs w/o CC (paper: 18.7%)
+	CCNVMWriteOver  float64 // §5.2: cc-NVM write traffic over w/o CC (paper: 39%)
+}
+
+// Headline derives the summary deltas.
+func (f *Fig5) Headline() Headline {
+	h := Headline{}
+	if v, ok := f.AvgNormIPC["sc"]; ok {
+		h.SCIPCDrop = 1 - v
+	}
+	if v, ok := f.AvgNormWrite["sc"]; ok {
+		h.SCWriteFactor = v
+	}
+	cc, os := f.AvgNormIPC["ccnvm"], f.AvgNormIPC["osiris"]
+	if os > 0 {
+		h.CCNVMvsOsirisUp = cc/os - 1
+	}
+	ccw, osw := f.AvgNormWrite["ccnvm"], f.AvgNormWrite["osiris"]
+	if osw > 0 {
+		h.CCNVMExtraWr = ccw/osw - 1
+	}
+	h.CCNVMIPCDrop = 1 - cc
+	h.CCNVMWriteOver = ccw - 1
+	return h
+}
+
+// String renders the headline comparison against the paper's numbers.
+func (h Headline) String() string {
+	t := report.NewTable("Headline claims", "measured", "paper")
+	t.AddRow("SC IPC loss vs w/o CC", pct(h.SCIPCDrop), "41.4%")
+	t.AddRow("SC write amplification", fmt.Sprintf("%.2fx", h.SCWriteFactor), "5.50x")
+	t.AddRow("cc-NVM IPC gain vs Osiris Plus", pct(h.CCNVMvsOsirisUp), "20.4%")
+	t.AddRow("cc-NVM extra writes vs Osiris Plus", pct(h.CCNVMExtraWr), "29.6%")
+	t.AddRow("cc-NVM IPC loss vs w/o CC", pct(h.CCNVMIPCDrop), "18.7%")
+	t.AddRow("cc-NVM write overhead vs w/o CC", pct(h.CCNVMWriteOver), "39.0%")
+	return t.String()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+func labels(designs []string) []string {
+	out := make([]string, len(designs))
+	for i, d := range designs {
+		out[i] = sim.DesignLabel(d)
+	}
+	return out
+}
+
+// Lifetime summarizes the endurance impact the paper's §5.2 ties to
+// write traffic: per design, total NVM line writes, the hottest line's
+// write count, and the implied relative lifetime (inverse of max wear,
+// normalized to w/o CC). PCM endurance is bounded by the hottest cell,
+// so the hottest-line ratio is the first-order lifetime ratio.
+type Lifetime struct {
+	Designs   []string
+	Writes    map[string]uint64
+	MaxWear   map[string]uint64
+	RelativeL map[string]float64 // lifetime vs w/o CC (higher is better)
+}
+
+// RunLifetime measures endurance impact on one workload across designs.
+func RunLifetime(o Options, benchmark string) (*Lifetime, error) {
+	o.fill()
+	l := &Lifetime{
+		Designs:   o.Designs,
+		Writes:    map[string]uint64{},
+		MaxWear:   map[string]uint64{},
+		RelativeL: map[string]float64{},
+	}
+	var baseWear uint64
+	for _, d := range o.Designs {
+		r, err := runOne(d, benchmark, o)
+		if err != nil {
+			return nil, err
+		}
+		l.Writes[d] = r.NVMWrites.Total()
+		l.MaxWear[d] = r.MaxWear
+		if d == "wocc" {
+			baseWear = r.MaxWear
+		}
+	}
+	for _, d := range o.Designs {
+		if l.MaxWear[d] > 0 && baseWear > 0 {
+			l.RelativeL[d] = float64(baseWear) / float64(l.MaxWear[d])
+		}
+	}
+	return l, nil
+}
+
+// Table renders the lifetime comparison.
+func (l *Lifetime) Table(benchmark string) string {
+	t := report.NewTable("NVM lifetime on "+benchmark, "writes", "max line wear", "rel. lifetime")
+	for _, d := range l.Designs {
+		t.AddRow(sim.DesignLabel(d),
+			fmt.Sprintf("%d", l.Writes[d]),
+			fmt.Sprintf("%d", l.MaxWear[d]),
+			fmt.Sprintf("%.3gx", l.RelativeL[d]))
+	}
+	return t.String()
+}
+
+// SweepPoint is one (parameter value, design) measurement of Figure 6.
+type SweepPoint struct {
+	Param     uint64
+	NormIPC   float64
+	NormWrite float64
+}
+
+// Fig6 holds one sensitivity sweep (a: update limit N; b: queue
+// entries M).
+type Fig6 struct {
+	Title   string
+	Designs []string
+	Points  map[string][]SweepPoint // design -> series
+}
+
+// RunFig6a sweeps the update-times limit N with M fixed (paper: M=64,
+// N in {4,8,16,32,64}), on the designs the figure plots.
+func RunFig6a(o Options, ns []uint64) (*Fig6, error) {
+	o.fill()
+	if len(ns) == 0 {
+		ns = []uint64{4, 8, 16, 32, 64}
+	}
+	designs := []string{"osiris", "ccnvm-wods", "ccnvm"}
+	f := &Fig6{Title: "Fig 6(a) update-times limit N", Designs: designs, Points: map[string][]SweepPoint{}}
+	for _, n := range ns {
+		oo := o
+		oo.UpdateLimit = n
+		if err := sweepPoint(f, oo, n, designs); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// RunFig6b sweeps the dirty-address-queue entries M with N fixed
+// (paper: N=16, M in {32,40,48,56,64}).
+func RunFig6b(o Options, ms []int) (*Fig6, error) {
+	o.fill()
+	if len(ms) == 0 {
+		ms = []int{32, 40, 48, 56, 64}
+	}
+	designs := []string{"osiris", "ccnvm-wods", "ccnvm"}
+	f := &Fig6{Title: "Fig 6(b) dirty address queue entries M", Designs: designs, Points: map[string][]SweepPoint{}}
+	for _, m := range ms {
+		oo := o
+		oo.QueueEntries = m
+		if err := sweepPoint(f, oo, uint64(m), designs); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// sweepPoint measures one parameter value across designs, normalizing
+// against a w/o-CC run of the same workloads.
+func sweepPoint(f *Fig6, o Options, param uint64, designs []string) error {
+	var baseIPC, baseWr []float64
+	for _, b := range o.Benchmarks {
+		r, err := runOne("wocc", b, o)
+		if err != nil {
+			return err
+		}
+		baseIPC = append(baseIPC, r.IPC)
+		baseWr = append(baseWr, float64(r.NVMWrites.Total()))
+	}
+	for _, d := range designs {
+		var ipcs, wrs []float64
+		for i, b := range o.Benchmarks {
+			r, err := runOne(d, b, o)
+			if err != nil {
+				return err
+			}
+			ipcs = append(ipcs, r.IPC/baseIPC[i])
+			wrs = append(wrs, float64(r.NVMWrites.Total())/baseWr[i])
+		}
+		f.Points[d] = append(f.Points[d], SweepPoint{
+			Param:     param,
+			NormIPC:   report.GeoMean(ipcs),
+			NormWrite: report.GeoMean(wrs),
+		})
+	}
+	return nil
+}
+
+// Tables renders the sweep as IPC and write tables.
+func (f *Fig6) Tables() string {
+	ipc := report.NewTable(f.Title+" - IPC (norm.)", labels(f.Designs)...)
+	wr := report.NewTable(f.Title+" - # of writes (norm.)", labels(f.Designs)...)
+	if len(f.Designs) == 0 || len(f.Points[f.Designs[0]]) == 0 {
+		return ipc.String()
+	}
+	for i := range f.Points[f.Designs[0]] {
+		var is, ws []float64
+		for _, d := range f.Designs {
+			is = append(is, f.Points[d][i].NormIPC)
+			ws = append(ws, f.Points[d][i].NormWrite)
+		}
+		param := fmt.Sprintf("%d", f.Points[f.Designs[0]][i].Param)
+		ipc.AddFloats(param, is...)
+		wr.AddFloats(param, ws...)
+	}
+	return ipc.String() + "\n" + wr.String()
+}

@@ -1,0 +1,20 @@
+package experiments
+
+import "testing"
+
+func TestParallelMatchesSerial(t *testing.T) {
+	a, err := RunFig5(Options{Ops: 25000, Benchmarks: []string{"lbm"}, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig5(Options{Ops: 25000, Benchmarks: []string{"lbm"}, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range a.Designs {
+		ca, cb := a.Cells[d]["lbm"], b.Cells[d]["lbm"]
+		if ca.IPC != cb.IPC || ca.Writes != cb.Writes {
+			t.Fatalf("%s: parallel run differs: %+v vs %+v", d, ca, cb)
+		}
+	}
+}

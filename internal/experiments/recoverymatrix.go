@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccnvm/internal/attack"
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/recovery"
+	"ccnvm/internal/report"
+	"ccnvm/internal/sim"
+	"ccnvm/internal/trace"
+)
+
+// Verdict summarizes one design's recovery outcome against one attack.
+type Verdict int
+
+// Verdict values.
+const (
+	VerdictClean     Verdict = iota // clean crash recovered cleanly
+	VerdictMissed                   // an injected attack went undetected
+	VerdictDetected                 // attack detected, all data dropped
+	VerdictLocated                  // attack detected and pinned to blocks/pages
+	VerdictUnrecover                // staleness indistinguishable from attack
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictClean:
+		return "clean"
+	case VerdictMissed:
+		return "MISSED!"
+	case VerdictDetected:
+		return "detected"
+	case VerdictLocated:
+		return "LOCATED"
+	case VerdictUnrecover:
+		return "unrecoverable"
+	default:
+		return "?"
+	}
+}
+
+// Attacks lists the §4.4 scenarios of the recovery matrix, in report
+// order.
+func Attacks() []string {
+	return []string{"none", "spoof", "splice", "counter-replay", "data-replay"}
+}
+
+// RecoveryMatrix is the E7 experiment: every design crashed under every
+// attack, recovered, and judged. The paper's claims become one table:
+// cc-NVM locates everything except the DS-window data replay (which it
+// detects via Nwb), Osiris Plus only ever detects, and w/o CC cannot
+// even survive a clean crash.
+type RecoveryMatrix struct {
+	Designs  []string
+	Attacks  []string
+	Verdicts map[string]map[string]Verdict // design -> attack -> verdict
+}
+
+// RunRecoveryMatrix executes the matrix. Designs defaults to the five
+// paper designs plus the §4.4 extension; pass sim.AllDesigns() to add
+// Arsenal (whose counter-region replay cell is a no-op, since packed
+// blocks keep their counters inline).
+func RunRecoveryMatrix(designs []string) (*RecoveryMatrix, error) {
+	if len(designs) == 0 {
+		designs = append(sim.Designs(), "ccnvm-ext")
+	}
+	m := &RecoveryMatrix{
+		Designs:  designs,
+		Attacks:  Attacks(),
+		Verdicts: map[string]map[string]Verdict{},
+	}
+	for _, d := range designs {
+		m.Verdicts[d] = map[string]Verdict{}
+		clean, err := runScenario(d, "none")
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s/none: %w", d, err)
+		}
+		m.Verdicts[d]["none"] = clean
+		for _, a := range m.Attacks[1:] {
+			if clean == VerdictUnrecover {
+				// A design that cannot even survive a clean crash has no
+				// way to attribute damage to an attacker: every flagged
+				// block might be innocent staleness.
+				m.Verdicts[d][a] = VerdictUnrecover
+				continue
+			}
+			v, err := runScenario(d, a)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", d, a, err)
+			}
+			m.Verdicts[d][a] = v
+		}
+	}
+	return m, nil
+}
+
+// runScenario crashes design d under attack a and classifies recovery.
+func runScenario(design, att string) (Verdict, error) {
+	cfg := sim.Config{Design: design}
+	machine, err := sim.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	p, err := trace.ProfileByName("gcc")
+	if err != nil {
+		return 0, err
+	}
+	g, err := trace.NewGenerator(p, 9)
+	if err != nil {
+		return 0, err
+	}
+	ops := trace.Collect(g, 20000)
+	// Hammer one hot line far beyond the recovery bound N before the
+	// trace: consistent designs drain it, w/o CC leaves its NVM counter
+	// hopelessly stale — the paper's motivating failure.
+	hammer := writeBackTail(mem.Addr(256<<20), 40)
+
+	var img *engine.CrashImage
+	switch att {
+	case "data-replay":
+		// The Figure 4 window: snapshot between write-backs of one block
+		// inside a single epoch.
+		machine.Run("gcc", hammer)
+		machine.Run("gcc", ops)
+		victim := mem.Addr(512 << 20)
+		machine.Run("gcc", writeBackTail(victim, 1))
+		snap := machine.Snapshot()
+		machine.Run("gcc", writeBackTail(victim, 2))
+		img = machine.Crash()
+		if err := attack.ReplayBlock(img, snap, victim); err != nil {
+			return 0, err
+		}
+	case "counter-replay":
+		// The hot line drains repeatedly (its update count keeps hitting
+		// N), so its NVM counter is guaranteed to change between the
+		// snapshot and the crash; the replay then breaks the tree's
+		// parent/child chain (or the counter's recoverability).
+		hot := mem.Addr(256 << 20)
+		machine.Run("gcc", hammer)
+		machine.Run("gcc", ops[:len(ops)/2])
+		snap := machine.Snapshot()
+		machine.Run("gcc", writeBackTail(hot, 40))
+		machine.Run("gcc", ops[len(ops)/2:])
+		img = machine.Crash()
+		if err := attack.ReplayCounterLine(img, snap, hot); err != nil {
+			return 0, err
+		}
+	default:
+		machine.Run("gcc", hammer)
+		machine.Run("gcc", ops)
+		img = machine.Crash()
+		switch att {
+		case "none":
+		case "spoof":
+			if err := attack.SpoofData(img, firstData(img)); err != nil {
+				return 0, err
+			}
+		case "splice":
+			a, b := firstData(img), lastData(img)
+			if err := attack.SpliceData(img, a, b); err != nil {
+				return 0, err
+			}
+		default:
+			return 0, fmt.Errorf("unknown attack %q", att)
+		}
+	}
+
+	rep := recovery.Recover(img)
+	switch {
+	case att == "none" && rep.Clean():
+		return VerdictClean, nil
+	case att == "none":
+		return VerdictUnrecover, nil
+	case rep.Clean():
+		// The injected attack produced no report at all.
+		return VerdictMissed, nil
+	case rep.Located():
+		return VerdictLocated, nil
+	default:
+		return VerdictDetected, nil
+	}
+}
+
+// writeBackTail forces n write-backs of victim via L1/L2 set conflicts.
+func writeBackTail(victim mem.Addr, n int) []trace.Op {
+	var ops []trace.Op
+	for i := 0; i < n; i++ {
+		ops = append(ops, trace.Op{Kind: trace.Store, Addr: victim, Gap: 2})
+		for k := 1; k <= 10; k++ {
+			ops = append(ops, trace.Op{Kind: trace.Load, Addr: victim + mem.Addr(k*32<<10), Gap: 2})
+		}
+	}
+	return ops
+}
+
+func firstData(img *engine.CrashImage) mem.Addr {
+	for _, a := range img.Image.Store.Addrs() {
+		if img.Image.Layout.RegionOf(a) == mem.RegionData {
+			return a
+		}
+	}
+	return 0
+}
+
+func lastData(img *engine.CrashImage) mem.Addr {
+	var last mem.Addr
+	for _, a := range img.Image.Store.Addrs() {
+		if img.Image.Layout.RegionOf(a) == mem.RegionData {
+			last = a
+		}
+	}
+	return last
+}
+
+// Table renders the matrix.
+func (m *RecoveryMatrix) Table() string {
+	t := report.NewTable("Recovery matrix (attack -> verdict)", labels(m.Designs)...)
+	for _, a := range m.Attacks {
+		row := make([]string, len(m.Designs))
+		for i, d := range m.Designs {
+			row[i] = m.Verdicts[d][a].String()
+		}
+		t.AddRow(a, row...)
+	}
+	return t.String()
+}

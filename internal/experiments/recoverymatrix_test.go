@@ -1,0 +1,72 @@
+package experiments
+
+import "testing"
+
+// TestRecoveryMatrixMatchesPaperClaims pins the §3/§4.4 capability
+// table: who detects, who locates, and who cannot even survive a clean
+// crash.
+func TestRecoveryMatrixMatchesPaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is slow")
+	}
+	m, err := RunRecoveryMatrix(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]map[string]Verdict{
+		// Without crash consistency, staleness is indistinguishable from
+		// attack: nothing is trustworthy after a crash.
+		"wocc": {"none": VerdictUnrecover, "spoof": VerdictUnrecover,
+			"data-replay": VerdictUnrecover},
+		// Strict consistency pays for itself with full location.
+		"sc": {"none": VerdictClean, "spoof": VerdictLocated,
+			"splice": VerdictLocated, "counter-replay": VerdictLocated,
+			"data-replay": VerdictLocated},
+		// Osiris Plus detects the replay only as a root mismatch (§3).
+		"osiris": {"none": VerdictClean, "spoof": VerdictLocated,
+			"data-replay": VerdictDetected},
+		// cc-NVM locates everything except the bounded DS window, which
+		// Nwb turns into detection (§4.3/§4.4).
+		"ccnvm": {"none": VerdictClean, "spoof": VerdictLocated,
+			"splice": VerdictLocated, "counter-replay": VerdictLocated,
+			"data-replay": VerdictDetected},
+		// The §4.4 extension closes the last gap.
+		"ccnvm-ext": {"data-replay": VerdictLocated},
+	}
+	for d, row := range want {
+		for a, v := range row {
+			if got := m.Verdicts[d][a]; got != v {
+				t.Errorf("%s/%s = %v, want %v", d, a, got, v)
+			}
+		}
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	cases := map[Verdict]string{
+		VerdictClean: "clean", VerdictMissed: "MISSED!", VerdictDetected: "detected",
+		VerdictLocated: "LOCATED", VerdictUnrecover: "unrecoverable", Verdict(42): "?",
+	}
+	for v, s := range cases {
+		if v.String() != s {
+			t.Errorf("%d = %q, want %q", int(v), v.String(), s)
+		}
+	}
+}
+
+func TestLifetimeTable(t *testing.T) {
+	o := Options{Ops: 30000}
+	lt, err := RunLifetime(o, "lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.RelativeL["wocc"] != 1 {
+		t.Fatalf("baseline relative lifetime = %v, want 1", lt.RelativeL["wocc"])
+	}
+	if !(lt.MaxWear["sc"] > lt.MaxWear["ccnvm"]) {
+		t.Errorf("SC max wear %d not above ccnvm %d", lt.MaxWear["sc"], lt.MaxWear["ccnvm"])
+	}
+	if tab := lt.Table("lbm"); len(tab) == 0 {
+		t.Fatal("empty lifetime table")
+	}
+}

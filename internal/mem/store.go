@@ -1,0 +1,80 @@
+package mem
+
+import "sort"
+
+// Store is a sparse line-granular memory image. Absent lines read as
+// zero, which the security layer interprets as "never written": the
+// functional crypto layer derives deterministic default counters, HMACs
+// and tree nodes for untouched lines, so a sparse image behaves exactly
+// like a zero-initialized DIMM without materializing it.
+//
+// The zero value is an empty store ready to use.
+type Store struct {
+	lines map[Addr]Line
+}
+
+// Read returns the line at a and whether it has ever been written.
+// Absent lines read as all zero.
+func (s *Store) Read(a Addr) (Line, bool) {
+	l, ok := s.lines[Align(a)]
+	return l, ok
+}
+
+// Write stores line l at address a.
+func (s *Store) Write(a Addr, l Line) {
+	if s.lines == nil {
+		s.lines = make(map[Addr]Line)
+	}
+	s.lines[Align(a)] = l
+}
+
+// Delete removes the line at a, returning it to the default (zero)
+// state. Used by tests to model loss.
+func (s *Store) Delete(a Addr) {
+	delete(s.lines, Align(a))
+}
+
+// Len reports how many distinct lines have been written.
+func (s *Store) Len() int { return len(s.lines) }
+
+// Clone returns a deep copy of the store. Used to snapshot NVM images at
+// crash points.
+func (s *Store) Clone() *Store {
+	c := &Store{lines: make(map[Addr]Line, len(s.lines))}
+	for a, l := range s.lines {
+		c.lines[a] = l
+	}
+	return c
+}
+
+// Addrs returns the addresses of all written lines in ascending order.
+// Deterministic ordering keeps recovery scans and tests reproducible.
+func (s *Store) Addrs() []Addr {
+	out := make([]Addr, 0, len(s.lines))
+	for a := range s.lines {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two stores hold identical contents, treating
+// absent lines as zero.
+func (s *Store) Equal(o *Store) bool {
+	var zero Line
+	for a, l := range s.lines {
+		ol, ok := o.lines[a]
+		if !ok {
+			ol = zero
+		}
+		if l != ol {
+			return false
+		}
+	}
+	for a, ol := range o.lines {
+		if _, ok := s.lines[a]; !ok && ol != zero {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,271 @@
+// Package memctrl models the memory controller in front of the NVM
+// device: a banked PCM channel, a read queue, a 64-entry write pending
+// queue (WPQ) inside the ADR persistence domain, and the start/end
+// signalling that cc-NVM's atomic draining protocol layers on top of it.
+//
+// Timing uses a resource-reservation model: each bank has a next-free
+// time, each WPQ slot is occupied until its write is serviced, and
+// callers receive completion (for reads) or acceptance (for writes)
+// timestamps. The model is deterministic and single-threaded, matching
+// the trace-driven simulator.
+//
+// ADR semantics: a write accepted into the WPQ is durable — on a power
+// failure, residual WPQ entries are flushed with backup power. The one
+// exception is the atomic-draining window: metadata writes issued
+// between BeginEpochDrain and EndEpochDrain are held in the WPQ and are
+// dropped on a crash that precedes the end signal, which is exactly what
+// keeps the Merkle tree in NVM consistent.
+package memctrl
+
+import (
+	"fmt"
+
+	"ccnvm/internal/mem"
+	"ccnvm/internal/nvm"
+)
+
+// Config sizes the controller. Zero values select the paper's setup.
+type Config struct {
+	Banks      int // parallel PCM banks (default 24)
+	ReadQueue  int // read queue entries (default 32)
+	WriteQueue int // WPQ entries (default 64)
+}
+
+func (c *Config) fill() {
+	if c.Banks == 0 {
+		c.Banks = 24
+	}
+	if c.ReadQueue == 0 {
+		c.ReadQueue = 32
+	}
+	if c.WriteQueue == 0 {
+		c.WriteQueue = 64
+	}
+}
+
+// Stats reports controller-level contention.
+type Stats struct {
+	Reads          uint64
+	Writes         uint64
+	WPQFullStalls  uint64 // writes that found the WPQ full
+	WPQStallCycles int64  // cycles producers spent waiting for a slot
+	EpochWrites    uint64 // writes issued inside a draining window
+	DroppedOnCrash uint64 // held epoch entries discarded by a crash
+}
+
+type heldEntry struct {
+	addr mem.Addr
+	line mem.Line
+}
+
+// Controller fronts one NVM device.
+//
+// Reads are prioritized over buffered writes, as in real memory
+// controllers: banks keep a read timeline, while the WPQ drains as a
+// fluid backlog at the aggregate write bandwidth (Banks lines per
+// WriteCycles). A read therefore never waits behind buffered writes;
+// write pressure reaches producers only through WPQ backpressure — a
+// full queue blocks the writer until enough backlog has drained.
+type Controller struct {
+	cfg       Config
+	dev       *nvm.Device
+	readBanks []int64 // next-free cycle per bank, read stream
+	readQ     []int64 // completion times of in-flight reads (queue bound)
+
+	backlog    float64 // WPQ occupancy being drained (lines)
+	backlogUpd int64   // cycle of the last backlog update
+	held       []heldEntry
+	inDrain    bool
+	stats      Stats
+}
+
+// New builds a controller over dev.
+func New(cfg Config, dev *nvm.Device) *Controller {
+	cfg.fill()
+	return &Controller{
+		cfg:       cfg,
+		dev:       dev,
+		readBanks: make([]int64, cfg.Banks),
+	}
+}
+
+// drainRate is the aggregate write bandwidth in lines per cycle.
+func (c *Controller) drainRate() float64 {
+	return float64(c.cfg.Banks) / float64(c.dev.Timing().WriteCycles)
+}
+
+// advance drains the write backlog up to cycle now. Callers may present
+// out-of-order (pipeline-internal) timestamps; only forward progress
+// drains.
+func (c *Controller) advance(now int64) {
+	if now > c.backlogUpd {
+		c.backlog -= float64(now-c.backlogUpd) * c.drainRate()
+		if c.backlog < 0 {
+			c.backlog = 0
+		}
+		c.backlogUpd = now
+	}
+}
+
+// Device returns the fronted NVM device.
+func (c *Controller) Device() *nvm.Device { return c.dev }
+
+// Stats returns a copy of the contention counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+func (c *Controller) bankOf(a mem.Addr) int {
+	return int(uint64(a) / mem.LineSize % uint64(len(c.readBanks)))
+}
+
+// Read services a line read: it returns the current NVM content (with
+// forwarding from held drain entries), whether the line was ever
+// written, and the completion time including read-queue and bank
+// contention.
+func (c *Controller) Read(now int64, a mem.Addr) (mem.Line, bool, int64) {
+	a = mem.Align(a)
+	c.stats.Reads++
+	for _, h := range c.held {
+		if h.addr == a {
+			// Forward from the WPQ; no bank access needed.
+			return h.line, true, now
+		}
+	}
+	// Read-queue bound: a new read needs a free entry; entries retire at
+	// their completion times.
+	kept := c.readQ[:0]
+	for _, f := range c.readQ {
+		if f > now {
+			kept = append(kept, f)
+		}
+	}
+	c.readQ = kept
+	if len(c.readQ) >= c.cfg.ReadQueue {
+		earliest := c.readQ[0]
+		for _, f := range c.readQ[1:] {
+			if f < earliest {
+				earliest = f
+			}
+		}
+		if earliest > now {
+			now = earliest
+		}
+	}
+	b := c.bankOf(a)
+	start := max64(now, c.readBanks[b])
+	done := start + c.dev.Timing().ReadCycles
+	c.readBanks[b] = done
+	c.readQ = append(c.readQ, done)
+	l, ok := c.dev.Read(a)
+	return l, ok, done
+}
+
+// Write enqueues a line write into the WPQ and returns the cycle at
+// which the producer obtained a slot (the producer-visible acceptance
+// time; service completes in the background). Non-epoch writes are
+// durable from acceptance onward, per ADR.
+//
+// Epoch writes (issued between BeginEpochDrain and EndEpochDrain) are
+// held: they occupy slots but are neither serviced nor durable until the
+// end signal arrives.
+func (c *Controller) Write(now int64, a mem.Addr, l mem.Line) int64 {
+	a = mem.Align(a)
+	c.stats.Writes++
+	c.advance(now)
+	if occ := c.backlog + float64(len(c.held)); occ+1 > float64(c.cfg.WriteQueue) {
+		// Block until enough backlog drains for one slot. If every slot
+		// is a held epoch entry the protocol is broken: the drainer must
+		// bound its batch by the WPQ size.
+		if c.backlog <= 0 {
+			panic(fmt.Sprintf("memctrl: WPQ wedged with %d held epoch entries", len(c.held)))
+		}
+		need := occ + 1 - float64(c.cfg.WriteQueue)
+		wait := int64(need/c.drainRate() + 0.999999)
+		c.stats.WPQFullStalls++
+		c.stats.WPQStallCycles += wait
+		now += wait
+		c.advance(now)
+	}
+	if c.inDrain {
+		c.stats.EpochWrites++
+		c.held = append(c.held, heldEntry{a, l})
+		return now
+	}
+	c.backlog++
+	c.dev.Write(a, l) // durable at acceptance (ADR)
+	return now
+}
+
+// ReadBypass services a metadata or write-path read with pure device
+// latency, without reserving a bank slot. The simulator issues such
+// reads at future (pipeline-internal) timestamps; reserving banks there
+// would make earlier program-order reads queue behind work that has not
+// physically started. Metadata bandwidth is a few percent of a bank's
+// capacity, so the elision is harmless; core-facing data reads use Read
+// and contend normally.
+func (c *Controller) ReadBypass(now int64, a mem.Addr) (mem.Line, bool, int64) {
+	a = mem.Align(a)
+	c.stats.Reads++
+	for _, h := range c.held {
+		if h.addr == a {
+			return h.line, true, now
+		}
+	}
+	l, ok := c.dev.Read(a)
+	return l, ok, now + c.dev.Timing().ReadCycles
+}
+
+// InDrain reports whether a draining window is open.
+func (c *Controller) InDrain() bool { return c.inDrain }
+
+// HeldEntries reports how many epoch writes are currently held.
+func (c *Controller) HeldEntries() int { return len(c.held) }
+
+// BeginEpochDrain opens the atomic-draining window: subsequent writes
+// are tagged as epoch metadata and held in the WPQ.
+func (c *Controller) BeginEpochDrain() {
+	if c.inDrain {
+		panic("memctrl: nested BeginEpochDrain")
+	}
+	c.inDrain = true
+}
+
+// EndEpochDrain delivers the end signal: every held entry becomes
+// durable and is scheduled on the banks. It returns the cycle at which
+// the last entry's NVM write completes (background time; producers need
+// not wait for it).
+func (c *Controller) EndEpochDrain(now int64) int64 {
+	if !c.inDrain {
+		panic("memctrl: EndEpochDrain without BeginEpochDrain")
+	}
+	c.inDrain = false
+	c.advance(now)
+	for _, h := range c.held {
+		c.backlog++
+		c.dev.Write(h.addr, h.line)
+	}
+	c.held = c.held[:0]
+	return now + int64(c.backlog/c.drainRate())
+}
+
+// Crash applies power-failure semantics: serviceable WPQ entries are
+// already durable (ADR flushes them with backup power), while held
+// epoch entries that never saw the end signal are dropped, leaving the
+// NVM Merkle tree in its previous consistent state. The controller is
+// left empty and idle.
+func (c *Controller) Crash() {
+	c.stats.DroppedOnCrash += uint64(len(c.held))
+	c.held = c.held[:0]
+	c.inDrain = false
+	c.backlog = 0
+	c.backlogUpd = 0
+	for i := range c.readBanks {
+		c.readBanks[i] = 0
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

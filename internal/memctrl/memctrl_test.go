@@ -1,0 +1,239 @@
+package memctrl
+
+import (
+	"testing"
+
+	"ccnvm/internal/mem"
+	"ccnvm/internal/nvm"
+)
+
+func ctrl(t testing.TB, cfg Config) *Controller {
+	t.Helper()
+	dev := nvm.NewDevice(mem.MustLayout(64<<20), nvm.Timing{ReadCycles: 100, WriteCycles: 400})
+	return New(cfg, dev)
+}
+
+func line(b byte) mem.Line {
+	var l mem.Line
+	l[0] = b
+	return l
+}
+
+func TestReadTiming(t *testing.T) {
+	c := ctrl(t, Config{Banks: 1})
+	_, _, done := c.Read(10, 0)
+	if done != 110 {
+		t.Fatalf("read done at %d, want 110", done)
+	}
+	// Second read on the same single bank queues behind the first.
+	_, _, done2 := c.Read(10, 64)
+	if done2 != 210 {
+		t.Fatalf("second read done at %d, want 210", done2)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	c := ctrl(t, Config{Banks: 2})
+	_, _, d0 := c.Read(0, 0)  // bank 0
+	_, _, d1 := c.Read(0, 64) // bank 1
+	if d0 != 100 || d1 != 100 {
+		t.Fatalf("parallel banks: done = %d,%d, want 100,100", d0, d1)
+	}
+}
+
+func TestWriteDurableAtAcceptance(t *testing.T) {
+	c := ctrl(t, Config{})
+	accept := c.Write(5, 0, line(7))
+	if accept != 5 {
+		t.Fatalf("accept = %d, want 5 (free slot)", accept)
+	}
+	got, ok := c.Device().Peek(0)
+	if !ok || got != line(7) {
+		t.Fatal("ADR write not durable at acceptance")
+	}
+}
+
+func TestWPQBackpressure(t *testing.T) {
+	c := ctrl(t, Config{Banks: 1, WriteQueue: 2})
+	// Two writes fill the queue; service times 400 and 800 on one bank.
+	c.Write(0, 0, line(1))
+	c.Write(0, 64, line(2))
+	accept := c.Write(0, 128, line(3))
+	if accept != 400 {
+		t.Fatalf("third write accepted at %d, want 400 (first retire)", accept)
+	}
+	st := c.Stats()
+	if st.WPQFullStalls != 1 || st.WPQStallCycles != 400 {
+		t.Fatalf("stall stats = %+v", st)
+	}
+}
+
+func TestWPQSlotsReclaimedByTime(t *testing.T) {
+	c := ctrl(t, Config{Banks: 1, WriteQueue: 1})
+	c.Write(0, 0, line(1)) // finishes at 400
+	accept := c.Write(500, 64, line(2))
+	if accept != 500 {
+		t.Fatalf("accept = %d, want 500 (slot already free)", accept)
+	}
+	if c.Stats().WPQFullStalls != 0 {
+		t.Fatal("unexpected stall")
+	}
+}
+
+func TestEpochDrainHoldsUntilEnd(t *testing.T) {
+	c := ctrl(t, Config{Banks: 1})
+	c.BeginEpochDrain()
+	c.Write(0, 0, line(9))
+	if _, ok := c.Device().Peek(0); ok {
+		t.Fatal("held epoch write became durable before end signal")
+	}
+	if c.HeldEntries() != 1 {
+		t.Fatalf("held = %d, want 1", c.HeldEntries())
+	}
+	last := c.EndEpochDrain(100)
+	if last != 500 {
+		t.Fatalf("drain background completion = %d, want 500", last)
+	}
+	got, ok := c.Device().Peek(0)
+	if !ok || got != line(9) {
+		t.Fatal("epoch write not durable after end signal")
+	}
+}
+
+func TestEpochDrainForwarding(t *testing.T) {
+	c := ctrl(t, Config{})
+	c.Write(0, 0, line(1))
+	c.BeginEpochDrain()
+	c.Write(10, 0, line(2))
+	got, ok, done := c.Read(20, 0)
+	if !ok || got != line(2) {
+		t.Fatal("read did not forward held entry")
+	}
+	if done != 20 {
+		t.Fatalf("forwarded read took bank time: done=%d", done)
+	}
+	c.EndEpochDrain(30)
+}
+
+func TestCrashDropsHeldEntriesOnly(t *testing.T) {
+	c := ctrl(t, Config{})
+	c.Write(0, 0, line(1)) // durable
+	c.BeginEpochDrain()
+	c.Write(10, 64, line(2)) // held
+	c.Crash()
+	if _, ok := c.Device().Peek(64); ok {
+		t.Fatal("held entry survived crash without end signal")
+	}
+	if got, ok := c.Device().Peek(0); !ok || got != line(1) {
+		t.Fatal("durable entry lost in crash")
+	}
+	if c.Stats().DroppedOnCrash != 1 {
+		t.Fatalf("DroppedOnCrash = %d, want 1", c.Stats().DroppedOnCrash)
+	}
+	if c.InDrain() {
+		t.Fatal("controller still in drain after crash")
+	}
+}
+
+func TestCrashAfterEndKeepsEntries(t *testing.T) {
+	c := ctrl(t, Config{})
+	c.BeginEpochDrain()
+	c.Write(0, 64, line(2))
+	c.EndEpochDrain(10)
+	c.Crash()
+	if got, ok := c.Device().Peek(64); !ok || got != line(2) {
+		t.Fatal("end-signalled entry lost in crash (ADR should flush it)")
+	}
+}
+
+func TestNestedBeginPanics(t *testing.T) {
+	c := ctrl(t, Config{})
+	c.BeginEpochDrain()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested BeginEpochDrain did not panic")
+		}
+	}()
+	c.BeginEpochDrain()
+}
+
+func TestEndWithoutBeginPanics(t *testing.T) {
+	c := ctrl(t, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndEpochDrain without begin did not panic")
+		}
+	}()
+	c.EndEpochDrain(0)
+}
+
+func TestWedgedWPQPanics(t *testing.T) {
+	c := ctrl(t, Config{WriteQueue: 1})
+	c.BeginEpochDrain()
+	c.Write(0, 0, line(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wedged WPQ did not panic")
+		}
+	}()
+	c.Write(0, 64, line(2))
+}
+
+func TestEpochWriteCounting(t *testing.T) {
+	c := ctrl(t, Config{})
+	c.Write(0, 0, line(1))
+	c.BeginEpochDrain()
+	c.Write(0, 64, line(2))
+	c.Write(0, 128, line(3))
+	c.EndEpochDrain(0)
+	st := c.Stats()
+	if st.Writes != 3 || st.EpochWrites != 2 {
+		t.Fatalf("stats = %+v, want 3 writes / 2 epoch", st)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := ctrl(t, Config{})
+	if len(c.readBanks) != 24 || c.cfg.WriteQueue != 64 || c.cfg.ReadQueue != 32 {
+		t.Fatalf("defaults not applied: %+v banks=%d", c.cfg, len(c.readBanks))
+	}
+}
+
+func TestFluidBacklogProperty(t *testing.T) {
+	// Property: acceptance never precedes the request, occupancy never
+	// exceeds the queue, and forward progress always happens.
+	c := ctrl(t, Config{Banks: 2, WriteQueue: 8})
+	now := int64(0)
+	rng := int64(12345)
+	for i := 0; i < 5000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		a := mem.Addr((rng>>33)&0xFFFF) * 64
+		if a >= mem.Addr(32<<20) {
+			a %= 32 << 20
+		}
+		accept := c.Write(now, a, line(byte(i)))
+		if accept < now {
+			t.Fatalf("acceptance %d before request %d", accept, now)
+		}
+		if c.backlog > float64(c.cfg.WriteQueue) {
+			t.Fatalf("backlog %v exceeds queue %d", c.backlog, c.cfg.WriteQueue)
+		}
+		now = accept + rng%7&3
+	}
+}
+
+func TestReadBypassForwardsHeld(t *testing.T) {
+	c := ctrl(t, Config{})
+	c.BeginEpochDrain()
+	c.Write(0, 64, line(5))
+	l, ok, done := c.ReadBypass(10, 64)
+	if !ok || l != line(5) || done != 10 {
+		t.Fatal("bypass read did not forward held entry instantly")
+	}
+	c.EndEpochDrain(20)
+	// Normal bypass charges pure latency.
+	_, _, done = c.ReadBypass(100, 64)
+	if done != 200 {
+		t.Fatalf("bypass read done at %d, want 200", done)
+	}
+}

@@ -1,0 +1,126 @@
+package model_test
+
+import (
+	"math"
+	"testing"
+
+	"ccnvm/internal/core"
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/memctrl"
+	"ccnvm/internal/metacache"
+	"ccnvm/internal/model"
+	"ccnvm/internal/nvm"
+	"ccnvm/internal/seccrypto"
+)
+
+const capacity = 16 << 30 // the paper's geometry: 10 internal levels
+
+func within(t *testing.T, what string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: simulated %.4f vs predicted %.4f (tol %.4f)", what, got, want, tol)
+	}
+}
+
+func pattern(v byte) mem.Line {
+	var l mem.Line
+	l[0] = v
+	return l
+}
+
+func TestPaperArithmetic(t *testing.T) {
+	lay := mem.MustLayout(capacity)
+	// "a 16 GB NVM with a 12-level 4-ary BMT requires 12 atomic BMT
+	// updates on every write-back (the BMT root is updated on the TCB,
+	// whereas 10 internal path nodes and the leaf-level counter are
+	// updated in the NVM)" — plus data and HMAC, 13 NVM line writes.
+	if got := model.SCWritesPerWriteback(lay); got != 13 {
+		t.Fatalf("SC writes per write-back = %d, want 13", got)
+	}
+	if got := model.SCWriteFactor(lay); got != 6.5 {
+		t.Fatalf("SC write factor = %v, want 6.5", got)
+	}
+}
+
+// device builds an engine over the paper-sized layout.
+func build(t *testing.T, design string, n uint64) (engine.Engine, *nvm.Device) {
+	t.Helper()
+	lay := mem.MustLayout(capacity)
+	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
+	ctrl := memctrl.New(memctrl.Config{}, dev)
+	keys := seccrypto.DefaultKeys()
+	p := engine.Params{UpdateLimit: n}
+	switch design {
+	case "wocc":
+		return engine.NewWoCC(lay, keys, ctrl, metacache.Config{}, p), dev
+	case "sc":
+		return engine.NewSC(lay, keys, ctrl, metacache.Config{}, p), dev
+	case "osiris":
+		return engine.NewOsiris(lay, keys, ctrl, metacache.Config{}, p), dev
+	case "ccnvm":
+		return core.NewCCNVM(lay, keys, ctrl, metacache.Config{}, p), dev
+	}
+	t.Fatal("unknown design")
+	return nil, nil
+}
+
+// run issues write-backs over a block cycle and returns the measured
+// write factor vs the 2-per-write-back baseline.
+func writeFactor(t *testing.T, design string, n uint64, addrs []mem.Addr, rounds int) float64 {
+	t.Helper()
+	e, dev := build(t, design, n)
+	now := int64(0)
+	wb := 0
+	for r := 0; r < rounds; r++ {
+		for _, a := range addrs {
+			now = e.WriteBack(now, a, pattern(byte(r))) + 20
+			wb++
+		}
+	}
+	return float64(dev.Writes().Total()) / float64(2*wb)
+}
+
+// fourSlots cycles four blocks of one page so per-slot update counts
+// stay below the 7-bit minor-counter overflow (which would add page
+// re-encryption traffic the closed forms deliberately exclude).
+var fourSlots = []mem.Addr{0, 64, 128, 192}
+
+func TestSCMatchesClosedForm(t *testing.T) {
+	lay := mem.MustLayout(capacity)
+	got := writeFactor(t, "sc", 16, fourSlots, 100)
+	within(t, "SC hot line", got, model.SCWriteFactor(lay), 0.05)
+}
+
+func TestOsirisMatchesClosedForm(t *testing.T) {
+	for _, n := range []uint64{8, 16, 32} {
+		got := writeFactor(t, "osiris", n, fourSlots, 100)
+		within(t, "Osiris hot line", got, model.OsirisWriteFactor(n), 0.05)
+	}
+}
+
+func TestCCNVMHotLineMatchesClosedForm(t *testing.T) {
+	lay := mem.MustLayout(capacity)
+	for _, n := range []uint64{8, 16, 32} {
+		got := writeFactor(t, "ccnvm", n, fourSlots, 100)
+		within(t, "cc-NVM hot line", got, model.CCNVMHotLineWriteFactor(lay, n), 0.08)
+	}
+}
+
+func TestCCNVMStreamMatchesClosedForm(t *testing.T) {
+	// A unit-stride pass over 64 pages: each page's 64 blocks written
+	// once each.
+	var addrs []mem.Addr
+	for p := 0; p < 64; p++ {
+		for b := 0; b < mem.BlocksPerPage; b++ {
+			addrs = append(addrs, mem.Addr(p*mem.PageSize+b*mem.LineSize))
+		}
+	}
+	got := writeFactor(t, "ccnvm", 16, addrs, 1)
+	within(t, "cc-NVM stream", got, model.CCNVMStreamWriteFactor(mem.MustLayout(capacity), 16), 0.06)
+}
+
+func TestBaselineIsExactlyTwo(t *testing.T) {
+	got := writeFactor(t, "wocc", 16, []mem.Addr{0, 64, 4096}, 30)
+	within(t, "w/o CC", got, 1.0, 0.02)
+}

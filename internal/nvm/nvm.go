@@ -1,0 +1,161 @@
+// Package nvm models the non-volatile main memory device: a sparse
+// byte-addressable PCM DIMM with the paper's read/write latencies,
+// per-region access accounting and per-line write-endurance counters.
+//
+// The device is purely functional plus bookkeeping; service timing
+// (banks, queues, the write-pending queue and ADR semantics) lives in
+// package memctrl, which owns a Device.
+package nvm
+
+import (
+	"fmt"
+
+	"ccnvm/internal/mem"
+)
+
+// Timing holds the device latencies in cycles. The paper models PCM at
+// 60 ns reads and 150 ns writes on a 3 GHz core: 180 and 450 cycles.
+type Timing struct {
+	ReadCycles  int64
+	WriteCycles int64
+}
+
+// PCMTiming returns the paper's PCM timing at a given core clock in GHz.
+func PCMTiming(clockGHz float64) Timing {
+	return Timing{
+		ReadCycles:  int64(60 * clockGHz),
+		WriteCycles: int64(150 * clockGHz),
+	}
+}
+
+// WriteBreakdown counts NVM line writes by address region. This is the
+// quantity Figure 5(b) plots.
+type WriteBreakdown struct {
+	Data    uint64
+	HMAC    uint64
+	Counter uint64
+	Tree    uint64
+}
+
+// Total sums all regions.
+func (w WriteBreakdown) Total() uint64 { return w.Data + w.HMAC + w.Counter + w.Tree }
+
+// Add accumulates o into w.
+func (w *WriteBreakdown) Add(o WriteBreakdown) {
+	w.Data += o.Data
+	w.HMAC += o.HMAC
+	w.Counter += o.Counter
+	w.Tree += o.Tree
+}
+
+// String renders the breakdown compactly.
+func (w WriteBreakdown) String() string {
+	return fmt.Sprintf("writes{data=%d hmac=%d ctr=%d tree=%d total=%d}",
+		w.Data, w.HMAC, w.Counter, w.Tree, w.Total())
+}
+
+// Device is the NVM DIMM. Create with NewDevice.
+type Device struct {
+	layout *mem.Layout
+	timing Timing
+	store  mem.Store
+	wear   map[mem.Addr]uint64
+
+	writes WriteBreakdown
+	reads  uint64
+}
+
+// NewDevice builds a device over the given layout and timing.
+func NewDevice(layout *mem.Layout, timing Timing) *Device {
+	return &Device{layout: layout, timing: timing, wear: make(map[mem.Addr]uint64)}
+}
+
+// Layout returns the device's address-space layout.
+func (d *Device) Layout() *mem.Layout { return d.layout }
+
+// Timing returns the device latencies.
+func (d *Device) Timing() Timing { return d.timing }
+
+// Read returns the line at a and whether it was ever written. Absent
+// lines read as zero ("never written"); the security layer derives
+// default metadata for them.
+func (d *Device) Read(a mem.Addr) (mem.Line, bool) {
+	d.reads++
+	return d.store.Read(a)
+}
+
+// Peek reads without counting an access; recovery and tests use it.
+func (d *Device) Peek(a mem.Addr) (mem.Line, bool) { return d.store.Read(a) }
+
+// Write persists line l at a, counting the write against its region and
+// the line's wear counter.
+func (d *Device) Write(a mem.Addr, l mem.Line) {
+	a = mem.Align(a)
+	switch d.layout.RegionOf(a) {
+	case mem.RegionData:
+		d.writes.Data++
+	case mem.RegionHMAC:
+		d.writes.HMAC++
+	case mem.RegionCounter:
+		d.writes.Counter++
+	case mem.RegionTree:
+		d.writes.Tree++
+	default:
+		panic(fmt.Sprintf("nvm: write outside address space: %#x", uint64(a)))
+	}
+	d.wear[a]++
+	d.store.Write(a, l)
+}
+
+// Writes returns the per-region write counters.
+func (d *Device) Writes() WriteBreakdown { return d.writes }
+
+// Reads returns the total line reads.
+func (d *Device) Reads() uint64 { return d.reads }
+
+// MaxWear returns the largest per-line write count and the address that
+// holds it; NVM lifetime is bounded by the hottest line.
+func (d *Device) MaxWear() (mem.Addr, uint64) {
+	var ma mem.Addr
+	var mx uint64
+	for a, w := range d.wear {
+		if w > mx || (w == mx && a < ma) {
+			ma, mx = a, w
+		}
+	}
+	return ma, mx
+}
+
+// Image is a crash snapshot of the persistent state: the NVM contents
+// plus nothing else (TCB registers are snapshotted by the engine, which
+// owns them).
+type Image struct {
+	Layout *mem.Layout
+	Store  *mem.Store
+}
+
+// Snapshot captures the current persistent contents.
+func (d *Device) Snapshot() *Image {
+	return &Image{Layout: d.layout, Store: d.store.Clone()}
+}
+
+// Restore replaces the device contents with a snapshot, clearing access
+// statistics. Used to reboot a simulated machine from a crash image.
+func (d *Device) Restore(img *Image) {
+	d.store = *img.Store.Clone()
+	d.writes = WriteBreakdown{}
+	d.reads = 0
+	d.wear = make(map[mem.Addr]uint64)
+}
+
+// Read returns the line at a in the image, with never-written handling
+// identical to the live device.
+func (i *Image) Read(a mem.Addr) (mem.Line, bool) { return i.Store.Read(a) }
+
+// Write mutates the image in place. Attack injection uses it.
+func (i *Image) Write(a mem.Addr, l mem.Line) { i.Store.Write(a, l) }
+
+// Clone deep-copies the image so attacks can be injected on a copy.
+func (i *Image) Clone() *Image {
+	return &Image{Layout: i.Layout, Store: i.Store.Clone()}
+}

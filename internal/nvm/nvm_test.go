@@ -1,0 +1,135 @@
+package nvm
+
+import (
+	"testing"
+
+	"ccnvm/internal/mem"
+)
+
+func device(t testing.TB) *Device {
+	t.Helper()
+	return NewDevice(mem.MustLayout(64<<20), PCMTiming(3))
+}
+
+func TestPCMTiming(t *testing.T) {
+	tm := PCMTiming(3)
+	if tm.ReadCycles != 180 || tm.WriteCycles != 450 {
+		t.Fatalf("timing = %+v, want 180/450 at 3 GHz", tm)
+	}
+}
+
+func TestWriteBreakdownByRegion(t *testing.T) {
+	d := device(t)
+	lay := d.Layout()
+	var l mem.Line
+	d.Write(0, l)                      // data
+	d.Write(lay.CounterBase, l)        // counter
+	d.Write(lay.HMACBase, l)           // hmac
+	d.Write(lay.NodeAddr(1, 0), l)     // tree
+	d.Write(mem.Addr(mem.LineSize), l) // data again
+	w := d.Writes()
+	if w.Data != 2 || w.Counter != 1 || w.HMAC != 1 || w.Tree != 1 {
+		t.Fatalf("breakdown = %v", w)
+	}
+	if w.Total() != 5 {
+		t.Fatalf("total = %d, want 5", w.Total())
+	}
+}
+
+func TestWriteOutsideSpacePanics(t *testing.T) {
+	d := device(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-space write did not panic")
+		}
+	}()
+	d.Write(mem.Addr(d.Layout().TotalBytes()), mem.Line{})
+}
+
+func TestReadNeverWritten(t *testing.T) {
+	d := device(t)
+	l, ok := d.Read(0)
+	if ok {
+		t.Fatal("unwritten line reported as written")
+	}
+	if l != (mem.Line{}) {
+		t.Fatal("unwritten line not zero")
+	}
+	if d.Reads() != 1 {
+		t.Fatal("read not counted")
+	}
+}
+
+func TestPeekDoesNotCount(t *testing.T) {
+	d := device(t)
+	d.Peek(0)
+	if d.Reads() != 0 {
+		t.Fatal("Peek counted as a read")
+	}
+}
+
+func TestWear(t *testing.T) {
+	d := device(t)
+	var l mem.Line
+	for i := 0; i < 5; i++ {
+		d.Write(128, l)
+	}
+	d.Write(0, l)
+	a, w := d.MaxWear()
+	if a != 128 || w != 5 {
+		t.Fatalf("MaxWear = (%#x,%d), want (0x80,5)", uint64(a), w)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	d := device(t)
+	var l mem.Line
+	l[0] = 1
+	d.Write(0, l)
+	img := d.Snapshot()
+	l[0] = 2
+	d.Write(0, l)
+	got, _ := img.Read(0)
+	if got[0] != 1 {
+		t.Fatal("snapshot sees later writes")
+	}
+}
+
+func TestRestoreResetsStats(t *testing.T) {
+	d := device(t)
+	var l mem.Line
+	d.Write(0, l)
+	img := d.Snapshot()
+	d.Read(0)
+	d.Restore(img)
+	if d.Reads() != 0 || d.Writes().Total() != 0 {
+		t.Fatal("Restore did not clear statistics")
+	}
+	if _, ok := d.Peek(0); !ok {
+		t.Fatal("Restore lost contents")
+	}
+}
+
+func TestImageCloneIsDeep(t *testing.T) {
+	d := device(t)
+	var l mem.Line
+	l[0] = 1
+	d.Write(0, l)
+	img := d.Snapshot()
+	cp := img.Clone()
+	l[0] = 9
+	cp.Write(0, l)
+	orig, _ := img.Read(0)
+	if orig[0] != 1 {
+		t.Fatal("image clone shares storage")
+	}
+}
+
+func TestWriteBreakdownAdd(t *testing.T) {
+	a := WriteBreakdown{Data: 1, HMAC: 2, Counter: 3, Tree: 4}
+	b := WriteBreakdown{Data: 10, HMAC: 20, Counter: 30, Tree: 40}
+	a.Add(b)
+	if a.Data != 11 || a.HMAC != 22 || a.Counter != 33 || a.Tree != 44 {
+		t.Fatalf("Add result = %+v", a)
+	}
+}

@@ -1,0 +1,50 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("bench", "A", "BB")
+	tab.AddRow("x", "1", "2")
+	tab.AddFloats("longer-label", 0.5, 1.25)
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[0], "bench") || !strings.Contains(lines[0], "BB") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "0.500") || !strings.Contains(lines[3], "1.250") {
+		t.Fatalf("float row wrong: %q", lines[3])
+	}
+	// Columns align: every data line has the same width.
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("misaligned rows:\n%s", s)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean should be 0")
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("non-positive values should yield 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}

@@ -1,0 +1,21 @@
+package seccrypto
+
+import (
+	"testing"
+
+	"ccnvm/internal/mem"
+)
+
+// FuzzCounterCodec: every 64-byte line decodes and re-encodes to the
+// identical bytes (the codec is a bijection on valid encodings).
+func FuzzCounterCodec(f *testing.F) {
+	f.Add(make([]byte, mem.LineSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var l mem.Line
+		copy(l[:], data)
+		c := DecodeCounterLine(l)
+		if DecodeCounterLine(c.Encode()) != c {
+			t.Fatal("decode/encode/decode not stable")
+		}
+	})
+}

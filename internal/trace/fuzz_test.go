@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse hardens the trace-file parser against corrupt input: it
+// must never panic, and anything it accepts must round-trip.
+func FuzzParse(f *testing.F) {
+	p, _ := ProfileByName("gcc")
+	var seed bytes.Buffer
+	if err := Save(&seed, Collect(MustGenerator(p, 1), 64)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("ccnvmt\x01garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Save(&out, ops); err != nil {
+			t.Fatalf("accepted ops failed to save: %v", err)
+		}
+		back, err := Parse(&out)
+		if err != nil || len(back) != len(ops) {
+			t.Fatalf("accepted ops did not round-trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ccnvm/internal/mem"
+)
+
+// Trace files let workloads be recorded once and replayed across tools
+// or checked into experiment archives. The format is a small binary
+// container: an 8-byte magic+version header, the op count, then one
+// 11-byte record per op (flags, address, gap).
+
+var traceMagic = [6]byte{'c', 'c', 'n', 'v', 'm', 't'}
+
+const traceVersion = 1
+
+const (
+	flagStore = 1 << 0
+	flagDep   = 1 << 1
+)
+
+// Save writes ops to w in the trace file format.
+func Save(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(ops)))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return fmt.Errorf("trace: write count: %w", err)
+	}
+	var rec [11]byte
+	for _, op := range ops {
+		rec[0] = 0
+		if op.Kind == Store {
+			rec[0] |= flagStore
+		}
+		if op.Dep {
+			rec[0] |= flagDep
+		}
+		binary.LittleEndian.PutUint64(rec[1:9], uint64(op.Addr))
+		binary.LittleEndian.PutUint16(rec[9:11], op.Gap)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("trace: write op: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads a trace file written by Save.
+func Parse(r io.Reader) ([]Op, error) {
+	br := bufio.NewReader(r)
+	var hdr [7]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if [6]byte(hdr[:6]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:6])
+	}
+	if hdr[6] != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[6])
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("trace: read count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	const maxOps = 1 << 30
+	if n > maxOps {
+		return nil, fmt.Errorf("trace: implausible op count %d", n)
+	}
+	// Cap the upfront allocation: a forged header must not commit
+	// gigabytes before the (truncated) body fails to parse.
+	initial := n
+	if initial > 65536 {
+		initial = 65536
+	}
+	ops := make([]Op, 0, initial)
+	var rec [11]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: read op %d: %w", i, err)
+		}
+		op := Op{
+			Addr: mem.Addr(binary.LittleEndian.Uint64(rec[1:9])),
+			Gap:  binary.LittleEndian.Uint16(rec[9:11]),
+		}
+		if rec[0]&flagStore != 0 {
+			op.Kind = Store
+		}
+		op.Dep = rec[0]&flagDep != 0
+		if op.Kind == Store && op.Dep {
+			return nil, fmt.Errorf("trace: op %d: stores cannot carry the dep flag", i)
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p, _ := ProfileByName("milc")
+	ops := Collect(MustGenerator(p, 5), 10000)
+	var buf bytes.Buffer
+	if err := Save(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("count %d != %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip failed: %v %v", got, err)
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	if _, err := Parse(strings.NewReader("notatrace-file....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, []Op{{Kind: Load, Addr: 0, Gap: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[6] = 99 // version byte
+	if _, err := Parse(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	ops := Collect(MustGenerator(p, 1), 100)
+	var buf bytes.Buffer
+	if err := Save(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for _, cut := range []int{3, 10, len(b) / 2, len(b) - 1} {
+		if _, err := Parse(bytes.NewReader(b[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoadRejectsDepStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, []Op{{Kind: Store, Dep: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(&buf); err == nil {
+		t.Fatal("dep-flagged store accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+// Beyond the SPEC stand-ins, the package offers generic workload
+// shapes for custom experiments: uniform random access, pure streaming,
+// and pointer chasing. All are ordinary Profiles, so they compose with
+// Generator, Collect and the trace file format.
+
+// UniformProfile is uniformly random line access over footprintPages
+// 4 KiB pages with the given store fraction: the worst case for every
+// cache and for dirty-address-queue dedup.
+func UniformProfile(name string, footprintPages int, storeFraction float64) Profile {
+	return Profile{
+		Name:           name,
+		FootprintPages: footprintPages,
+		HotPages:       footprintPages,
+		HotFraction:    0,
+		SeqRun:         1,
+		StoreFraction:  storeFraction,
+		MeanGap:        6,
+		DepFraction:    0.25,
+	}
+}
+
+// StreamProfile is a pure unit-stride sweep (copy/init kernels): long
+// sequential runs with several accesses per line, the best case for
+// epoch-based draining.
+func StreamProfile(name string, footprintPages int, storeFraction float64) Profile {
+	return Profile{
+		Name:            name,
+		FootprintPages:  footprintPages,
+		HotPages:        1,
+		HotFraction:     0,
+		SeqRun:          512,
+		AccessesPerLine: 4,
+		StoreFraction:   storeFraction,
+		MeanGap:         6,
+		DepFraction:     0.1,
+	}
+}
+
+// PointerChaseProfile is a dependent random walk (linked lists, trees):
+// every load feeds the next address, so the core serializes on memory
+// latency — the read-path worst case for the security engine.
+func PointerChaseProfile(name string, footprintPages int) Profile {
+	return Profile{
+		Name:           name,
+		FootprintPages: footprintPages,
+		HotPages:       footprintPages,
+		HotFraction:    0,
+		SeqRun:         1,
+		StoreFraction:  0.02,
+		MeanGap:        4,
+		DepFraction:    1,
+	}
+}
