@@ -1,0 +1,35 @@
+# Developer entry points. Everything is plain go tooling; the targets
+# just pin the combinations CI runs so they are reproducible locally.
+
+GO ?= go
+
+.PHONY: all tier1 vet race ci bench profile clean
+
+all: tier1
+
+# tier1 is the gating check: the build plus the full test suite.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the concurrency-sensitive packages under the race detector:
+# the parallel evaluation matrix and the simulator it drives.
+race:
+	$(GO) test -race ./internal/experiments/ ./internal/sim/
+
+# ci is what a merge must pass.
+ci: tier1 vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# profile captures CPU and heap profiles of a serial Figure 5 run;
+# inspect with `go tool pprof cpu.out`.
+profile:
+	$(GO) run ./cmd/ccnvm-bench -fig 5 -parallel 1 -cpuprofile cpu.out -memprofile mem.out
+
+clean:
+	rm -f cpu.out mem.out

@@ -145,15 +145,17 @@ func BenchmarkSimThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 			ops := ccnvm.CollectOps(g, 20000)
+			var r ccnvm.Result
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m, err := ccnvm.NewMachine(ccnvm.Config{Design: d})
 				if err != nil {
 					b.Fatal(err)
 				}
-				m.Run("gcc", ops)
+				r = m.Run("gcc", ops)
 			}
 			b.ReportMetric(float64(len(ops)*b.N)/b.Elapsed().Seconds(), "simops/s")
+			b.ReportMetric(r.Sec.MemoHitRatio(), "memohit")
 		})
 	}
 }

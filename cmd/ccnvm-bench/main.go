@@ -2,26 +2,59 @@
 // system IPC, Figure 5(b) NVM write traffic, Figure 6(a)/(b) trigger
 // sensitivity, and the headline summary claims. Results are printed as
 // fixed-width tables normalized to the w/o-CC baseline, matching the
-// figures' series.
+// figures' series. Simulations run in parallel by default (one machine
+// per worker); results are bit-identical at any parallelism.
 //
 // Usage:
 //
 //	ccnvm-bench -fig all            # everything (default)
 //	ccnvm-bench -fig 5a -ops 500000 # one figure, bigger traces
 //	ccnvm-bench -summary            # headline claims only
+//	ccnvm-bench -fig 5 -json        # machine-readable output
+//	ccnvm-bench -fig 5 -cpuprofile cpu.out -parallel 1
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
+	"ccnvm/internal/engine"
 	"ccnvm/internal/experiments"
 )
+
+// output is the machine-readable (-json) form of a bench run: the
+// harness metrics (wall time, simulated-op throughput, memo-table hit
+// rates) plus whichever figure datasets were produced.
+type output struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	SimOps      int64   `json:"sim_ops"`        // simulated memory operations, all cells
+	OpsPerSec   float64 `json:"ops_per_sec"`    // SimOps / WallSeconds
+	Parallelism int     `json:"parallelism"`    // worker count used
+	MemoStats   *memo   `json:"memo,omitempty"` // crypto memo-table hit rates (Fig5 cells)
+
+	Fig5     *experiments.Fig5     `json:"fig5,omitempty"`
+	Headline *experiments.Headline `json:"headline,omitempty"`
+	Fig6a    *experiments.Fig6     `json:"fig6a,omitempty"`
+	Fig6b    *experiments.Fig6     `json:"fig6b,omitempty"`
+	Lifetime *experiments.Lifetime `json:"lifetime,omitempty"`
+}
+
+// memo aggregates the crypto memo-table counters over every Fig5 cell.
+type memo struct {
+	PadHitRatio     float64 `json:"pad_hit_ratio"`
+	DataHitRatio    float64 `json:"data_hmac_hit_ratio"`
+	NodeHitRatio    float64 `json:"node_hmac_hit_ratio"`
+	DefaultHitRatio float64 `json:"default_line_hit_ratio"`
+	Overall         float64 `json:"overall_hit_ratio"`
+}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5, 6a, 6b, 6, all")
@@ -29,12 +62,27 @@ func main() {
 	lifetime := flag.String("lifetime", "", "also print the NVM endurance table for this workload (e.g. lbm)")
 	recoveryTab := flag.Bool("recovery", false, "also print the design x attack recovery matrix")
 	csvDir := flag.String("csv", "", "also write fig5.csv / fig6a.csv / fig6b.csv into this directory")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	ops := flag.Int("ops", 300000, "memory operations per trace")
 	warmup := flag.Int("warmup", 0, "warm-up operations excluded from statistics")
 	seed := flag.Int64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
 	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	o := experiments.Options{Ops: *ops, Warmup: *warmup, Seed: *seed, Parallelism: *parallel}
 	if *benchList != "" {
@@ -45,18 +93,27 @@ func main() {
 	runF6a := !*summary && (*fig == "all" || *fig == "6" || *fig == "6a")
 	runF6b := !*summary && (*fig == "all" || *fig == "6" || *fig == "6b")
 
+	out := output{Parallelism: *parallel}
+	start := time.Now()
 	if runFig5 {
 		f5, err := experiments.RunFig5(o)
 		if err != nil {
 			fatal(err)
 		}
-		if !*summary && (*fig == "all" || *fig == "5" || *fig == "5a") {
-			fmt.Println(f5.IPCTable())
+		h := f5.Headline()
+		out.Fig5, out.Headline = f5, &h
+		out.MemoStats = memoStats(f5)
+		// One implicit w/o-CC baseline run joins the matrix when absent.
+		out.SimOps += cellOps(f5, o)
+		if !*asJSON {
+			if !*summary && (*fig == "all" || *fig == "5" || *fig == "5a") {
+				fmt.Println(f5.IPCTable())
+			}
+			if !*summary && (*fig == "all" || *fig == "5" || *fig == "5b") {
+				fmt.Println(f5.WriteTable())
+			}
+			fmt.Println(h)
 		}
-		if !*summary && (*fig == "all" || *fig == "5" || *fig == "5b") {
-			fmt.Println(f5.WriteTable())
-		}
-		fmt.Println(f5.Headline())
 		if *csvDir != "" {
 			if err := writeCSV(filepath.Join(*csvDir, "fig5.csv"), f5.WriteCSV); err != nil {
 				fatal(err)
@@ -68,7 +125,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(f6.Tables())
+		out.Fig6a = f6
+		out.SimOps += sweepOps(f6, o)
+		if !*asJSON {
+			fmt.Println(f6.Tables())
+		}
 		if *csvDir != "" {
 			if err := writeCSV(filepath.Join(*csvDir, "fig6a.csv"), f6.WriteCSV); err != nil {
 				fatal(err)
@@ -80,7 +141,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(f6.Tables())
+		out.Fig6b = f6
+		out.SimOps += sweepOps(f6, o)
+		if !*asJSON {
+			fmt.Println(f6.Tables())
+		}
 		if *csvDir != "" {
 			if err := writeCSV(filepath.Join(*csvDir, "fig6b.csv"), f6.WriteCSV); err != nil {
 				fatal(err)
@@ -92,15 +157,113 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(lt.Table(*lifetime))
+		out.Lifetime = lt
+		out.SimOps += int64(len(lt.Designs)) * int64(*ops)
+		if !*asJSON {
+			fmt.Println(lt.Table(*lifetime))
+		}
 	}
 	if *recoveryTab {
 		rm, err := experiments.RunRecoveryMatrix(nil)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(rm.Table())
+		if !*asJSON {
+			fmt.Println(rm.Table())
+		}
 	}
+	out.WallSeconds = time.Since(start).Seconds()
+	if out.WallSeconds > 0 {
+		out.OpsPerSec = float64(out.SimOps) / out.WallSeconds
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// cellOps counts the simulated memory operations behind a Fig5 matrix,
+// including the implicit w/o-CC baseline column when it was added.
+func cellOps(f *experiments.Fig5, o experiments.Options) int64 {
+	designs := len(f.Designs)
+	hasBase := false
+	for _, d := range f.Designs {
+		if d == "wocc" {
+			hasBase = true
+		}
+	}
+	if !hasBase {
+		designs++
+	}
+	return int64(designs) * int64(len(f.Benchmarks)) * int64(opsOf(o))
+}
+
+// sweepOps counts the simulated operations behind a Fig6 sweep: each
+// point runs the plotted designs plus the w/o-CC baseline.
+func sweepOps(f *experiments.Fig6, o experiments.Options) int64 {
+	if len(f.Designs) == 0 {
+		return 0
+	}
+	points := len(f.Points[f.Designs[0]])
+	benches := len(o.Benchmarks)
+	if benches == 0 {
+		benches = 8
+	}
+	return int64(points) * int64(len(f.Designs)+1) * int64(benches) * int64(opsOf(o))
+}
+
+func opsOf(o experiments.Options) int {
+	if o.Ops == 0 {
+		return 300000
+	}
+	return o.Ops
+}
+
+// memoStats sums the crypto memo counters over all Fig5 cells.
+func memoStats(f *experiments.Fig5) *memo {
+	var s engine.SecStats
+	for _, row := range f.Cells {
+		for _, c := range row {
+			s.PadCacheHits += c.Raw.Sec.PadCacheHits
+			s.PadCacheMisses += c.Raw.Sec.PadCacheMisses
+			s.DataMemoHits += c.Raw.Sec.DataMemoHits
+			s.DataMemoMisses += c.Raw.Sec.DataMemoMisses
+			s.NodeMemoHits += c.Raw.Sec.NodeMemoHits
+			s.NodeMemoMisses += c.Raw.Sec.NodeMemoMisses
+			s.DefaultLineHits += c.Raw.Sec.DefaultLineHits
+			s.DefaultLineMisses += c.Raw.Sec.DefaultLineMisses
+		}
+	}
+	return &memo{
+		PadHitRatio:     ratio(s.PadCacheHits, s.PadCacheMisses),
+		DataHitRatio:    ratio(s.DataMemoHits, s.DataMemoMisses),
+		NodeHitRatio:    ratio(s.NodeMemoHits, s.NodeMemoMisses),
+		DefaultHitRatio: ratio(s.DefaultLineHits, s.DefaultLineMisses),
+		Overall:         s.MemoHitRatio(),
+	}
+}
+
+func ratio(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 // writeCSV creates path and streams one table into it.

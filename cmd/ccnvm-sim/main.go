@@ -4,10 +4,15 @@
 // controller contention. It is the inspection tool behind the
 // aggregated figures of ccnvm-bench.
 //
+// -design also accepts a comma-separated list or "all"; multiple
+// designs run concurrently (each worker owns a full machine) and report
+// in the order given.
+//
 // Usage:
 //
 //	ccnvm-sim -design ccnvm -benchmark gcc -ops 300000
 //	ccnvm-sim -design sc -benchmark lbm -n 8 -m 48
+//	ccnvm-sim -design all -benchmark gcc -json
 package main
 
 import (
@@ -15,6 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 
 	"ccnvm/internal/engine"
 	"ccnvm/internal/report"
@@ -23,7 +31,7 @@ import (
 )
 
 func main() {
-	design := flag.String("design", "ccnvm", "design: wocc, sc, osiris, ccnvm-wods, ccnvm, ccnvm-ext")
+	design := flag.String("design", "ccnvm", "design (wocc, sc, osiris, ccnvm-wods, ccnvm, ccnvm-ext), a comma-separated list, or \"all\"")
 	bench := flag.String("benchmark", "gcc", "workload: one of the eight SPEC stand-ins")
 	ops := flag.Int("ops", 300000, "memory operations")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -31,53 +39,120 @@ func main() {
 	m := flag.Int("m", 64, "dirty address queue entries M")
 	capacity := flag.Uint64("capacity", 16<<30, "NVM capacity in bytes")
 	traceFile := flag.String("trace", "", "replay a recorded trace file instead of a generated workload")
-	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations when multiple designs are given")
+	asJSON := flag.Bool("json", false, "emit the result as JSON (an array when multiple designs are given)")
 	flag.Parse()
 
 	cfg := sim.Config{
 		Capacity: *capacity,
 		Params:   engine.Params{UpdateLimit: *n, QueueEntries: *m},
 	}
-	var r sim.Result
-	var err error
+	designs := parseDesigns(*design)
+	if len(designs) == 0 {
+		fatal(fmt.Errorf("-design %q names no designs", *design))
+	}
+
+	// A recorded trace is parsed once and replayed read-only by every
+	// design's private machine.
+	var traceOps []trace.Op
 	if *traceFile != "" {
-		r, err = runTraceFile(*design, *traceFile, cfg)
-	} else {
-		r, err = sim.RunBenchmark(*design, *bench, *ops, *seed, cfg)
+		var err error
+		traceOps, err = parseTraceFile(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ccnvm-sim:", err)
-		os.Exit(1)
+	runOne := func(d string) (sim.Result, error) {
+		if traceOps != nil {
+			c := cfg
+			c.Design = d
+			mach, err := sim.New(c)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return mach.Run(*traceFile, traceOps), nil
+		}
+		return sim.RunBenchmark(d, *bench, *ops, *seed, cfg)
 	}
+
+	results := make([]sim.Result, len(designs))
+	errs := make([]error, len(designs))
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(designs) {
+		workers = len(designs)
+	}
+	var wg sync.WaitGroup
+	in := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range in {
+				results[i], errs[i] = runOne(designs[i])
+			}
+		}()
+	}
+	for i := range designs {
+		in <- i
+	}
+	close(in)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(r); err != nil {
-			fmt.Fprintln(os.Stderr, "ccnvm-sim:", err)
-			os.Exit(1)
+		var err error
+		if len(results) == 1 {
+			err = enc.Encode(results[0]) // back-compat: single object
+		} else {
+			err = enc.Encode(results)
+		}
+		if err != nil {
+			fatal(err)
 		}
 		return
 	}
-	fmt.Print(Render(r))
+	for _, r := range results {
+		fmt.Print(Render(r))
+	}
 }
 
-// runTraceFile replays a recorded trace on the chosen design.
-func runTraceFile(design, path string, cfg sim.Config) (sim.Result, error) {
+// parseDesigns expands the -design flag: a single name, a
+// comma-separated list, or "all" for the paper's five designs.
+func parseDesigns(s string) []string {
+	if s == "all" {
+		return sim.Designs()
+	}
+	var out []string
+	for _, d := range strings.Split(s, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// parseTraceFile loads a recorded trace from disk.
+func parseTraceFile(path string) ([]trace.Op, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return sim.Result{}, err
+		return nil, err
 	}
 	defer f.Close()
-	ops, err := trace.Parse(f)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	cfg.Design = design
-	m, err := sim.New(cfg)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return m.Run(path, ops), nil
+	return trace.Parse(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccnvm-sim:", err)
+	os.Exit(1)
 }
 
 // Render formats one result as a detailed report.
@@ -99,6 +174,7 @@ func Render(r sim.Result) string {
 	t.AddRow("memory reads (engine)", fmt.Sprintf("%d", r.Sec.Reads))
 	t.AddRow("HMAC ops", fmt.Sprintf("%d", r.Sec.HMACOps))
 	t.AddRow("AES ops", fmt.Sprintf("%d", r.Sec.AESOps))
+	t.AddRow("crypto memo hit ratio", fmt.Sprintf("%.4f", r.Sec.MemoHitRatio()))
 	t.AddRow("integrity violations", fmt.Sprintf("%d", r.Sec.IntegrityViolations))
 	t.AddRow("counter overflows", fmt.Sprintf("%d", r.Sec.CounterOverflows))
 	t.AddRow("stale-counter retries", fmt.Sprintf("%d", r.Sec.StaleCounterRetries))

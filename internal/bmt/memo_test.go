@@ -1,0 +1,67 @@
+package bmt
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccnvm/internal/mem"
+	"ccnvm/internal/seccrypto"
+)
+
+// TestTreeMemoizedMatchesUncached drives the Merkle tree with a cached
+// and an uncached crypto engine over the same randomized counter
+// workload: roots, rebuilt nodes and verification outcomes must be
+// identical. This covers the node-HMAC memo end to end, including the
+// default-subtree reuse that makes it effective on sparse images.
+func TestTreeMemoizedMatchesUncached(t *testing.T) {
+	lay := mem.MustLayout(64 << 20)
+	cachedTree := New(lay, seccrypto.MustEngine(seccrypto.DefaultKeys()))
+	uncachedCry, err := seccrypto.NewEngineUncached(seccrypto.DefaultKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenTree := New(lay, uncachedCry)
+
+	st := &mem.Store{}
+	rng := rand.New(rand.NewSource(7))
+	leaves := lay.LevelNodes(0)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 20; i++ {
+			writeCounter(cachedTree, st, uint64(rng.Intn(int(leaves))), 1+rng.Intn(3))
+		}
+		var counters []mem.Addr
+		for _, a := range st.Addrs() {
+			if lay.RegionOf(a) == mem.RegionCounter {
+				counters = append(counters, a)
+			}
+		}
+		nodes, root := cachedTree.Rebuild(st, counters)
+		goldenNodes, goldenRoot := goldenTree.Rebuild(st, counters)
+		if root != goldenRoot {
+			t.Fatalf("round %d: memoized root diverges from uncached", round)
+		}
+		if len(nodes) != len(goldenNodes) {
+			t.Fatalf("round %d: node count %d vs %d", round, len(nodes), len(goldenNodes))
+		}
+		for a, n := range nodes {
+			if goldenNodes[a] != n {
+				t.Fatalf("round %d: node %#x diverges", round, a)
+			}
+		}
+		for a, n := range nodes {
+			st.Write(a, n)
+		}
+		if got := cachedTree.RootNode(st); got != goldenTree.RootNode(st) {
+			t.Fatalf("round %d: RootNode diverges", round)
+		}
+		if bad := cachedTree.VerifyAll(st, root, st.Addrs()); len(bad) != 0 {
+			t.Fatalf("round %d: memoized verify flagged %v", round, bad)
+		}
+		if bad := goldenTree.VerifyAll(st, root, st.Addrs()); len(bad) != 0 {
+			t.Fatalf("round %d: uncached verify flagged %v", round, bad)
+		}
+	}
+	if cs := cachedTree.Crypto().CacheStats(); cs.NodeHits == 0 {
+		t.Fatalf("tree workload never hit the node memo: %+v", cs)
+	}
+}

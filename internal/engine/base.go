@@ -46,6 +46,17 @@ type Base struct {
 	wbSlots  []int64
 
 	pendingEvicts []EvictRec
+	// pendingIdx maps an address to the newest pending-evict record
+	// holding it, so victim forwarding and in-place victim updates stay
+	// O(1) when the queue grows long. nil means stale: it is rebuilt
+	// lazily on the next lookup and invalidated by bulk mutations
+	// (TakePendingEvicts, RequeueEvicts).
+	pendingIdx map[mem.Addr]int
+
+	// defLines memoizes synthesized default data-HMAC lines (four SHA-1
+	// HMACs each), which profiling shows dominate read-path time on
+	// sparse images. Direct-mapped and bounded, like the seccrypto memos.
+	defLines []defLineSlot
 
 	// OnViolation, when set, observes runtime integrity failures with a
 	// short site tag; tests use it to pinpoint verification bugs.
@@ -73,9 +84,13 @@ func (b *Base) InitBase(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Cont
 	b.P = p
 	b.VerifyFetchedMeta = true
 	b.wbSlots = make([]int64, p.WritebackBuffer)
+	b.defLines = make([]defLineSlot, defLineSlots)
 	b.Meta = metacache.New(metaCfg, func(a mem.Addr, l mem.Line, dirty bool) {
 		if dirty {
 			b.pendingEvicts = append(b.pendingEvicts, EvictRec{Addr: a, Line: l})
+			if b.pendingIdx != nil {
+				b.pendingIdx[a] = len(b.pendingEvicts) - 1
+			}
 		}
 	})
 	// An empty NVM implies the default tree; both root registers start
@@ -102,6 +117,7 @@ func (emptyReader) Read(mem.Addr) (mem.Line, bool) { return mem.Line{}, false }
 func (b *Base) TakePendingEvicts() []EvictRec {
 	e := b.pendingEvicts
 	b.pendingEvicts = nil
+	b.pendingIdx = nil
 	return e
 }
 
@@ -109,17 +125,36 @@ func (b *Base) TakePendingEvicts() []EvictRec {
 // the pending queue; designs that persist victims one at a time use it.
 func (b *Base) RequeueEvicts(recs []EvictRec) {
 	b.pendingEvicts = append(recs, b.pendingEvicts...)
+	b.pendingIdx = nil // indices shifted; rebuild on next lookup
+}
+
+// findPendingEvict returns the index of the newest pending record at a,
+// or -1. It maintains the address index lazily: a full scan happens at
+// most once per bulk queue mutation, keeping lookups O(1) amortized
+// instead of O(queue length) each.
+func (b *Base) findPendingEvict(a mem.Addr) int {
+	if len(b.pendingEvicts) == 0 {
+		return -1
+	}
+	if b.pendingIdx == nil {
+		b.pendingIdx = make(map[mem.Addr]int, len(b.pendingEvicts))
+		for i := range b.pendingEvicts {
+			b.pendingIdx[b.pendingEvicts[i].Addr] = i
+		}
+	}
+	if i, ok := b.pendingIdx[a]; ok {
+		return i
+	}
+	return -1
 }
 
 // UpdatePendingEvict applies mutate to the pending victim at a, if one
 // exists, returning its updated content. It lets eviction policies fold
 // child HMACs into parents that are themselves awaiting persistence.
 func (b *Base) UpdatePendingEvict(a mem.Addr, mutate func(*mem.Line)) (mem.Line, bool) {
-	for i := len(b.pendingEvicts) - 1; i >= 0; i-- {
-		if b.pendingEvicts[i].Addr == a {
-			mutate(&b.pendingEvicts[i].Line)
-			return b.pendingEvicts[i].Line, true
-		}
+	if i := b.findPendingEvict(a); i >= 0 {
+		mutate(&b.pendingEvicts[i].Line)
+		return b.pendingEvicts[i].Line, true
 	}
 	return mem.Line{}, false
 }
@@ -127,8 +162,16 @@ func (b *Base) UpdatePendingEvict(a mem.Addr, mutate func(*mem.Line)) (mem.Line,
 // StatsRef exposes the mutable statistics to designs in this module.
 func (b *Base) StatsRef() *SecStats { return &b.stats }
 
-// Stats returns a copy of the accumulated statistics.
-func (b *Base) Stats() SecStats { return b.stats }
+// Stats returns a copy of the accumulated statistics, folding in the
+// crypto engine's memo-table counters.
+func (b *Base) Stats() SecStats {
+	s := b.stats
+	cs := b.Cry.CacheStats()
+	s.PadCacheHits, s.PadCacheMisses = cs.PadHits, cs.PadMisses
+	s.DataMemoHits, s.DataMemoMisses = cs.DataHits, cs.DataMisses
+	s.NodeMemoHits, s.NodeMemoMisses = cs.NodeHits, cs.NodeMisses
+	return s
+}
 
 // HMACOp schedules a chain of n dependent HMAC computations and
 // returns the completion cycle. The unit is modelled as fully
@@ -174,16 +217,42 @@ func (b *Base) AcquireWBSlot(now int64) (int, int64) {
 // ReleaseWBSlot marks slot busy until done.
 func (b *Base) ReleaseWBSlot(slot int, done int64) { b.wbSlots[slot] = done }
 
+// defLineSlots bounds the default-HMAC-line memo (power of two;
+// 1024 x ~80 B = ~80 KB).
+const defLineSlots = 1024
+
+// defLineSlot memoizes one synthesized default data-HMAC line.
+type defLineSlot struct {
+	ha   mem.Addr
+	live bool
+	line mem.Line
+}
+
 // DefaultHMACLine synthesizes the content of a never-written data-HMAC
 // line: each slot holds the HMAC of a zero ciphertext with counter 0 at
 // the slot's data address, which is exactly what verification of a
-// never-written block expects.
+// never-written block expects. The content is a pure function of the
+// keys and ha, so it is served from a bounded direct-mapped memo —
+// sparse-image read paths otherwise recompute four SHA-1 HMACs per
+// never-written line touched.
 func (b *Base) DefaultHMACLine(ha mem.Addr) mem.Line {
+	var slot *defLineSlot
+	if b.defLines != nil {
+		slot = &b.defLines[mem.Mix64(uint64(ha))&(defLineSlots-1)]
+		if slot.live && slot.ha == ha {
+			b.stats.DefaultLineHits++
+			return slot.line
+		}
+		b.stats.DefaultLineMisses++
+	}
 	var l mem.Line
 	lineIdx := uint64(ha-b.Lay.HMACBase) / mem.LineSize
 	for s := 0; s < mem.HMACsPerLine; s++ {
 		dataAddr := mem.Addr((lineIdx*mem.HMACsPerLine + uint64(s)) * mem.LineSize)
 		seccrypto.PutHMAC(&l, s, b.Cry.DataHMAC(dataAddr, 0, mem.Line{}))
+	}
+	if slot != nil {
+		slot.ha, slot.line, slot.live = ha, l, true
 	}
 	return l
 }
@@ -217,10 +286,8 @@ func (b *Base) readHMACLineBypass(now int64, addr mem.Addr) (mem.Line, int, int6
 // policy, or a line in the design's stash. Such content is trusted (it
 // never left the TCB) and must shadow the NVM copy.
 func (b *Base) onChip(a mem.Addr) (mem.Line, bool) {
-	for i := len(b.pendingEvicts) - 1; i >= 0; i-- {
-		if b.pendingEvicts[i].Addr == a {
-			return b.pendingEvicts[i].Line, true
-		}
+	if i := b.findPendingEvict(a); i >= 0 {
+		return b.pendingEvicts[i].Line, true
 	}
 	if b.StashLookup != nil {
 		return b.StashLookup(a)
@@ -518,6 +585,7 @@ func (b *Base) UpdatePathInCache(now int64, leafIdx uint64) (int64, int) {
 func (b *Base) ApplyCrashVolatility() {
 	b.Meta.Lose()
 	b.pendingEvicts = nil
+	b.pendingIdx = nil
 	b.Ctrl.Crash()
 	for i := range b.wbSlots {
 		b.wbSlots[i] = 0

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"ccnvm/internal/engine"
@@ -32,10 +33,14 @@ type Options struct {
 	UpdateLimit  uint64
 	QueueEntries int
 
-	// Parallelism bounds concurrent simulations; machines are
-	// independent, so cells of the design x benchmark matrix run on
-	// separate goroutines. Default: 1 (deterministic output ordering is
-	// preserved either way; results are identical by construction).
+	// Parallelism bounds concurrent simulations. Default:
+	// runtime.NumCPU(). Every worker owns a complete simulated machine
+	// (core, caches, engine, NVM, crypto) — sim machines and their
+	// crypto Engines are not concurrency-safe, and nothing is shared
+	// between cells — so results are bit-identical at any parallelism;
+	// only wall-clock time changes. Output ordering is deterministic
+	// either way because results land in keyed maps. Set to 1 to force
+	// serial execution (e.g. when profiling a single run).
 	Parallelism int
 }
 
@@ -62,7 +67,7 @@ func (o *Options) fill() {
 		o.QueueEntries = 64
 	}
 	if o.Parallelism == 0 {
-		o.Parallelism = 1
+		o.Parallelism = runtime.NumCPU()
 	}
 }
 
@@ -317,12 +322,13 @@ func RunLifetime(o Options, benchmark string) (*Lifetime, error) {
 		MaxWear:   map[string]uint64{},
 		RelativeL: map[string]float64{},
 	}
+	matrix, err := runMatrix(o, o.Designs, []string{benchmark})
+	if err != nil {
+		return nil, err
+	}
 	var baseWear uint64
 	for _, d := range o.Designs {
-		r, err := runOne(d, benchmark, o)
-		if err != nil {
-			return nil, err
-		}
+		r := matrix[d][benchmark]
 		l.Writes[d] = r.NVMWrites.Total()
 		l.MaxWear[d] = r.MaxWear
 		if d == "wocc" {
@@ -403,26 +409,21 @@ func RunFig6b(o Options, ms []int) (*Fig6, error) {
 }
 
 // sweepPoint measures one parameter value across designs, normalizing
-// against a w/o-CC run of the same workloads.
+// against a w/o-CC run of the same workloads. The whole
+// (baseline + designs) × benchmarks block goes through runMatrix so
+// one sweep point saturates the worker pool.
 func sweepPoint(f *Fig6, o Options, param uint64, designs []string) error {
-	var baseIPC, baseWr []float64
-	for _, b := range o.Benchmarks {
-		r, err := runOne("wocc", b, o)
-		if err != nil {
-			return err
-		}
-		baseIPC = append(baseIPC, r.IPC)
-		baseWr = append(baseWr, float64(r.NVMWrites.Total()))
+	matrix, err := runMatrix(o, append([]string{"wocc"}, designs...), o.Benchmarks)
+	if err != nil {
+		return err
 	}
+	base := matrix["wocc"]
 	for _, d := range designs {
 		var ipcs, wrs []float64
-		for i, b := range o.Benchmarks {
-			r, err := runOne(d, b, o)
-			if err != nil {
-				return err
-			}
-			ipcs = append(ipcs, r.IPC/baseIPC[i])
-			wrs = append(wrs, float64(r.NVMWrites.Total())/baseWr[i])
+		for _, b := range o.Benchmarks {
+			r := matrix[d][b]
+			ipcs = append(ipcs, r.IPC/base[b].IPC)
+			wrs = append(wrs, float64(r.NVMWrites.Total())/float64(base[b].NVMWrites.Total()))
 		}
 		f.Points[d] = append(f.Points[d], SweepPoint{
 			Param:     param,

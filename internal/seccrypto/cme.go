@@ -37,19 +37,49 @@ func DefaultKeys() Keys {
 // Engine performs the actual cryptography: OTP generation, block
 // encryption/decryption and HMAC computation. A reusable HMAC instance
 // avoids re-deriving the key pads on every authentication, which the
-// simulator performs millions of times; as a consequence an Engine is
-// not safe for concurrent use — give each goroutine its own.
+// simulator performs millions of times, and bounded direct-mapped memo
+// tables (see memo.go) serve recurring pads and HMACs without redoing
+// the AES/SHA-1 work; as a consequence an Engine is not safe for
+// concurrent use — give each goroutine its own.
 type Engine struct {
 	block cipher.Block
 	hkey  []byte
 	mac   hash.Hash
 	sum   [sha1.Size]byte
+
+	// Scratch buffers keep hot-path crypto allocation free: slices of
+	// local arrays passed to hash/cipher interface methods escape, so
+	// inputs are staged in engine-owned memory instead.
+	msg        [mem.LineSize + 16]byte // HMAC input: line content (+ addr/counter header)
+	seed       [16]byte                // AES pad seed
+	padScratch mem.Line                // pad destination when the pad cache is off
+
+	// Memo tables; nil when the engine is uncached.
+	pads   []padSlot
+	datas  []dataSlot
+	nodes  []nodeSlot
+	cstats CacheStats
 }
 
-// NewEngine builds an Engine from keys. It fails only if the AES key
-// size is rejected by the cipher package, which cannot happen for the
-// fixed 16-byte key type, but the error is propagated for form.
+// NewEngine builds an Engine from keys, with the default memo tables
+// enabled. It fails only if the AES key size is rejected by the cipher
+// package, which cannot happen for the fixed 16-byte key type, but the
+// error is propagated for form.
 func NewEngine(k Keys) (*Engine, error) {
+	e, err := NewEngineUncached(k)
+	if err != nil {
+		return nil, err
+	}
+	e.pads = make([]padSlot, DefaultPadSlots)
+	e.datas = make([]dataSlot, DefaultDataSlots)
+	e.nodes = make([]nodeSlot, DefaultNodeSlots)
+	return e, nil
+}
+
+// NewEngineUncached builds an Engine with memoization disabled: every
+// call performs the full AES/SHA-1 computation. Equivalence tests use
+// it as the golden reference for the cached engine.
+func NewEngineUncached(k Keys) (*Engine, error) {
 	b, err := aes.NewCipher(k.AES[:])
 	if err != nil {
 		return nil, fmt.Errorf("seccrypto: %w", err)
@@ -68,23 +98,23 @@ func MustEngine(k Keys) *Engine {
 	return e
 }
 
-// pad generates the 64-byte one-time pad for (addr, counter): four AES
-// blocks, each encrypting a seed of the line address, the effective
-// counter and the block index within the line. Seed uniqueness is the
-// CME security requirement; it holds because counters never repeat for
-// the same address and the address/block-index pair separates pads
-// spatially.
-func (e *Engine) pad(addr mem.Addr, counter uint64) mem.Line {
-	var p mem.Line
-	var seed [16]byte
-	binary.LittleEndian.PutUint64(seed[0:8], uint64(addr))
-	binary.LittleEndian.PutUint64(seed[8:16], counter)
+// CacheStats returns the engine's memo-table hit/miss counters.
+func (e *Engine) CacheStats() CacheStats { return e.cstats }
+
+// computePad generates the 64-byte one-time pad for (addr, counter)
+// into dst: four AES blocks, each encrypting a seed of the line
+// address, the effective counter and the block index within the line.
+// Seed uniqueness is the CME security requirement; it holds because
+// counters never repeat for the same address and the address/block-
+// index pair separates pads spatially.
+func (e *Engine) computePad(dst *mem.Line, addr mem.Addr, counter uint64) {
+	binary.LittleEndian.PutUint64(e.seed[0:8], uint64(addr))
+	binary.LittleEndian.PutUint64(e.seed[8:16], counter)
 	for i := 0; i < mem.LineSize/aes.BlockSize; i++ {
-		seed[7] ^= byte(i) // fold the intra-line block index into the seed
-		e.block.Encrypt(p[i*aes.BlockSize:(i+1)*aes.BlockSize], seed[:])
-		seed[7] ^= byte(i)
+		e.seed[7] ^= byte(i) // fold the intra-line block index into the seed
+		e.block.Encrypt(dst[i*aes.BlockSize:(i+1)*aes.BlockSize], e.seed[:])
+		e.seed[7] ^= byte(i)
 	}
-	return p
 }
 
 // Encrypt XORs plaintext with the OTP of (addr, counter).
@@ -98,10 +128,11 @@ func (e *Engine) Encrypt(addr mem.Addr, counter uint64, plaintext mem.Line) mem.
 	if counter == 0 {
 		return plaintext
 	}
-	p := e.pad(addr, counter)
+	p := e.padFor(addr, counter)
 	var ct mem.Line
-	for i := range ct {
-		ct[i] = plaintext[i] ^ p[i]
+	for i := 0; i < mem.LineSize; i += 8 {
+		binary.LittleEndian.PutUint64(ct[i:],
+			binary.LittleEndian.Uint64(plaintext[i:])^binary.LittleEndian.Uint64(p[i:]))
 	}
 	return ct
 }
@@ -121,12 +152,29 @@ type HMAC [mem.HMACSize]byte
 // scheme leave data blocks out of the tree while remaining immune to
 // replay.
 func (e *Engine) DataHMAC(addr mem.Addr, counter uint64, ciphertext mem.Line) HMAC {
+	if e.datas == nil {
+		return e.computeDataHMAC(addr, counter, &ciphertext)
+	}
+	s := &e.datas[mem.Mix64(uint64(addr)^mem.Mix64(counter))&uint64(len(e.datas)-1)]
+	if s.live && s.addr == addr && s.counter == counter && s.ct == ciphertext {
+		e.cstats.DataHits++
+		return s.h
+	}
+	e.cstats.DataMisses++
+	h := e.computeDataHMAC(addr, counter, &ciphertext)
+	s.addr, s.counter, s.ct, s.h, s.live = addr, counter, ciphertext, h, true
+	return h
+}
+
+// computeDataHMAC performs the actual keyed hash. The message (the
+// ciphertext followed by the addr/counter header) is staged in the
+// engine's scratch buffer so nothing escapes to the heap per call.
+func (e *Engine) computeDataHMAC(addr mem.Addr, counter uint64, ciphertext *mem.Line) HMAC {
+	copy(e.msg[:mem.LineSize], ciphertext[:])
+	binary.LittleEndian.PutUint64(e.msg[mem.LineSize:mem.LineSize+8], uint64(addr))
+	binary.LittleEndian.PutUint64(e.msg[mem.LineSize+8:], counter)
 	e.mac.Reset()
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], uint64(addr))
-	binary.LittleEndian.PutUint64(hdr[8:16], counter)
-	e.mac.Write(ciphertext[:])
-	e.mac.Write(hdr[:])
+	e.mac.Write(e.msg[:])
 	var h HMAC
 	copy(h[:], e.mac.Sum(e.sum[:0]))
 	return h
@@ -139,8 +187,26 @@ func (e *Engine) DataHMAC(addr mem.Addr, counter uint64, ciphertext mem.Line) HM
 // deliberately not an input — this keeps default (all-zero) subtrees
 // uniform per level, which lets sparse images memoize them.
 func (e *Engine) NodeHMAC(child mem.Line) HMAC {
+	if e.nodes == nil {
+		return e.computeNodeHMAC(&child)
+	}
+	s := &e.nodes[mem.HashLine(&child)&uint64(len(e.nodes)-1)]
+	if s.live && s.content == child {
+		e.cstats.NodeHits++
+		return s.h
+	}
+	e.cstats.NodeMisses++
+	h := e.computeNodeHMAC(&child)
+	s.content, s.h, s.live = child, h, true
+	return h
+}
+
+// computeNodeHMAC performs the actual keyed hash over a node's content,
+// staged through the engine scratch buffer like computeDataHMAC.
+func (e *Engine) computeNodeHMAC(child *mem.Line) HMAC {
+	copy(e.msg[:mem.LineSize], child[:])
 	e.mac.Reset()
-	e.mac.Write(child[:])
+	e.mac.Write(e.msg[:mem.LineSize])
 	var h HMAC
 	copy(h[:], e.mac.Sum(e.sum[:0]))
 	return h

@@ -1,0 +1,90 @@
+package seccrypto
+
+import "ccnvm/internal/mem"
+
+// The engine's memo tables exploit the redundancy of security-metadata
+// accesses (Phoenix and "Streamlining Integrity Tree Updates" make the
+// same observation in hardware): the simulator recomputes the same OTP
+// pads, data HMACs and tree-node HMACs constantly, and every recompute
+// is real AES/SHA-1 work. Each table is a fixed-size direct-mapped
+// array indexed by a deterministic hash; a hit requires an exact key
+// match (full 64-byte content compare where content is part of the
+// key), so memoized answers are bit-identical to recomputed ones by
+// construction, and a run's results cannot depend on cache geometry.
+// Plain Go maps are deliberately avoided: bounded memory, no GC
+// pressure, and no seed-randomized behaviour.
+//
+// Default table sizes (entries; must be powers of two):
+const (
+	// DefaultPadSlots bounds the OTP pad cache: 2048 x ~88 B = ~176 KB.
+	DefaultPadSlots = 2048
+	// DefaultDataSlots bounds the data-HMAC memo: 4096 x ~112 B = ~448 KB.
+	DefaultDataSlots = 4096
+	// DefaultNodeSlots bounds the node-HMAC memo: 4096 x ~88 B = ~352 KB.
+	DefaultNodeSlots = 4096
+)
+
+// CacheStats counts memo-table hits and misses. The counters are purely
+// observational: modeled latencies (SecStats.HMACOps/AESOps and the
+// cycle charges) are accounted by the timing model regardless of
+// whether the functional result came from a memo.
+type CacheStats struct {
+	PadHits, PadMisses   uint64 // OTP pad cache (addr, counter) -> pad
+	DataHits, DataMisses uint64 // data-HMAC memo (addr, counter, ct) -> HMAC
+	NodeHits, NodeMisses uint64 // node-HMAC memo (content) -> HMAC
+}
+
+// Add accumulates o into s.
+func (s *CacheStats) Add(o CacheStats) {
+	s.PadHits += o.PadHits
+	s.PadMisses += o.PadMisses
+	s.DataHits += o.DataHits
+	s.DataMisses += o.DataMisses
+	s.NodeHits += o.NodeHits
+	s.NodeMisses += o.NodeMisses
+}
+
+// padSlot caches one generated one-time pad.
+type padSlot struct {
+	addr    mem.Addr
+	counter uint64
+	live    bool
+	pad     mem.Line
+}
+
+// dataSlot caches one data-HMAC result; the ciphertext is part of the
+// key and compared in full on lookup.
+type dataSlot struct {
+	addr    mem.Addr
+	counter uint64
+	live    bool
+	ct      mem.Line
+	h       HMAC
+}
+
+// nodeSlot caches one tree-node HMAC keyed by the node's full content.
+type nodeSlot struct {
+	live    bool
+	content mem.Line
+	h       HMAC
+}
+
+// padFor returns a pointer to the OTP pad for (addr, counter), serving
+// it from the pad cache when possible. The pointer aliases the cache
+// slot (or the uncached scratch pad) and is only valid until the next
+// engine call — callers consume it immediately.
+func (e *Engine) padFor(addr mem.Addr, counter uint64) *mem.Line {
+	if e.pads == nil {
+		e.computePad(&e.padScratch, addr, counter)
+		return &e.padScratch
+	}
+	s := &e.pads[mem.Mix64(uint64(addr)^mem.Mix64(counter))&uint64(len(e.pads)-1)]
+	if s.live && s.addr == addr && s.counter == counter {
+		e.cstats.PadHits++
+		return &s.pad
+	}
+	e.cstats.PadMisses++
+	e.computePad(&s.pad, addr, counter)
+	s.addr, s.counter, s.live = addr, counter, true
+	return &s.pad
+}

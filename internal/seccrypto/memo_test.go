@@ -1,0 +1,97 @@
+package seccrypto
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccnvm/internal/mem"
+)
+
+// TestMemoizedEngineMatchesUncached is the memoization equivalence
+// test: a cached engine and a fresh uncached engine must agree on every
+// ciphertext, plaintext and HMAC over a randomized trace with heavy
+// key reuse (reuse is what populates and exercises the memo tables).
+func TestMemoizedEngineMatchesUncached(t *testing.T) {
+	cached := testEngine(t)
+	golden, err := NewEngineUncached(DefaultKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	// Small pools force repeats: addresses, counters and line payloads
+	// all recur, so hits happen on every table.
+	addrs := make([]mem.Addr, 32)
+	for i := range addrs {
+		addrs[i] = mem.Addr(rng.Intn(1<<20)) * mem.LineSize
+	}
+	lines := make([]mem.Line, 16)
+	for i := range lines {
+		rng.Read(lines[i][:])
+	}
+
+	for i := 0; i < 20000; i++ {
+		addr := addrs[rng.Intn(len(addrs))]
+		counter := uint64(rng.Intn(8)) // includes 0: the never-written path
+		pt := lines[rng.Intn(len(lines))]
+
+		ct := cached.Encrypt(addr, counter, pt)
+		if want := golden.Encrypt(addr, counter, pt); ct != want {
+			t.Fatalf("op %d: Encrypt(%#x, %d) diverges", i, addr, counter)
+		}
+		if got, want := cached.Decrypt(addr, counter, ct), golden.Decrypt(addr, counter, ct); got != want {
+			t.Fatalf("op %d: Decrypt(%#x, %d) diverges", i, addr, counter)
+		} else if got != pt {
+			t.Fatalf("op %d: Decrypt does not invert Encrypt", i)
+		}
+		if got, want := cached.DataHMAC(addr, counter, ct), golden.DataHMAC(addr, counter, ct); got != want {
+			t.Fatalf("op %d: DataHMAC(%#x, %d) diverges", i, addr, counter)
+		}
+		if got, want := cached.NodeHMAC(pt), golden.NodeHMAC(pt); got != want {
+			t.Fatalf("op %d: NodeHMAC diverges", i)
+		}
+	}
+
+	cs := cached.CacheStats()
+	if cs.PadHits == 0 || cs.DataHits == 0 || cs.NodeHits == 0 {
+		t.Fatalf("trace did not exercise all memo tables: %+v", cs)
+	}
+	if gs := golden.CacheStats(); gs != (CacheStats{}) {
+		t.Fatalf("uncached engine counted memo traffic: %+v", gs)
+	}
+}
+
+// TestMemoCollisionEviction pins down the direct-mapped conflict path:
+// two keys that map to the same slot must each still produce correct
+// results as they evict one another.
+func TestMemoCollisionEviction(t *testing.T) {
+	cached := testEngine(t)
+	golden, err := NewEngineUncached(DefaultKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find two (addr, counter) keys that collide in the pad table.
+	slots := uint64(len(cached.pads))
+	a1, c1 := mem.Addr(0), uint64(1)
+	idx := mem.Mix64(uint64(a1)^mem.Mix64(c1)) & (slots - 1)
+	var a2 mem.Addr
+	for a := mem.Addr(mem.LineSize); ; a += mem.LineSize {
+		if mem.Mix64(uint64(a)^mem.Mix64(c1))&(slots-1) == idx {
+			a2 = a
+			break
+		}
+	}
+	var pt mem.Line
+	pt[0] = 0xAB
+	for i := 0; i < 4; i++ { // alternate so each lookup evicts the other
+		if got, want := cached.Encrypt(a1, c1, pt), golden.Encrypt(a1, c1, pt); got != want {
+			t.Fatalf("round %d: colliding key 1 diverges", i)
+		}
+		if got, want := cached.Encrypt(a2, c1, pt), golden.Encrypt(a2, c1, pt); got != want {
+			t.Fatalf("round %d: colliding key 2 diverges", i)
+		}
+	}
+	if cs := cached.CacheStats(); cs.PadMisses < 8 {
+		t.Fatalf("colliding keys did not evict each other: %+v", cs)
+	}
+}
