@@ -3,11 +3,12 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race ci bench profile clean
+.PHONY: all tier1 vet race fuzz-short torture torture-long ci bench profile clean
 
 all: tier1
 
-# tier1 is the gating check: the build plus the full test suite.
+# tier1 is the gating check: the build plus the full test suite (which
+# includes the short torture matrix).
 tier1:
 	$(GO) build ./...
 	$(GO) test ./...
@@ -16,12 +17,28 @@ vet:
 	$(GO) vet ./...
 
 # race runs the concurrency-sensitive packages under the race detector:
-# the parallel evaluation matrix and the simulator it drives.
+# the parallel evaluation matrix, the simulator it drives, and the
+# torture harness's parallel cell runner.
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/sim/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/torture/
+
+# fuzz-short gives each native fuzz target a fixed small budget; crashes
+# land in testdata/fuzz/ as regression inputs.
+fuzz-short:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/trace/
+	$(GO) test -fuzz=FuzzCompressRoundTrip -fuzztime=10s ./internal/compress/
+	$(GO) test -fuzz=FuzzCell -fuzztime=20s ./internal/torture/
+
+# torture runs the full differential crash/attack matrix via the CLI;
+# torture-long widens every axis (minutes, not seconds).
+torture:
+	$(GO) run ./cmd/ccnvm-torture -seeds 8 -designs all
+
+torture-long:
+	$(GO) test ./internal/torture/ -torture.long -timeout 30m -v
 
 # ci is what a merge must pass.
-ci: tier1 vet race
+ci: tier1 vet race fuzz-short
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

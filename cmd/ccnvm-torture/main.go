@@ -1,0 +1,141 @@
+// Command ccnvm-torture runs the differential crash/attack torture
+// matrix: (design x workload x crash point x attack) cells, each
+// executed to a crash image, recovered, and checked against the shared
+// oracle set (see internal/torture). Failures are minimized by the
+// shrinker and printed as one-line repro commands.
+//
+// Usage:
+//
+//	ccnvm-torture -seeds 32 -designs all            # full sweep
+//	ccnvm-torture -designs ccnvm,sc -attacks spoof  # a slice
+//	ccnvm-torture -json                             # machine-readable summary
+//	ccnvm-torture -repro 'design=ccnvm,workload=hot,seed=3,ops=160,crash=80,attack=spoof,n=4,m=0'
+//	ccnvm-torture -break skip-counter-replay        # prove the oracles bite
+//	ccnvm-torture -oracles                          # list the invariants
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ccnvm/internal/torture"
+)
+
+func main() {
+	var (
+		designs   = flag.String("designs", "all", `comma-separated designs, "all", or "paper"`)
+		workloads = flag.String("workloads", "", "comma-separated workloads (default: all)")
+		attacks   = flag.String("attacks", "", `comma-separated attacks incl. "none" (default: all)`)
+		seeds     = flag.Int("seeds", 4, "trace seeds per combination")
+		ops       = flag.Int("ops", 240, "trace length per cell")
+		crashPts  = flag.Int("crashpoints", 3, "crash points per trace")
+		budget    = flag.Int("budget", 0, "max cells, evenly sampled (0 = run all)")
+		parallel  = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		jsonOut   = flag.Bool("json", false, "emit the summary as JSON")
+		repro     = flag.String("repro", "", "replay one cell spec and exit")
+		breakMode = flag.String("break", "", "sabotage recovery (modes: "+strings.Join(torture.BrokenModes(), ", ")+")")
+		oracles   = flag.Bool("oracles", false, "list the oracles and exit")
+		verbose   = flag.Bool("v", false, "print progress")
+	)
+	flag.Parse()
+
+	if *oracles {
+		for _, o := range torture.Oracles() {
+			fmt.Printf("%-16s %s\n", o.Name, o.Doc)
+		}
+		return
+	}
+
+	runner := torture.DefaultRunner()
+	if *breakMode != "" {
+		r, err := torture.BrokenRunner(*breakMode)
+		if err != nil {
+			fatal(err)
+		}
+		runner = r
+		fmt.Printf("recovery sabotaged: %s (the matrix SHOULD fail)\n", *breakMode)
+	}
+
+	if *repro != "" {
+		cell, err := torture.ParseCell(*repro)
+		if err != nil {
+			fatal(err)
+		}
+		if f := runner.RunCell(cell); f != nil {
+			fmt.Printf("FAIL %v\n", f)
+			os.Exit(1)
+		}
+		fmt.Printf("PASS cell %s satisfies every oracle\n", cell.String())
+		return
+	}
+
+	opts := torture.MatrixOpts{
+		Designs:   splitList(*designs, torture.DesignNames(), map[string][]string{"all": torture.DesignNames(), "paper": torture.PaperDesigns()}),
+		Workloads: splitList(*workloads, nil, nil),
+		Attacks:   splitList(*attacks, nil, nil),
+		Seeds:     *seeds,
+		Ops:       *ops,
+		CrashPts:  *crashPts,
+		Budget:    *budget,
+	}
+	cells := torture.EnumerateCells(opts)
+	if !*jsonOut {
+		fmt.Printf("torture: running %d cells on %d designs...\n", len(cells), len(opts.Designs))
+	}
+	var progress func(done, total int, f *torture.Failure)
+	if *verbose && !*jsonOut {
+		progress = func(done, total int, f *torture.Failure) {
+			if f != nil {
+				fmt.Printf("  FAIL %v\n", f)
+			}
+			if done%500 == 0 || done == total {
+				fmt.Printf("  %d/%d cells\n", done, total)
+			}
+		}
+	}
+	sum := torture.RunMatrix(runner, cells, *parallel, progress)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Println(sum.Describe())
+		for _, f := range sum.Failures {
+			fmt.Printf("  oracle %s: %s\n    repro: %s (shrunk in %d runs)\n", f.Oracle, f.Detail, f.Repro, f.ShrinkRuns)
+		}
+	}
+	if sum.Failed() {
+		os.Exit(1)
+	}
+}
+
+// splitList parses a comma-separated flag value; aliases map special
+// values ("all", "paper") to full lists. Empty input returns def (nil
+// lets MatrixOpts fill its own default).
+func splitList(s string, def []string, aliases map[string][]string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return def
+	}
+	if alias, ok := aliases[s]; ok {
+		return alias
+	}
+	var out []string
+	for _, x := range strings.Split(s, ",") {
+		if x = strings.TrimSpace(x); x != "" {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccnvm-torture:", err)
+	os.Exit(1)
+}

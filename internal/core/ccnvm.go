@@ -94,7 +94,14 @@ func NewCCNVMExt(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller,
 func newCCNVM(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, metaCfg metacache.Config, p engine.Params, ds, ext bool) *CCNVM {
 	c := &CCNVM{deferred: ds, extRegs: ext, stash: make(map[mem.Addr]mem.Line)}
 	c.InitBase(lay, keys, ctrl, metaCfg, p)
-	c.queue = NewDirtyAddrQueue(c.P.QueueEntries)
+	// One write-back reserves the counter line plus its whole tree path;
+	// a queue smaller than that cannot accept any write-back even right
+	// after a drain, so clamp the capacity to the hardware floor.
+	entries := c.P.QueueEntries
+	if floor := 1 + lay.InternalLevels; entries < floor {
+		entries = floor
+	}
+	c.queue = NewDirtyAddrQueue(entries)
 	// Stashed epoch lines are still on chip: fetches must see them
 	// instead of the stale NVM copies.
 	c.StashLookup = func(a mem.Addr) (mem.Line, bool) {

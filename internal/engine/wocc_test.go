@@ -1,0 +1,93 @@
+package engine_test
+
+import (
+	"testing"
+
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/recovery"
+)
+
+// TestWoCCWriteBackCounts pins the lazy write-back economics: a
+// write-back persists only data and HMAC; counters and tree nodes stay
+// on chip until Settle flushes them through the lazy rule.
+func TestWoCCWriteBackCounts(t *testing.T) {
+	e, dev := rigDev(t, "wocc", engine.Params{})
+	lay := mem.MustLayout(capacity)
+	const k = 6
+	now := int64(0)
+	for i := 0; i < k; i++ {
+		now = e.WriteBack(now, 0x3000, pattern(0x3000, byte(i))) + 50
+	}
+	w := dev.Writes()
+	if w.Data != k || w.HMAC != k {
+		t.Fatalf("data/HMAC writes = %d/%d, want %d each (%s)", w.Data, w.HMAC, k, w)
+	}
+	if w.Counter != 0 || w.Tree != 0 {
+		t.Fatalf("metadata leaked to NVM before Settle: %s", w)
+	}
+
+	// Settle flushes the one dirty counter line and folds it up the
+	// (entirely off-chip) tree: one counter write, one node per level.
+	e.Settle(now)
+	w = dev.Writes()
+	if w.Counter != 1 {
+		t.Fatalf("settle wrote %d counter lines, want 1 (%s)", w.Counter, w)
+	}
+	if w.Tree != uint64(lay.InternalLevels) {
+		t.Fatalf("settle wrote %d tree nodes, want %d (%s)", w.Tree, lay.InternalLevels, w)
+	}
+}
+
+// TestWoCCSettledCrashRecoverRoundTrip: after Settle, a crash image is
+// fully consistent — recovery is clean with zero retries and the data
+// survives a reboot. This is the only crash w/o CC recovers from.
+func TestWoCCSettledCrashRecoverRoundTrip(t *testing.T) {
+	e, _ := rigDev(t, "wocc", engine.Params{})
+	addrs := []mem.Addr{0x3000, 0x3040, 0x40000}
+	now := int64(0)
+	for i, a := range addrs {
+		now = e.WriteBack(now, a, pattern(a, byte(i))) + 50
+	}
+	now = e.Settle(now)
+
+	img := e.Crash()
+	rep := recovery.Recover(img)
+	if !rep.Clean() {
+		t.Fatalf("settled wocc crash flagged: %+v", rep)
+	}
+	if rep.Nretry != 0 {
+		t.Fatalf("settled image needed %d retries", rep.Nretry)
+	}
+	rec := recovery.Apply(img, rep)
+
+	e2 := reboot(t, "wocc", img, rec, engine.Params{})
+	for i, a := range addrs {
+		pt, _ := e2.ReadBlock(now, a)
+		if pt != pattern(a, byte(i)) {
+			t.Fatalf("rebooted read of %#x returned wrong plaintext", uint64(a))
+		}
+	}
+	if v := e2.Stats().IntegrityViolations; v != 0 {
+		t.Fatalf("%d integrity violations on the rebooted engine", v)
+	}
+}
+
+// TestWoCCUnsettledCrashIsUnrecoverable demonstrates the motivating
+// defect: hammering one line past the recovery retry bound and crashing
+// without a settle leaves counters stale beyond repair.
+func TestWoCCUnsettledCrashIsUnrecoverable(t *testing.T) {
+	const n = 8
+	e, _ := rigDev(t, "wocc", engine.Params{UpdateLimit: n})
+	now := int64(0)
+	for i := 0; i < 5*n; i++ {
+		now = e.WriteBack(now, 0x3000, pattern(0x3000, byte(i))) + 50
+	}
+	rep := recovery.Recover(e.Crash())
+	if rep.Clean() {
+		t.Fatal("crash with unbounded counter staleness recovered clean; w/o CC should be unrecoverable here")
+	}
+	if len(rep.Tampered) == 0 {
+		t.Fatalf("expected stale blocks flagged as unrecoverable, got %+v", rep)
+	}
+}

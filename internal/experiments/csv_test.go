@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenFig5 is a small hand-built matrix with round numbers, so the
+// golden files stay readable and diffs reviewable.
+func goldenFig5() *Fig5 {
+	return &Fig5{
+		Benchmarks: []string{"gcc", "mcf"},
+		Designs:    []string{"wocc", "ccnvm"},
+		Cells: map[string]map[string]Cell{
+			"wocc": {
+				"gcc": {IPC: 2, NormIPC: 1, Writes: 1000, NormWrite: 1},
+				"mcf": {IPC: 0.5, NormIPC: 1, Writes: 4000, NormWrite: 1},
+			},
+			"ccnvm": {
+				"gcc": {IPC: 1.9, NormIPC: 0.95, Writes: 1100, NormWrite: 1.1},
+				"mcf": {IPC: 0.46, NormIPC: 0.92, Writes: 4600, NormWrite: 1.15},
+			},
+		},
+		AvgNormIPC:   map[string]float64{"wocc": 1, "ccnvm": 0.934987},
+		AvgNormWrite: map[string]float64{"wocc": 1, "ccnvm": 1.124722},
+	}
+}
+
+func goldenFig6() *Fig6 {
+	return &Fig6{
+		Title:   "Figure 6(a): sensitivity to update-times limit N",
+		Designs: []string{"ccnvm"},
+		Points: map[string][]SweepPoint{
+			"ccnvm": {
+				{Param: 4, NormIPC: 0.91, NormWrite: 1.2},
+				{Param: 16, NormIPC: 0.95, NormWrite: 1.1},
+				{Param: 64, NormIPC: 0.97, NormWrite: 1.05},
+			},
+		},
+	}
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run %s -update): %v", t.Name(), err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s diverges from golden file %s:\n--- got ---\n%s\n--- want ---\n%s", t.Name(), path, got, want)
+	}
+}
+
+func TestFig5CSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenFig5().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig5.golden.csv", buf.Bytes())
+}
+
+func TestFig6CSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenFig6().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig6.golden.csv", buf.Bytes())
+}
+
+// TestFig5TablesGolden pins the rendered report tables end to end
+// (column layout, normalization footers) — the output the sim CLI shows.
+func TestFig5TablesGolden(t *testing.T) {
+	f := goldenFig5()
+	checkGolden(t, "fig5.ipc.golden.txt", []byte(f.IPCTable()))
+	checkGolden(t, "fig5.writes.golden.txt", []byte(f.WriteTable()))
+}
+
+func TestFig6TablesGolden(t *testing.T) {
+	checkGolden(t, "fig6.tables.golden.txt", []byte(goldenFig6().Tables()))
+}

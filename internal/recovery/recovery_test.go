@@ -13,6 +13,7 @@ import (
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/recovery"
 	"ccnvm/internal/seccrypto"
+	"ccnvm/internal/torture"
 )
 
 const capacity = 1 << 30
@@ -345,23 +346,24 @@ func TestApplyThenResume(t *testing.T) {
 
 func TestRandomizedCrashPointsPropertyCCNVM(t *testing.T) {
 	// Property: for any crash point in a random workload without
-	// attacks, recovery is clean and Nretry == Nwb.
+	// attacks, recovery satisfies every torture oracle — clean report,
+	// Nretry == Nwb replay-window accounting, all-or-nothing epochs, and
+	// bit-for-bit agreement with the golden reference machine. The
+	// oracles subsume the bespoke assertions this test used to make.
+	r := torture.DefaultRunner()
 	for seed := int64(0); seed < 6; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		e := build(t, "ccnvm", engine.Params{UpdateLimit: 4 + uint64(seed*4), QueueEntries: 32})
-		n := 40 + rng.Intn(200)
-		now := int64(0)
-		for i := 0; i < n; i++ {
-			a := mem.Addr(rng.Intn(40) * 4096)
-			now = e.WriteBack(now, a, pattern(a, byte(i+int(seed)))) + 25
+		cell := torture.Cell{
+			Design:   "ccnvm",
+			Workload: "hot",
+			Seed:     seed,
+			Ops:      40 + rng.Intn(200),
+			N:        4 + uint64(seed*4),
+			M:        32,
 		}
-		rep := recovery.Recover(e.Crash())
-		if !rep.Clean() {
-			t.Fatalf("seed %d: clean crash flagged (Nwb=%d Nretry=%d mism=%d tam=%d)",
-				seed, rep.Nwb, rep.Nretry, len(rep.TreeMismatches), len(rep.Tampered))
-		}
-		if rep.Nretry != rep.Nwb {
-			t.Fatalf("seed %d: Nretry %d != Nwb %d", seed, rep.Nretry, rep.Nwb)
+		cell.CrashAt = 1 + rng.Intn(cell.Ops)
+		if f := r.RunCell(cell); f != nil {
+			t.Fatalf("seed %d: %v\nrepro: %s", seed, f, f.Cell.Repro())
 		}
 	}
 }

@@ -1,0 +1,93 @@
+package torture
+
+import (
+	"fmt"
+
+	"ccnvm/internal/bmt"
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/recovery"
+	"ccnvm/internal/seccrypto"
+)
+
+// BrokenModes lists the deliberately sabotaged recovery variants the
+// harness can run, used to prove the oracles have teeth: each mode must
+// be caught by at least one oracle on an otherwise healthy matrix.
+func BrokenModes() []string {
+	return []string{"skip-counter-replay", "ignore-tampered", "skip-root-check"}
+}
+
+// BrokenRunner returns a runner whose recovery is sabotaged in the named
+// way. The sabotage forges reports that claim success, so only the
+// differential oracles (golden state, replay-window accounting) can tell.
+func BrokenRunner(mode string) (*Runner, error) {
+	switch mode {
+	case "skip-counter-replay":
+		// Recovery "succeeds" without replaying stale counters: the report
+		// claims a clean image and Apply rebuilds the tree over whatever
+		// counter lines the crash left behind. Any design with lagging
+		// counters (osiris, ccnvm mid-epoch) then decrypts garbage — the
+		// golden-state oracle's job to notice.
+		return &Runner{
+			Recover: func(img *engine.CrashImage) *recovery.Report {
+				rep := recovery.Recover(img)
+				rep.Tampered = nil
+				rep.TreeMismatches = nil
+				rep.ReplayedPages = nil
+				rep.PotentialReplay = false
+				rep.Nretry = rep.Nwb
+				if rep.ConsistentRoot == "" {
+					rep.ConsistentRoot = "old"
+				}
+				return rep
+			},
+			Apply: func(img *engine.CrashImage, rep *recovery.Report) recovery.Recovered {
+				// Rebuild the tree over the stale counters instead of the
+				// replayed ones, and do not touch the counter region.
+				lay := img.Image.Layout
+				tree := bmt.New(lay, seccrypto.MustEngine(img.Keys))
+				var cas []mem.Addr
+				for _, a := range img.Image.Store.Addrs() {
+					if lay.RegionOf(a) == mem.RegionCounter {
+						cas = append(cas, a)
+					}
+				}
+				nodes, root := tree.Rebuild(img.Image.Store, cas)
+				for a, n := range nodes {
+					img.Image.Write(a, n)
+				}
+				return recovery.Recovered{TCB: engine.TCB{RootNew: root, RootOld: root, Nwb: 0}}
+			},
+		}, nil
+	case "ignore-tampered":
+		// Detection is dropped on the floor: whatever recovery finds, the
+		// report comes back spotless. Attack cells must trip attack-caught
+		// (clean report + corrupted state fails the golden heal check).
+		return &Runner{
+			Recover: func(img *engine.CrashImage) *recovery.Report {
+				rep := recovery.Recover(img)
+				rep.Tampered = nil
+				rep.TreeMismatches = nil
+				rep.ReplayedPages = nil
+				rep.PotentialReplay = false
+				rep.Nretry = rep.Nwb
+				return rep
+			},
+		}, nil
+	case "skip-root-check":
+		// The tree-vs-root verification is skipped and the root reported
+		// consistent unconditionally; tree spoofs and counter replays on
+		// tree-persisting designs then sail through as "clean".
+		return &Runner{
+			Recover: func(img *engine.CrashImage) *recovery.Report {
+				rep := recovery.Recover(img)
+				rep.TreeMismatches = nil
+				if rep.ConsistentRoot == "" {
+					rep.ConsistentRoot = "new"
+				}
+				return rep
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("torture: unknown broken mode %q (have %v)", mode, BrokenModes())
+}

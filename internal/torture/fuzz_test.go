@@ -1,0 +1,32 @@
+package torture
+
+import "testing"
+
+// FuzzCell lets the native fuzzer mutate the cell coordinates directly:
+// any (design, workload, seed, ops, crash, attack, N, M) combination the
+// mapper produces must satisfy every oracle. Under plain `go test` only
+// the seed corpus runs; `go test -fuzz=FuzzCell ./internal/torture/`
+// explores further.
+func FuzzCell(f *testing.F) {
+	f.Add(uint8(4), uint8(0), int64(1), uint16(120), uint16(60), uint8(0), uint8(4), uint8(0))
+	f.Add(uint8(2), uint8(3), int64(9), uint16(300), uint16(222), uint8(3), uint8(2), uint8(16))
+	f.Add(uint8(6), uint8(1), int64(42), uint16(80), uint16(79), uint8(4), uint8(33), uint8(8))
+	f.Add(uint8(0), uint8(3), int64(7), uint16(250), uint16(10), uint8(5), uint8(1), uint8(0))
+	r := DefaultRunner()
+	f.Fuzz(func(t *testing.T, design, workload uint8, seed int64, ops, crash uint16, atk, n, m uint8) {
+		designs, workloads, attacks := DesignNames(), WorkloadNames(), AttackNames()
+		c := Cell{
+			Design:   designs[int(design)%len(designs)],
+			Workload: workloads[int(workload)%len(workloads)],
+			Seed:     seed,
+			Ops:      1 + int(ops)%400,
+			Attack:   attacks[int(atk)%len(attacks)],
+			N:        uint64(n) % 65,
+			M:        int(m) % 129,
+		}
+		c.CrashAt = 1 + int(crash)%c.Ops
+		if fail := r.RunCell(c); fail != nil {
+			t.Fatalf("%v\nrepro: %s", fail, fail.Cell.Repro())
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package torture
+
+import "testing"
+
+// TestLongMatrix is the extended matrix, gated behind -torture.long:
+//
+//	go test ./internal/torture/ -torture.long -timeout 30m
+//
+// It widens every axis (seeds, crash points, both update limits, longer
+// traces) and runs the full cross product with no budget.
+func TestLongMatrix(t *testing.T) {
+	if !*tortureLong {
+		t.Skip("extended matrix runs only with -torture.long")
+	}
+	opts := MatrixOpts{
+		Seeds:    8,
+		Ops:      600,
+		CrashPts: 6,
+		Ns:       []uint64{2, 4, 16, 64},
+	}
+	cells := EnumerateCells(opts)
+	sum := RunMatrix(DefaultRunner(), cells, 0, func(done, total int, f *Failure) {
+		if done%1000 == 0 {
+			t.Logf("%d/%d cells", done, total)
+		}
+	})
+	for _, f := range sum.Failures {
+		t.Errorf("%s\n  repro: %s", f.Error(), f.Repro)
+	}
+	t.Logf("%s", sum.Describe())
+}

@@ -1,0 +1,172 @@
+package torture
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MatrixOpts selects the slice of the torture matrix to run. Zero-value
+// fields take the defaults documented on each field.
+type MatrixOpts struct {
+	Designs   []string // default: DesignNames()
+	Workloads []string // default: WorkloadNames()
+	Attacks   []string // default: AttackNames() (includes the clean control)
+	Seeds     int      // trace seeds per combination; default 4
+	Ops       int      // trace length per cell; default 240
+	CrashPts  int      // crash points per trace; default 3
+	Ns        []uint64 // update limits cycled across cells; default {4, 16}
+	Budget    int      // max cells (0 = unbounded); evenly sampled when exceeded
+}
+
+func (o MatrixOpts) withDefaults() MatrixOpts {
+	if len(o.Designs) == 0 {
+		o.Designs = DesignNames()
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = WorkloadNames()
+	}
+	if len(o.Attacks) == 0 {
+		o.Attacks = AttackNames()
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 4
+	}
+	if o.Ops <= 0 {
+		o.Ops = 240
+	}
+	if o.CrashPts <= 0 {
+		o.CrashPts = 3
+	}
+	if len(o.Ns) == 0 {
+		o.Ns = []uint64{4, 16}
+	}
+	return o
+}
+
+// EnumerateCells expands the options into the concrete cell list, in
+// deterministic order. Crash points divide the trace evenly; the update
+// limit cycles through Ns so neighbouring cells differ in replay-window
+// size. When a budget is set, the full matrix is sampled evenly rather
+// than truncated, so every design and attack still appears.
+func EnumerateCells(o MatrixOpts) []Cell {
+	o = o.withDefaults()
+	var cells []Cell
+	for _, d := range o.Designs {
+		for _, w := range o.Workloads {
+			for seed := 0; seed < o.Seeds; seed++ {
+				for cp := 0; cp < o.CrashPts; cp++ {
+					crash := (cp + 1) * o.Ops / (o.CrashPts + 1)
+					for ai, atk := range o.Attacks {
+						cells = append(cells, Cell{
+							Design:   d,
+							Workload: w,
+							Seed:     int64(seed),
+							Ops:      o.Ops,
+							CrashAt:  crash,
+							Attack:   atk,
+							N:        o.Ns[(seed+cp+ai)%len(o.Ns)],
+						}.normalized())
+					}
+				}
+			}
+		}
+	}
+	if o.Budget > 0 && len(cells) > o.Budget {
+		sampled := make([]Cell, o.Budget)
+		for i := range sampled {
+			sampled[i] = cells[i*len(cells)/o.Budget]
+		}
+		cells = sampled
+	}
+	return cells
+}
+
+// MatrixFailure is one shrunk failure from a matrix run.
+type MatrixFailure struct {
+	Failure
+	Repro      string `json:"repro"`
+	ShrinkRuns int    `json:"shrink_runs"`
+}
+
+// Summary aggregates a matrix run.
+type Summary struct {
+	Cells    int             `json:"cells"`
+	Failures []MatrixFailure `json:"failures"`
+}
+
+// Failed reports whether any cell violated an oracle.
+func (s *Summary) Failed() bool { return len(s.Failures) > 0 }
+
+// RunMatrix executes the cells on a worker pool (each cell builds its
+// own engine and reference; nothing is shared between cells), shrinks
+// every failure, and returns the summary with failures in cell-index
+// order. parallel <= 0 selects GOMAXPROCS workers; progress, when
+// non-nil, is called after each cell with (done, total, failure-or-nil).
+func RunMatrix(r *Runner, cells []Cell, parallel int, progress func(done, total int, f *Failure)) *Summary {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(cells) && len(cells) > 0 {
+		parallel = len(cells)
+	}
+	type res struct {
+		idx int
+		f   *Failure
+	}
+	idxCh := make(chan int)
+	resCh := make(chan res)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				resCh <- res{idx: i, f: r.RunCell(cells[i])}
+			}
+		}()
+	}
+	go func() {
+		for i := range cells {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+		close(resCh)
+	}()
+
+	failed := map[int]*Failure{}
+	done := 0
+	for rr := range resCh {
+		done++
+		if rr.f != nil {
+			failed[rr.idx] = rr.f
+		}
+		if progress != nil {
+			progress(done, len(cells), rr.f)
+		}
+	}
+
+	sum := &Summary{Cells: len(cells)}
+	for i := range cells {
+		f, ok := failed[i]
+		if !ok {
+			continue
+		}
+		min, runs := Shrink(r, *f, 64)
+		sum.Failures = append(sum.Failures, MatrixFailure{
+			Failure:    min,
+			Repro:      min.Cell.Repro(),
+			ShrinkRuns: runs,
+		})
+	}
+	return sum
+}
+
+// Describe renders a short human-readable summary line.
+func (s *Summary) Describe() string {
+	if !s.Failed() {
+		return fmt.Sprintf("torture: %d cells, all oracles passed", s.Cells)
+	}
+	return fmt.Sprintf("torture: %d cells, %d FAILED", s.Cells, len(s.Failures))
+}

@@ -1,0 +1,300 @@
+package torture
+
+import (
+	"fmt"
+	"strings"
+
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/recovery"
+)
+
+// Context carries one executed cell's evidence to the oracles: the
+// reference machine, the (possibly attacked) crash image, the recovery
+// report, and the bookkeeping the run recorded on the way.
+type Context struct {
+	Cell   Cell
+	Ref    *Reference
+	Img    *engine.CrashImage
+	Rep    *recovery.Report
+	Runner *Runner
+
+	// AttackChanged reports whether the injected attack actually altered
+	// persistent bytes; a no-op mutation leaves nothing to detect and the
+	// cell is judged as a clean crash.
+	AttackChanged bool
+	// Victims are the attack's primary targets: data blocks for
+	// spoof/splice/replay, the node address for tree-spoof.
+	Victims []mem.Addr
+
+	// RunViolations is the engine's runtime integrity-violation count at
+	// the crash; ReadDivergence records the first load that returned
+	// content diverging from the reference ("" when none).
+	RunViolations  uint64
+	ReadDivergence string
+
+	applied    bool
+	goldenDivs []string
+	goldenRun  bool
+}
+
+// applyRecovery runs the runner's Apply seam once; oracles that inspect
+// post-recovery state share the applied image.
+func (c *Context) applyRecovery() {
+	if !c.applied {
+		c.Runner.applyFn()(c.Img, c.Rep)
+		c.applied = true
+	}
+}
+
+// golden returns the divergences between the recovered image and the
+// reference machine, computing them once. Arsenal images are verified
+// functionally pre-Apply (their counters and HMACs live inline in packed
+// lines, which the generic Apply does not understand); every other
+// design is verified bit-for-bit after Apply.
+func (c *Context) golden() []string {
+	if c.goldenRun {
+		return c.goldenDivs
+	}
+	c.goldenRun = true
+	if c.Cell.Design == "arsenal" {
+		c.goldenDivs = c.Ref.VerifyArsenalImage(c.Img)
+	} else {
+		c.applyRecovery()
+		c.goldenDivs = c.Ref.VerifyImage(c.Img)
+	}
+	return c.goldenDivs
+}
+
+// attackInPlay reports whether this cell carries an attack that changed
+// persistent state.
+func (c *Context) attackInPlay() bool {
+	return c.Cell.Attack != "none" && c.AttackChanged
+}
+
+// Oracle is one invariant checked against every cell. Check returns ""
+// on pass, otherwise a human-readable failure detail.
+type Oracle struct {
+	Name  string
+	Doc   string
+	Check func(*Context) string
+}
+
+// Oracles returns the invariant set in evaluation order; RunCell reports
+// the first violation. The list is exported so documentation and the CLI
+// can enumerate it.
+func Oracles() []Oracle { return oracleList }
+
+var oracleList = []Oracle{
+	{
+		Name: "runtime-reads",
+		Doc: "Before the crash, every load returns the reference plaintext and " +
+			"the engine flags zero integrity violations on its own traffic.",
+		Check: checkRuntimeReads,
+	},
+	{
+		Name: "clean-recovery",
+		Doc: "A crash without an effective attack recovers with zero tamper flags " +
+			"on every recoverable design (w/o CC is exempt: unbounded staleness is " +
+			"its motivating defect). SC additionally needs zero counter retries.",
+		Check: checkCleanRecovery,
+	},
+	{
+		Name: "attack-caught",
+		Doc: "Every injected attack that changed persistent state is detected, " +
+			"and designs that claim location pin it: spoof/splice to the victim " +
+			"blocks, counter replay to the victim's counter line, data replay " +
+			"(ccnvm-ext) to the victim's page. A report that stays clean is " +
+			"tolerated only if recovery provably healed the image back to the " +
+			"reference state.",
+		Check: checkAttackCaught,
+	},
+	{
+		Name: "epoch-atomicity",
+		Doc: "For epoch-draining designs the NVM tree verifies against exactly " +
+			"one root register (drains are all-or-nothing), and on clean crashes " +
+			"the recovery retries account exactly for the replay window (Nretry " +
+			"== Nwb; 0 for SC).",
+		Check: checkEpochAtomicity,
+	},
+	{
+		Name: "golden-state",
+		Doc: "Whenever recovery reports clean, the recovered image must match the " +
+			"golden unmemoized reference machine bit-for-bit: counter lines, " +
+			"decrypted data and stored HMACs.",
+		Check: checkGoldenState,
+	},
+}
+
+func checkRuntimeReads(c *Context) string {
+	if c.ReadDivergence != "" {
+		return c.ReadDivergence
+	}
+	if c.RunViolations != 0 {
+		return fmt.Sprintf("engine flagged %d integrity violations on untampered traffic", c.RunViolations)
+	}
+	return ""
+}
+
+func checkCleanRecovery(c *Context) string {
+	if c.attackInPlay() {
+		return "" // attack-caught owns attacked cells
+	}
+	if c.Cell.Design == "wocc" {
+		return "" // legitimately unrecoverable; golden-state still guards its clean cases
+	}
+	if !c.Rep.Clean() {
+		return fmt.Sprintf("clean crash flagged: mismatches=%d tampered=%d replayedPages=%d potentialReplay=%v (Nwb=%d Nretry=%d)",
+			len(c.Rep.TreeMismatches), len(c.Rep.Tampered), len(c.Rep.ReplayedPages),
+			c.Rep.PotentialReplay, c.Rep.Nwb, c.Rep.Nretry)
+	}
+	if c.Cell.Design == "sc" && (c.Rep.Nretry != 0 || c.Rep.RecoveredBlocks != 0) {
+		return fmt.Sprintf("SC persists the full path per write-back yet recovery needed %d retries over %d blocks",
+			c.Rep.Nretry, c.Rep.RecoveredBlocks)
+	}
+	return ""
+}
+
+func checkAttackCaught(c *Context) string {
+	if !c.attackInPlay() || c.Cell.Design == "wocc" {
+		// w/o CC cannot distinguish an attack from its own staleness;
+		// attacked wocc cells assert nothing.
+		return ""
+	}
+	rep := c.Rep
+	if rep.Clean() {
+		// Recovery noticed nothing. That is acceptable only when the
+		// recovered state provably equals the reference (e.g. Osiris's
+		// online recovery re-deriving a replayed counter line).
+		if divs := c.golden(); len(divs) > 0 {
+			return fmt.Sprintf("%s attack on %s went undetected and corrupted state: %s",
+				c.Cell.Attack, victimList(c.Victims), divs[0])
+		}
+		return ""
+	}
+	// Detected. Enforce the location minimums each design claims.
+	switch c.Cell.Attack {
+	case "spoof":
+		if !tamperedContains(rep, c.Victims[0]) {
+			return fmt.Sprintf("spoofed block %#x not located (tampered=%v)", uint64(c.Victims[0]), rep.Tampered)
+		}
+	case "splice":
+		for _, v := range c.Victims {
+			if !tamperedContains(rep, v) {
+				return fmt.Sprintf("splice endpoint %#x not located (tampered=%v)", uint64(v), rep.Tampered)
+			}
+		}
+	case "counter-replay":
+		if treePersisting(c.Cell.Design) {
+			want := c.Img.Image.Layout.CounterLineOf(c.Victims[0])
+			if !mismatchContains(rep, want) {
+				return fmt.Sprintf("replayed counter line %#x not located by the tree check (mismatches=%v)",
+					uint64(want), rep.TreeMismatches)
+			}
+		}
+	case "data-replay":
+		if c.Cell.Design == "ccnvm-ext" {
+			// The replayed HMAC line spans 8 neighbouring blocks, so the
+			// tamper evidence may land on a neighbour; §4.4 claims page
+			// granularity, and that is what the oracle demands.
+			page := pageOf(c.Victims[0])
+			located := pageListed(rep, page)
+			for _, tb := range rep.Tampered {
+				if pageOf(tb.Addr) == page {
+					located = true
+				}
+			}
+			if !located {
+				return fmt.Sprintf("extension failed to localize the data replay to page %#x (pages=%v tampered=%v)",
+					uint64(page), rep.ReplayedPages, rep.Tampered)
+			}
+		}
+	case "tree-spoof":
+		if treePersisting(c.Cell.Design) && !mismatchContains(rep, c.Victims[0]) {
+			return fmt.Sprintf("spoofed tree node %#x not located (mismatches=%v)",
+				uint64(c.Victims[0]), rep.TreeMismatches)
+		}
+	}
+	return ""
+}
+
+func checkEpochAtomicity(c *Context) string {
+	if !treePersisting(c.Cell.Design) {
+		return ""
+	}
+	rep := c.Rep
+	treeAttacked := c.attackInPlay() &&
+		(c.Cell.Attack == "counter-replay" || c.Cell.Attack == "tree-spoof")
+	if !treeAttacked && rep.ConsistentRoot != "old" && rep.ConsistentRoot != "new" {
+		return fmt.Sprintf("NVM tree verifies against neither root register (partial epoch leaked?): %d mismatches",
+			len(rep.TreeMismatches))
+	}
+	if c.attackInPlay() {
+		return ""
+	}
+	switch c.Cell.Design {
+	case "sc":
+		if rep.Nretry != 0 {
+			return fmt.Sprintf("SC crash image needed %d counter retries", rep.Nretry)
+		}
+	default: // ccnvm, ccnvm-wods, ccnvm-ext
+		if rep.Nretry != rep.Nwb {
+			return fmt.Sprintf("replay-window bookkeeping broken on a clean crash: Nretry=%d Nwb=%d", rep.Nretry, rep.Nwb)
+		}
+	}
+	return ""
+}
+
+func checkGoldenState(c *Context) string {
+	if !c.Rep.Clean() {
+		return "" // a flagged image is not claimed to be serviceable
+	}
+	if c.Cell.Design == "wocc" && c.attackInPlay() {
+		// w/o CC cannot detect replays (its motivating defect): a clean
+		// report over an attacked image asserts nothing there.
+		return ""
+	}
+	if divs := c.golden(); len(divs) > 0 {
+		return "recovered image diverges from the golden reference: " + strings.Join(divs, "; ")
+	}
+	return ""
+}
+
+func tamperedContains(rep *recovery.Report, a mem.Addr) bool {
+	for _, tb := range rep.Tampered {
+		if tb.Addr == a {
+			return true
+		}
+	}
+	return false
+}
+
+func mismatchContains(rep *recovery.Report, a mem.Addr) bool {
+	for _, m := range rep.TreeMismatches {
+		if m.Addr == a {
+			return true
+		}
+	}
+	return false
+}
+
+func pageOf(a mem.Addr) mem.Addr {
+	return mem.Addr(uint64(a) / mem.PageSize * mem.PageSize)
+}
+
+func pageListed(rep *recovery.Report, page mem.Addr) bool {
+	for _, p := range rep.ReplayedPages {
+		if p == page {
+			return true
+		}
+	}
+	return false
+}
+
+func victimList(vs []mem.Addr) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%#x", uint64(v))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,195 @@
+package torture
+
+import (
+	"fmt"
+
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/seccrypto"
+)
+
+// Reference is the golden machine the differential oracles compare
+// against: a serial, unmemoized model of what the architecture promises.
+// It mirrors every write-back at the semantic level — split-counter bump
+// (including minor overflow), latest plaintext, write count — using
+// seccrypto's uncached engine, so none of the memo tables, caches,
+// queues or drain policies under test can influence the expected state.
+type Reference struct {
+	cry      *seccrypto.Engine
+	lay      *mem.Layout
+	counters map[mem.Addr]seccrypto.CounterLine
+	plain    map[mem.Addr]mem.Line
+	writes   map[mem.Addr]uint64
+}
+
+// NewReference builds a reference machine over the harness layout.
+func NewReference(lay *mem.Layout, keys seccrypto.Keys) *Reference {
+	cry, err := seccrypto.NewEngineUncached(keys)
+	if err != nil {
+		panic(err)
+	}
+	return &Reference{
+		cry:      cry,
+		lay:      lay,
+		counters: make(map[mem.Addr]seccrypto.CounterLine),
+		plain:    make(map[mem.Addr]mem.Line),
+		writes:   make(map[mem.Addr]uint64),
+	}
+}
+
+// WriteBack mirrors one dirty eviction: bump the block's split counter
+// (with the same overflow semantics as the engines) and remember the
+// plaintext as the block's expected content.
+func (r *Reference) WriteBack(addr mem.Addr, pt mem.Line) {
+	addr = mem.Align(addr)
+	ca := r.lay.CounterLineOf(addr)
+	cl := r.counters[ca]
+	cl.Bump(r.lay.CounterSlotOf(addr))
+	r.counters[ca] = cl
+	r.plain[addr] = pt
+	r.writes[addr]++
+}
+
+// Plaintext returns the expected content of addr (zero if never
+// written, matching the never-written NVM semantics).
+func (r *Reference) Plaintext(addr mem.Addr) mem.Line {
+	return r.plain[mem.Align(addr)]
+}
+
+// CounterOf returns the expected effective counter of data block addr.
+func (r *Reference) CounterOf(addr mem.Addr) uint64 {
+	cl := r.counters[r.lay.CounterLineOf(addr)]
+	return cl.Counter(r.lay.CounterSlotOf(addr))
+}
+
+// Written returns the written data addresses in ascending order.
+func (r *Reference) Written() []mem.Addr {
+	out := make([]mem.Addr, 0, len(r.plain))
+	for a := range r.plain {
+		out = append(out, a)
+	}
+	sortAddrs(out)
+	return out
+}
+
+// WriteCounts returns a copy of the per-block write counts; replay
+// attacks use the counts at snapshot time to pick meaningful victims.
+func (r *Reference) WriteCounts() map[mem.Addr]uint64 {
+	cp := make(map[mem.Addr]uint64, len(r.writes))
+	for a, n := range r.writes {
+		cp[a] = n
+	}
+	return cp
+}
+
+// maxDivergences bounds how many divergences a verify pass reports; one
+// is enough to fail a cell, a handful is enough to debug it.
+const maxDivergences = 5
+
+// VerifyImage checks a post-Apply crash image of a conventional-layout
+// design against the reference, bit-for-bit: every touched counter line
+// must equal the reference encoding exactly, and every written block
+// must decrypt (with uncached crypto) to the reference plaintext and
+// carry the matching stored data HMAC. It returns the divergences, empty
+// when the image is golden.
+func (r *Reference) VerifyImage(img *engine.CrashImage) []string {
+	var divs []string
+	add := func(format string, args ...interface{}) bool {
+		if len(divs) == maxDivergences {
+			divs = append(divs, "... more divergences suppressed")
+			return false
+		}
+		if len(divs) > maxDivergences {
+			return false
+		}
+		divs = append(divs, fmt.Sprintf(format, args...))
+		return true
+	}
+	cas := make([]mem.Addr, 0, len(r.counters))
+	for ca := range r.counters {
+		cas = append(cas, ca)
+	}
+	sortAddrs(cas)
+	for _, ca := range cas {
+		cl := r.counters[ca]
+		raw, _ := img.Image.Read(ca)
+		if raw != cl.Encode() {
+			got := seccrypto.DecodeCounterLine(raw)
+			if !add("counter line %#x diverges from reference (got %s, want %s)",
+				uint64(ca), got.String(), cl.String()) {
+				return divs
+			}
+		}
+	}
+	for _, a := range r.Written() {
+		ct, _ := img.Image.Read(a)
+		ctr := r.CounterOf(a)
+		if got := r.cry.Decrypt(a, ctr, ct); got != r.plain[a] {
+			if !add("data block %#x does not decrypt to the reference plaintext (counter %d)",
+				uint64(a), ctr) {
+				return divs
+			}
+			continue
+		}
+		if r.storedHMAC(img, a) != r.cry.DataHMAC(a, ctr, ct) {
+			if !add("stored HMAC of block %#x diverges from reference (counter %d)",
+				uint64(a), ctr) {
+				return divs
+			}
+		}
+	}
+	return divs
+}
+
+// VerifyArsenalImage checks an Arsenal crash image (pre-Apply; the
+// generic Apply does not understand packed lines). Packed blocks carry
+// counter and HMAC inline, so the check unpacks each written line and
+// compares plaintext and counter against the reference; raw-fallback
+// blocks follow the conventional decrypt-and-authenticate check.
+func (r *Reference) VerifyArsenalImage(img *engine.CrashImage) []string {
+	var divs []string
+	for _, a := range r.Written() {
+		if len(divs) >= maxDivergences {
+			divs = append(divs, "... more divergences suppressed")
+			return divs
+		}
+		line, _ := img.Image.Read(a)
+		want := r.CounterOf(a)
+		if img.Sideband[a] == engine.TagPacked {
+			pt, ctr, ok := engine.UnpackArsenalLine(r.cry, a, line)
+			switch {
+			case !ok:
+				divs = append(divs, fmt.Sprintf("packed block %#x fails inline authentication", uint64(a)))
+			case ctr != want:
+				divs = append(divs, fmt.Sprintf("packed block %#x carries counter %d, reference %d", uint64(a), ctr, want))
+			case pt != r.plain[a]:
+				divs = append(divs, fmt.Sprintf("packed block %#x decrypts to wrong plaintext", uint64(a)))
+			}
+			continue
+		}
+		if got := r.cry.Decrypt(a, want, line); got != r.plain[a] {
+			divs = append(divs, fmt.Sprintf("raw block %#x does not decrypt to the reference plaintext (counter %d)", uint64(a), want))
+			continue
+		}
+		if r.storedHMAC(img, a) != r.cry.DataHMAC(a, want, line) {
+			divs = append(divs, fmt.Sprintf("stored HMAC of raw block %#x diverges from reference", uint64(a)))
+		}
+	}
+	return divs
+}
+
+// storedHMAC extracts the stored data HMAC of block a from the image,
+// synthesizing the never-written default line when absent — the same
+// rule recovery and the runtime read path apply.
+func (r *Reference) storedHMAC(img *engine.CrashImage, a mem.Addr) seccrypto.HMAC {
+	ha, hslot := r.lay.HMACLineOf(a)
+	hl, ok := img.Image.Read(ha)
+	if !ok {
+		lineIdx := uint64(ha-r.lay.HMACBase) / mem.LineSize
+		for s := 0; s < mem.HMACsPerLine; s++ {
+			da := mem.Addr((lineIdx*mem.HMACsPerLine + uint64(s)) * mem.LineSize)
+			seccrypto.PutHMAC(&hl, s, r.cry.DataHMAC(da, 0, mem.Line{}))
+		}
+	}
+	return seccrypto.GetHMAC(hl, hslot)
+}

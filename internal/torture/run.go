@@ -1,0 +1,246 @@
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccnvm/internal/attack"
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/nvm"
+	"ccnvm/internal/recovery"
+	"ccnvm/internal/seccrypto"
+	"ccnvm/internal/trace"
+)
+
+// Failure is one oracle violation, tied to the exact cell that produced
+// it.
+type Failure struct {
+	Cell   Cell   `json:"cell"`
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+}
+
+// Error renders the failure; Failure satisfies error so cell runs can be
+// returned from helpers directly.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("oracle %s: %s (cell %s)", f.Oracle, f.Detail, f.Cell.String())
+}
+
+// Runner executes torture cells. The Recover and Apply seams default to
+// the real recovery implementation; tests substitute deliberately broken
+// ones to prove the oracles catch them.
+type Runner struct {
+	Recover func(*engine.CrashImage) *recovery.Report
+	Apply   func(*engine.CrashImage, *recovery.Report) recovery.Recovered
+}
+
+// DefaultRunner runs cells against the real recovery path.
+func DefaultRunner() *Runner { return &Runner{} }
+
+func (r *Runner) recoverFn() func(*engine.CrashImage) *recovery.Report {
+	if r.Recover != nil {
+		return r.Recover
+	}
+	return recovery.Recover
+}
+
+func (r *Runner) applyFn() func(*engine.CrashImage, *recovery.Report) recovery.Recovered {
+	if r.Apply != nil {
+		return r.Apply
+	}
+	return recovery.Apply
+}
+
+// pattern derives a block's store content from its address and the op
+// sequence number, so every write is distinguishable from every other.
+func pattern(addr mem.Addr, v byte) mem.Line {
+	var l mem.Line
+	for i := range l {
+		l[i] = byte(uint64(addr)>>(8*(i%8))) ^ v ^ byte(i)
+	}
+	return l
+}
+
+// RunCell executes one cell end to end and returns the first oracle
+// violation, or nil when every oracle passes.
+func (r *Runner) RunCell(c Cell) *Failure {
+	c = c.normalized()
+	if err := c.Validate(); err != nil {
+		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
+	}
+	ops, err := GenOps(c.Workload, c.Seed, c.Ops)
+	if err != nil {
+		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
+	}
+	eng, err := BuildEngine(c.Design, engine.Params{UpdateLimit: c.N, QueueEntries: c.M})
+	if err != nil {
+		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
+	}
+	ref := NewReference(mem.MustLayout(Capacity), seccrypto.DefaultKeys())
+	ctx := &Context{Cell: c, Ref: ref, Runner: r}
+
+	// Drive the trace to the crash point, mirroring stores into the
+	// reference and checking loads against it. The adversary snapshots
+	// the DIMM halfway to the crash — the "old version" replay attacks
+	// restore from.
+	snapAt := c.CrashAt / 2
+	var snap *nvm.Image
+	var snapWrites map[mem.Addr]uint64
+	now := int64(0)
+	for i, op := range ops[:c.CrashAt] {
+		if i == snapAt {
+			snap = eng.(interface{ NVMSnapshot() *nvm.Image }).NVMSnapshot()
+			snapWrites = ref.WriteCounts()
+		}
+		now += int64(op.Gap)
+		switch op.Kind {
+		case trace.Store:
+			pt := pattern(op.Addr, byte(i))
+			now = eng.WriteBack(now, op.Addr, pt) + 8
+			ref.WriteBack(op.Addr, pt)
+		case trace.Load:
+			got, done := eng.ReadBlock(now, op.Addr)
+			if got != ref.Plaintext(op.Addr) && ctx.ReadDivergence == "" {
+				ctx.ReadDivergence = fmt.Sprintf("op %d: load of %#x returned content diverging from the reference plaintext",
+					i, uint64(mem.Align(op.Addr)))
+			}
+			now = done + 8
+		}
+	}
+	ctx.RunViolations = eng.Stats().IntegrityViolations
+
+	ctx.Img = eng.Crash()
+	ctx.Victims, ctx.AttackChanged, err = injectAttack(c, ctx.Img, snap, snapWrites, ref)
+	if err != nil {
+		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
+	}
+	ctx.Rep = r.recoverFn()(ctx.Img)
+
+	for _, o := range Oracles() {
+		if detail := o.Check(ctx); detail != "" {
+			return &Failure{Cell: c, Oracle: o.Name, Detail: detail}
+		}
+	}
+	return nil
+}
+
+// injectAttack mutates the crash image according to the cell's attack
+// kind. It returns the primary victim addresses and whether the image
+// content actually changed — a replay that restores identical bytes is a
+// no-op the oracles must not demand detection of.
+func injectAttack(c Cell, img *engine.CrashImage, snap *nvm.Image, snapWrites map[mem.Addr]uint64, ref *Reference) ([]mem.Addr, bool, error) {
+	if c.Attack == "none" {
+		return nil, false, nil
+	}
+	rng := rand.New(rand.NewSource(c.Seed ^ int64(c.CrashAt)<<20 ^ attackSalt(c.Attack)))
+	addrs := ref.Written()
+	if len(addrs) == 0 {
+		return nil, false, nil
+	}
+	lay := img.Image.Layout
+	switch c.Attack {
+	case "spoof":
+		victim := addrs[rng.Intn(len(addrs))]
+		if err := attack.SpoofData(img, victim); err != nil {
+			return nil, false, err
+		}
+		return []mem.Addr{victim}, true, nil
+
+	case "splice":
+		if len(addrs) < 2 {
+			return nil, false, nil
+		}
+		a := addrs[rng.Intn(len(addrs))]
+		b := addrs[rng.Intn(len(addrs))]
+		for b == a {
+			b = addrs[rng.Intn(len(addrs))]
+		}
+		la, _ := img.Image.Read(a)
+		lb, _ := img.Image.Read(b)
+		if err := attack.SpliceData(img, a, b); err != nil {
+			return nil, false, err
+		}
+		return []mem.Addr{a, b}, la != lb, nil
+
+	case "counter-replay":
+		// Prefer a victim whose counter line moved since the snapshot, so
+		// the replay actually rewinds state.
+		victim := pickVictim(rng, addrs, func(a mem.Addr) bool {
+			ca := lay.CounterLineOf(a)
+			cur, _ := img.Image.Read(ca)
+			old, _ := snap.Read(ca)
+			return cur != old
+		})
+		ca := lay.CounterLineOf(victim)
+		before, _ := img.Image.Read(ca)
+		if err := attack.ReplayCounterLine(img, snap, victim); err != nil {
+			return nil, false, err
+		}
+		after, _ := img.Image.Read(ca)
+		return []mem.Addr{victim}, before != after, nil
+
+	case "data-replay":
+		// Prefer a block written on both sides of the snapshot: its old
+		// (data, HMAC) pair verifies against the old counter, which is the
+		// Figure 4 replay the Nwb bookkeeping exists for.
+		victim := pickVictim(rng, addrs, func(a mem.Addr) bool {
+			return snapWrites[a] > 0 && ref.writes[a] > snapWrites[a]
+		})
+		before, _ := img.Image.Read(victim)
+		ha, _ := lay.HMACLineOf(victim)
+		beforeH, _ := img.Image.Read(ha)
+		if err := attack.ReplayBlock(img, snap, victim); err != nil {
+			return nil, false, err
+		}
+		after, _ := img.Image.Read(victim)
+		afterH, _ := img.Image.Read(ha)
+		return []mem.Addr{victim}, before != after || beforeH != afterH, nil
+
+	case "tree-spoof":
+		// Corrupt a persisted level-1 tree node. Designs that keep the
+		// tree on chip only never persist one, making this a no-op there.
+		var nodes []mem.Addr
+		for _, a := range img.Image.Store.Addrs() {
+			if lay.RegionOf(a) == mem.RegionTree {
+				if lv, _ := lay.NodeAt(a); lv == 1 {
+					nodes = append(nodes, a)
+				}
+			}
+		}
+		if len(nodes) == 0 {
+			return nil, false, nil
+		}
+		sortAddrs(nodes)
+		na := nodes[rng.Intn(len(nodes))]
+		_, idx := lay.NodeAt(na)
+		if err := attack.SpoofTreeNode(img, 1, idx); err != nil {
+			return nil, false, err
+		}
+		return []mem.Addr{na}, true, nil
+	}
+	return nil, false, fmt.Errorf("torture: unknown attack %q", c.Attack)
+}
+
+// pickVictim returns a random address satisfying pref, falling back to
+// any address when none does.
+func pickVictim(rng *rand.Rand, addrs []mem.Addr, pref func(mem.Addr) bool) mem.Addr {
+	var good []mem.Addr
+	for _, a := range addrs {
+		if pref(a) {
+			good = append(good, a)
+		}
+	}
+	if len(good) > 0 {
+		return good[rng.Intn(len(good))]
+	}
+	return addrs[rng.Intn(len(addrs))]
+}
+
+func attackSalt(kind string) int64 {
+	var h int64
+	for _, b := range []byte(kind) {
+		h = h*131 + int64(b)
+	}
+	return h
+}

@@ -1,0 +1,70 @@
+package torture
+
+// Shrink minimizes a failing cell while preserving the violated oracle,
+// re-running candidate cells against the same runner. It exploits the
+// prefix-stability of GenOps: a cell with a smaller CrashAt executes a
+// strict prefix of the original trace, so bisecting the crash point is a
+// sound reduction. The search spends at most budget cell executions and
+// returns the smallest still-failing cell plus the number of runs used.
+//
+// Three phases, each kept only if the cell still fails the same oracle:
+//  1. drop the attack (a failure that survives as a clean crash is a
+//     strictly simpler repro, whatever oracle it then trips);
+//  2. bisect CrashAt downward, then walk it down linearly;
+//  3. trim Ops to CrashAt so the repro generates no dead trace tail.
+func Shrink(r *Runner, f Failure, budget int) (Failure, int) {
+	if budget <= 0 {
+		budget = 64
+	}
+	best := f
+	best.Cell = best.Cell.normalized()
+	runs := 0
+
+	// try runs the candidate; it accepts the result as the new best when
+	// it fails with the same oracle (sameOracle) or with any oracle.
+	try := func(c Cell, sameOracle bool) bool {
+		if runs >= budget {
+			return false
+		}
+		runs++
+		g := r.RunCell(c)
+		if g == nil {
+			return false
+		}
+		if sameOracle && g.Oracle != best.Oracle {
+			return false
+		}
+		best = *g
+		best.Cell = best.Cell.normalized()
+		return true
+	}
+
+	// Phase 1: a cell that fails even without its attack is simpler.
+	if best.Cell.Attack != "none" {
+		c := best.Cell
+		c.Attack = "none"
+		try(c, false)
+	}
+
+	// Phase 2: bisect the crash point down, then creep linearly.
+	for runs < budget && best.Cell.CrashAt > 1 {
+		c := best.Cell
+		c.CrashAt = best.Cell.CrashAt / 2
+		if try(c, true) {
+			continue
+		}
+		c = best.Cell
+		c.CrashAt = best.Cell.CrashAt - 1
+		if !try(c, true) {
+			break
+		}
+	}
+
+	// Phase 3: drop the trace tail past the crash.
+	if best.Cell.Ops > best.Cell.CrashAt {
+		c := best.Cell
+		c.Ops = c.CrashAt
+		try(c, true)
+	}
+	return best, runs
+}

@@ -1,0 +1,205 @@
+// Package torture is the differential crash/attack torture harness: it
+// enumerates (design x workload x crash point x attack) cells, runs each
+// cell's workload on a real engine up to the crash point, optionally
+// injects an attack into the crash image, invokes recovery, and checks a
+// shared set of invariant oracles against a golden serial reference
+// machine built on unmemoized crypto (see oracles.go for the oracle
+// list). Failures carry a one-line `ccnvm-torture -repro` command and
+// are minimized by the shrinker (shrink.go) before being reported.
+//
+// The harness drives engines directly (WriteBack/ReadBlock), not through
+// the cached simulator machine, so crash points land between individual
+// write-backs and every persisted byte is attributable to a specific
+// operation of the trace.
+package torture
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ccnvm/internal/core"
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/memctrl"
+	"ccnvm/internal/metacache"
+	"ccnvm/internal/nvm"
+	"ccnvm/internal/seccrypto"
+)
+
+// Capacity is the NVM data capacity used by every torture cell. 1 GiB
+// keeps layout construction cheap while preserving a multi-level tree.
+const Capacity = 1 << 30
+
+// DesignNames lists every design the harness can torture, in the
+// paper's order followed by the extensions.
+func DesignNames() []string {
+	return []string{"wocc", "sc", "osiris", "ccnvm-wods", "ccnvm", "ccnvm-ext", "arsenal"}
+}
+
+// PaperDesigns lists the five designs of the paper's evaluation.
+func PaperDesigns() []string {
+	return []string{"wocc", "sc", "osiris", "ccnvm-wods", "ccnvm"}
+}
+
+// AttackNames lists the attack kinds a cell may inject; "none" is the
+// clean-crash control.
+func AttackNames() []string {
+	return []string{"none", "spoof", "splice", "counter-replay", "data-replay", "tree-spoof"}
+}
+
+// Cell is one torture-matrix point. The zero value is not runnable; use
+// (Cell).normalized or EnumerateCells to fill defaults.
+type Cell struct {
+	Design   string `json:"design"`
+	Workload string `json:"workload"`
+	Seed     int64  `json:"seed"`
+	Ops      int    `json:"ops"`      // trace length generated for the cell
+	CrashAt  int    `json:"crash"`    // power failure after this many ops
+	Attack   string `json:"attack"`   // one of AttackNames
+	N        uint64 `json:"n"`        // engine update limit (0 = paper default)
+	M        int    `json:"m"`        // dirty address queue entries (0 = default)
+}
+
+// normalized fills defaults and clamps the crash point into the trace.
+func (c Cell) normalized() Cell {
+	if c.Workload == "" {
+		c.Workload = "hot"
+	}
+	if c.Attack == "" {
+		c.Attack = "none"
+	}
+	if c.Ops <= 0 {
+		c.Ops = 200
+	}
+	if c.CrashAt <= 0 {
+		c.CrashAt = c.Ops
+	}
+	return c
+}
+
+// Validate rejects cells outside the harness's vocabulary.
+func (c Cell) Validate() error {
+	if !contains(DesignNames(), c.Design) {
+		return fmt.Errorf("torture: unknown design %q", c.Design)
+	}
+	if !contains(WorkloadNames(), c.Workload) {
+		return fmt.Errorf("torture: unknown workload %q", c.Workload)
+	}
+	if !contains(AttackNames(), c.Attack) {
+		return fmt.Errorf("torture: unknown attack %q", c.Attack)
+	}
+	if c.Ops < 1 || c.Ops > 1<<20 {
+		return fmt.Errorf("torture: ops %d out of range", c.Ops)
+	}
+	if c.CrashAt < 1 || c.CrashAt > c.Ops {
+		return fmt.Errorf("torture: crash point %d outside trace of %d ops", c.CrashAt, c.Ops)
+	}
+	return nil
+}
+
+// String renders the cell as the key=value spec Repro embeds.
+func (c Cell) String() string {
+	return fmt.Sprintf("design=%s,workload=%s,seed=%d,ops=%d,crash=%d,attack=%s,n=%d,m=%d",
+		c.Design, c.Workload, c.Seed, c.Ops, c.CrashAt, c.Attack, c.N, c.M)
+}
+
+// Repro is the one-line command that replays exactly this cell.
+func (c Cell) Repro() string {
+	return fmt.Sprintf("go run ./cmd/ccnvm-torture -repro '%s'", c.String())
+}
+
+// ParseCell inverts (Cell).String: a comma-separated key=value spec.
+func ParseCell(spec string) (Cell, error) {
+	var c Cell
+	for _, kv := range strings.Split(strings.TrimSpace(spec), ",") {
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Cell{}, fmt.Errorf("torture: bad cell field %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "design":
+			c.Design = v
+		case "workload":
+			c.Workload = v
+		case "attack":
+			c.Attack = v
+		case "seed":
+			c.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "ops":
+			c.Ops, err = strconv.Atoi(v)
+		case "crash":
+			c.CrashAt, err = strconv.Atoi(v)
+		case "n":
+			c.N, err = strconv.ParseUint(v, 10, 64)
+		case "m":
+			c.M, err = strconv.Atoi(v)
+		default:
+			return Cell{}, fmt.Errorf("torture: unknown cell field %q", k)
+		}
+		if err != nil {
+			return Cell{}, fmt.Errorf("torture: bad value for %s: %w", k, err)
+		}
+	}
+	c = c.normalized()
+	if err := c.Validate(); err != nil {
+		return Cell{}, err
+	}
+	return c, nil
+}
+
+// BuildEngine constructs a fresh engine of the named design over its own
+// NVM device, mirroring the simulator's wiring but without the CPU-side
+// caches the harness does not need.
+func BuildEngine(design string, p engine.Params) (engine.Engine, error) {
+	lay := mem.MustLayout(Capacity)
+	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
+	ctrl := memctrl.New(memctrl.Config{}, dev)
+	keys := seccrypto.DefaultKeys()
+	switch design {
+	case "wocc":
+		return engine.NewWoCC(lay, keys, ctrl, metacache.Config{}, p), nil
+	case "sc":
+		return engine.NewSC(lay, keys, ctrl, metacache.Config{}, p), nil
+	case "osiris":
+		return engine.NewOsiris(lay, keys, ctrl, metacache.Config{}, p), nil
+	case "ccnvm":
+		return core.NewCCNVM(lay, keys, ctrl, metacache.Config{}, p), nil
+	case "ccnvm-wods":
+		return core.NewCCNVMWoDS(lay, keys, ctrl, metacache.Config{}, p), nil
+	case "ccnvm-ext":
+		return core.NewCCNVMExt(lay, keys, ctrl, metacache.Config{}, p), nil
+	case "arsenal":
+		return engine.NewArsenal(lay, keys, ctrl, metacache.Config{}, p), nil
+	}
+	return nil, fmt.Errorf("torture: unknown design %q", design)
+}
+
+// treePersisting reports whether the design maintains the in-NVM Merkle
+// tree under an atomic-epoch (or per-write-back) protocol, so that a
+// crash image's tree must verify against one of the root registers.
+func treePersisting(design string) bool {
+	switch design {
+	case "sc", "ccnvm", "ccnvm-wods", "ccnvm-ext":
+		return true
+	}
+	return false
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func sortAddrs(a []mem.Addr) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

@@ -1,0 +1,192 @@
+package torture
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+var tortureLong = flag.Bool("torture.long", false, "run the extended torture matrix")
+
+// ShortMatrixOpts is the deterministic tier-1 slice of the matrix: every
+// design, workload and attack kind appears, budgeted to stay well inside
+// the tier-1 time box (and race-clean under -race).
+func ShortMatrixOpts() MatrixOpts {
+	return MatrixOpts{
+		Seeds:    2,
+		Ops:      160,
+		CrashPts: 2,
+	}
+}
+
+func TestShortMatrix(t *testing.T) {
+	cells := EnumerateCells(ShortMatrixOpts())
+	sum := RunMatrix(DefaultRunner(), cells, 0, nil)
+	for _, f := range sum.Failures {
+		t.Errorf("%s\n  repro: %s", f.Error(), f.Repro)
+	}
+	t.Logf("%s", sum.Describe())
+}
+
+// TestShortMatrixCoversVocabulary guards the budget sampling: the short
+// matrix must still exercise every design, workload and attack kind.
+func TestShortMatrixCoversVocabulary(t *testing.T) {
+	cells := EnumerateCells(ShortMatrixOpts())
+	seen := map[string]bool{}
+	for _, c := range cells {
+		seen["d:"+c.Design] = true
+		seen["w:"+c.Workload] = true
+		seen["a:"+c.Attack] = true
+	}
+	for _, d := range DesignNames() {
+		if !seen["d:"+d] {
+			t.Errorf("short matrix never tortures design %s", d)
+		}
+	}
+	for _, w := range WorkloadNames() {
+		if !seen["w:"+w] {
+			t.Errorf("short matrix never runs workload %s", w)
+		}
+	}
+	for _, a := range AttackNames() {
+		if !seen["a:"+a] {
+			t.Errorf("short matrix never injects attack %s", a)
+		}
+	}
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	orig := Cell{Design: "ccnvm", Workload: "hammer", Seed: 7, Ops: 300, CrashAt: 123, Attack: "data-replay", N: 4, M: 32}
+	back, err := ParseCell(orig.String())
+	if err != nil {
+		t.Fatalf("ParseCell(%q): %v", orig.String(), err)
+	}
+	if back != orig.normalized() {
+		t.Fatalf("round trip changed the cell: %s -> %s", orig.String(), back.String())
+	}
+	if _, err := ParseCell("design=nosuch"); err == nil {
+		t.Fatal("ParseCell accepted an unknown design")
+	}
+	if _, err := ParseCell("design=ccnvm,ops=10,crash=11"); err == nil {
+		t.Fatal("ParseCell accepted a crash point outside the trace")
+	}
+}
+
+func TestOracleDocs(t *testing.T) {
+	names := map[string]bool{}
+	for _, o := range Oracles() {
+		if o.Name == "" || o.Doc == "" || o.Check == nil {
+			t.Fatalf("oracle %+v missing name, doc or check", o.Name)
+		}
+		if names[o.Name] {
+			t.Fatalf("duplicate oracle name %s", o.Name)
+		}
+		names[o.Name] = true
+	}
+}
+
+func TestGenOpsPrefixStable(t *testing.T) {
+	for _, w := range WorkloadNames() {
+		long, err := GenOps(w, 11, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		short, err := GenOps(w, 11, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range short {
+			if short[i] != long[i] {
+				t.Fatalf("workload %s not prefix-stable at op %d (the shrinker depends on this)", w, i)
+			}
+		}
+	}
+}
+
+// TestBrokenRecoveryCaught proves the oracles have teeth: each sabotaged
+// recovery mode must be caught on a small matrix, the failure must
+// shrink, and the printed repro must replay to the same verdict.
+func TestBrokenRecoveryCaught(t *testing.T) {
+	modes := map[string]MatrixOpts{
+		// Skipping the counter-replay step leaves stale counters behind a
+		// clean-looking report; clean crashes alone expose it.
+		"skip-counter-replay": {
+			Designs: []string{"osiris", "ccnvm"}, Workloads: []string{"hot", "hammer"},
+			Attacks: []string{"none"}, Seeds: 2, Ops: 160, CrashPts: 2,
+		},
+		// Dropping tamper evidence is exposed by spoof/splice cells.
+		"ignore-tampered": {
+			Designs: []string{"sc", "ccnvm"}, Workloads: []string{"hot"},
+			Attacks: []string{"spoof", "splice"}, Seeds: 2, Ops: 160, CrashPts: 2,
+		},
+		// Skipping the tree-vs-root check loses the location of counter
+		// replays on tree-persisting designs. The rewind must exceed the
+		// stop-loss bound (hammer workload, N=4) — a smaller rewind is
+		// silently healed by counter recovery and asserts nothing.
+		"skip-root-check": {
+			Designs: []string{"ccnvm", "sc"}, Workloads: []string{"hammer"},
+			Attacks: []string{"counter-replay"}, Seeds: 2, Ops: 160, CrashPts: 2,
+			Ns: []uint64{4},
+		},
+	}
+	for mode, opts := range modes {
+		mode, opts := mode, opts
+		t.Run(mode, func(t *testing.T) {
+			t.Parallel()
+			r, err := BrokenRunner(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := RunMatrix(r, EnumerateCells(opts), 0, nil)
+			if !sum.Failed() {
+				t.Fatalf("broken mode %q slipped past every oracle over %d cells", mode, sum.Cells)
+			}
+			f := sum.Failures[0]
+			if !strings.HasPrefix(f.Repro, "go run ./cmd/ccnvm-torture -repro '") {
+				t.Fatalf("failure carries no usable repro line: %q", f.Repro)
+			}
+			// The repro line must replay: parse the embedded spec and
+			// re-run the minimized cell against the same broken runner.
+			spec := strings.TrimSuffix(strings.TrimPrefix(f.Repro, "go run ./cmd/ccnvm-torture -repro '"), "'")
+			cell, err := ParseCell(spec)
+			if err != nil {
+				t.Fatalf("repro spec does not parse: %v", err)
+			}
+			again := r.RunCell(cell)
+			if again == nil {
+				t.Fatalf("minimized repro %s no longer fails", f.Repro)
+			}
+			if again.Oracle != f.Oracle {
+				t.Fatalf("repro fails a different oracle: %s vs %s", again.Oracle, f.Oracle)
+			}
+			// And the same cell must pass on the real recovery path.
+			if g := DefaultRunner().RunCell(cell); g != nil {
+				t.Fatalf("minimized cell also fails the real recovery: %v", g)
+			}
+			t.Logf("mode %s caught by oracle %q after %d shrink runs: %s", mode, f.Oracle, f.ShrinkRuns, f.Repro)
+		})
+	}
+}
+
+func TestShrinkReducesCleanFailure(t *testing.T) {
+	r, err := BrokenRunner("skip-counter-replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCell := Cell{Design: "osiris", Workload: "hammer", Seed: 1, Ops: 160, CrashAt: 150}
+	f := r.RunCell(seedCell)
+	if f == nil {
+		t.Skip("seed cell did not fail under the broken runner")
+	}
+	min, runs := Shrink(r, *f, 64)
+	if min.Cell.CrashAt > f.Cell.CrashAt {
+		t.Fatalf("shrinking grew the crash point: %d -> %d", f.Cell.CrashAt, min.Cell.CrashAt)
+	}
+	if min.Cell.Ops != min.Cell.CrashAt {
+		t.Fatalf("shrinker left a dead trace tail: ops=%d crash=%d", min.Cell.Ops, min.Cell.CrashAt)
+	}
+	if g := r.RunCell(min.Cell); g == nil || g.Oracle != min.Oracle {
+		t.Fatalf("shrunk cell does not reproduce: %v", g)
+	}
+	t.Logf("shrunk crash %d -> %d in %d runs", f.Cell.CrashAt, min.Cell.CrashAt, runs)
+}

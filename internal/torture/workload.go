@@ -1,0 +1,88 @@
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccnvm/internal/mem"
+	"ccnvm/internal/trace"
+)
+
+// The harness uses small, torture-specific workload profiles rather than
+// the benchmark replicas in trace/profiles.go: cells run a few hundred
+// operations, so footprints are sized to exercise the interesting
+// machinery (shared counter lines, drains, overflow) within that budget.
+// "hammer" is generated directly instead of through a Profile because it
+// must concentrate stores far beyond what HotFraction can express: one
+// line absorbing hundreds of consecutive write-backs is what drives
+// minor-counter overflow and pushes w/o-CC past its retry bound.
+
+var tortureProfiles = map[string]trace.Profile{
+	// hot: store-heavy with a small hot set; many write-backs land on the
+	// same pages, sharing counter lines and tree ancestors.
+	"hot": {
+		Name: "torture-hot", FootprintPages: 48, HotPages: 6, HotFraction: 0.8,
+		SeqRun: 1, StoreFraction: 0.7, MeanGap: 4, DepFraction: 0.2,
+	},
+	// stream: sequential runs across a larger footprint; counter lines
+	// are touched once and spread wide.
+	"stream": {
+		Name: "torture-stream", FootprintPages: 96, HotPages: 96, HotFraction: 0,
+		SeqRun: 12, AccessesPerLine: 1, StoreFraction: 0.6, MeanGap: 2, DepFraction: 0.1,
+	},
+	// mixed: loads and stores interleaved over a mid-sized set, so the
+	// read path (and its fetch-verify machinery) runs between crashes.
+	"mixed": {
+		Name: "torture-mixed", FootprintPages: 64, HotPages: 12, HotFraction: 0.55,
+		SeqRun: 4, StoreFraction: 0.45, MeanGap: 8, DepFraction: 0.35,
+	},
+}
+
+// WorkloadNames lists the harness's workload profiles.
+func WorkloadNames() []string { return []string{"hot", "stream", "mixed", "hammer"} }
+
+// GenOps materializes the cell's operation stream: deterministic in
+// (name, seed), and prefix-stable — GenOps(name, seed, k) is always the
+// first k elements of GenOps(name, seed, n) for k <= n, which the
+// shrinker relies on when it cuts traces.
+func GenOps(name string, seed int64, n int) ([]trace.Op, error) {
+	if name == "hammer" {
+		return hammerOps(seed, n), nil
+	}
+	p, ok := tortureProfiles[name]
+	if !ok {
+		return nil, fmt.Errorf("torture: unknown workload %q", name)
+	}
+	g, err := trace.NewGenerator(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Collect(g, n), nil
+}
+
+// hammerOps pounds a handful of lines with stores: roughly 3/4 of the
+// operations hit one victim line. A few hundred ops overflow its minor
+// counter (forcing page re-encryption) and leave w/o-CC's persistent
+// counters stale far beyond any retry bound.
+func hammerOps(seed int64, n int) []trace.Op {
+	rng := rand.New(rand.NewSource(seed))
+	lines := []mem.Addr{
+		mem.Addr(rng.Intn(16)) * mem.PageSize,
+		mem.Addr(rng.Intn(16))*mem.PageSize + 2*mem.LineSize,
+		mem.Addr(16+rng.Intn(16)) * mem.PageSize,
+		mem.Addr(32+rng.Intn(16))*mem.PageSize + 7*mem.LineSize,
+	}
+	ops := make([]trace.Op, n)
+	for i := range ops {
+		a := lines[0]
+		if rng.Intn(4) == 0 {
+			a = lines[rng.Intn(len(lines))]
+		}
+		kind := trace.Store
+		if rng.Intn(8) == 0 {
+			kind = trace.Load
+		}
+		ops[i] = trace.Op{Kind: kind, Addr: a, Gap: uint16(rng.Intn(6))}
+	}
+	return ops
+}
