@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race fuzz-short torture torture-long ci bench profile clean
+.PHONY: all tier1 vet race fuzz-short vuln torture torture-faults torture-long ci bench profile clean
 
 all: tier1
 
@@ -28,17 +28,33 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/trace/
 	$(GO) test -fuzz=FuzzCompressRoundTrip -fuzztime=10s ./internal/compress/
 	$(GO) test -fuzz=FuzzCell -fuzztime=20s ./internal/torture/
+	$(GO) test -fuzz=FuzzFaultCell -fuzztime=20s ./internal/torture/
+
+# vuln scans the module against the Go vulnerability database. Skipped
+# with a notice when govulncheck is not installed (it needs network
+# access to fetch; we never install tools from a build target).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # torture runs the full differential crash/attack matrix via the CLI;
+# torture-faults adds the media-fault cells (torn writes, partial ADR
+# drains, weak and stuck lines) on top of the clean-crash matrix;
 # torture-long widens every axis (minutes, not seconds).
 torture:
 	$(GO) run ./cmd/ccnvm-torture -seeds 8 -designs all
+
+torture-faults:
+	$(GO) run ./cmd/ccnvm-torture -seeds 4 -designs all -attacks none -faultseeds 16
 
 torture-long:
 	$(GO) test ./internal/torture/ -torture.long -timeout 30m -v
 
 # ci is what a merge must pass.
-ci: tier1 vet race fuzz-short
+ci: tier1 vet race fuzz-short vuln
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"ccnvm/internal/engine"
+	"ccnvm/internal/nvm"
 	"ccnvm/internal/report"
 	"ccnvm/internal/sim"
 	"ccnvm/internal/trace"
@@ -38,6 +39,12 @@ func main() {
 	n := flag.Uint64("n", 16, "update-times limit N")
 	m := flag.Int("m", 64, "dirty address queue entries M")
 	capacity := flag.Uint64("capacity", 16<<30, "NVM capacity in bytes")
+	faultSeed := flag.Int64("fault-seed", 1, "media fault model seed")
+	faultTorn := flag.Bool("fault-torn", false, "tear WPQ entries at 8-byte word granularity on power failure")
+	faultADR := flag.Int("fault-adr", 0, "ADR energy budget in WPQ entries at power failure (0 = unbounded)")
+	faultWeak := flag.Int("fault-weak", 0, "weak-line rate in percent: transient read errors healed by retry and scrubbing")
+	faultStuck := flag.Int("fault-stuck", 0, "lines stuck permanently at each power failure")
+	scrubOps := flag.Int("scrub-ops", 0, "trace ops between scrub passes under a fault model (0 = default)")
 	traceFile := flag.String("trace", "", "replay a recorded trace file instead of a generated workload")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations when multiple designs are given")
 	asJSON := flag.Bool("json", false, "emit the result as JSON (an array when multiple designs are given)")
@@ -46,6 +53,19 @@ func main() {
 	cfg := sim.Config{
 		Capacity: *capacity,
 		Params:   engine.Params{UpdateLimit: *n, QueueEntries: *m},
+		ScrubOps: *scrubOps,
+	}
+	// Any non-zero fault axis installs the media fault model; with all
+	// axes zero the simulator is the idealized device and its output is
+	// bit-identical to earlier releases.
+	if *faultTorn || *faultADR > 0 || *faultWeak > 0 || *faultStuck > 0 {
+		cfg.Faults = &nvm.FaultModel{
+			Seed:         *faultSeed,
+			TornWrites:   *faultTorn,
+			ADRBudget:    *faultADR,
+			WeakLineRate: float64(*faultWeak) / 100,
+			StuckLines:   *faultStuck,
+		}
 	}
 	designs := parseDesigns(*design)
 	if len(designs) == 0 {
@@ -121,7 +141,7 @@ func main() {
 		return
 	}
 	for _, r := range results {
-		fmt.Print(Render(r))
+		fmt.Print(Render(r, cfg.Faults != nil))
 	}
 }
 
@@ -155,8 +175,10 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// Render formats one result as a detailed report.
-func Render(r sim.Result) string {
+// Render formats one result as a detailed report. The fault section is
+// printed only when a fault model was installed, keeping the default
+// output identical to earlier releases.
+func Render(r sim.Result, faults bool) string {
 	t := report.NewTable(fmt.Sprintf("%s on %s", sim.DesignLabel(r.Design), r.Workload), "value")
 	t.AddRow("instructions", fmt.Sprintf("%d", r.Instructions))
 	t.AddRow("cycles", fmt.Sprintf("%d", r.Cycles))
@@ -187,5 +209,12 @@ func Render(r sim.Result) string {
 	t.AddRow("wb buffer stalls", fmt.Sprintf("%d", r.Sec.WritebackBufferStalls))
 	t.AddRow("WPQ full stalls", fmt.Sprintf("%d", r.Ctrl.WPQFullStalls))
 	t.AddRow("max line wear", fmt.Sprintf("%d", r.MaxWear))
+	if faults {
+		t.AddRow("read retries", fmt.Sprintf("%d", r.Ctrl.ReadRetries))
+		t.AddRow("read retry cycles", fmt.Sprintf("%d", r.Ctrl.ReadRetryCycles))
+		t.AddRow("permanent read errors", fmt.Sprintf("%d", r.Ctrl.PermanentReadErrors))
+		t.AddRow("scrubbed lines", fmt.Sprintf("%d", r.Ctrl.ScrubbedLines))
+		t.AddRow("scrub remapped", fmt.Sprintf("%d", r.Ctrl.ScrubRemapped))
+	}
 	return t.String()
 }

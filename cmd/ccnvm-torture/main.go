@@ -15,30 +15,36 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"ccnvm/internal/torture"
 )
 
 func main() {
 	var (
-		designs   = flag.String("designs", "all", `comma-separated designs, "all", or "paper"`)
-		workloads = flag.String("workloads", "", "comma-separated workloads (default: all)")
-		attacks   = flag.String("attacks", "", `comma-separated attacks incl. "none" (default: all)`)
-		seeds     = flag.Int("seeds", 4, "trace seeds per combination")
-		ops       = flag.Int("ops", 240, "trace length per cell")
-		crashPts  = flag.Int("crashpoints", 3, "crash points per trace")
-		budget    = flag.Int("budget", 0, "max cells, evenly sampled (0 = run all)")
-		parallel  = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
-		jsonOut   = flag.Bool("json", false, "emit the summary as JSON")
-		repro     = flag.String("repro", "", "replay one cell spec and exit")
-		breakMode = flag.String("break", "", "sabotage recovery (modes: "+strings.Join(torture.BrokenModes(), ", ")+")")
-		oracles   = flag.Bool("oracles", false, "list the oracles and exit")
-		verbose   = flag.Bool("v", false, "print progress")
+		designs    = flag.String("designs", "all", `comma-separated designs, "all", or "paper"`)
+		workloads  = flag.String("workloads", "", "comma-separated workloads (default: all)")
+		attacks    = flag.String("attacks", "", `comma-separated attacks incl. "none" (default: all)`)
+		seeds      = flag.Int("seeds", 4, "trace seeds per combination")
+		ops        = flag.Int("ops", 240, "trace length per cell")
+		crashPts   = flag.Int("crashpoints", 3, "crash points per trace")
+		faultSeeds = flag.Int("faultseeds", 0, "media-fault seeds per design/workload, cycled through the fault profiles (0 = no fault cells)")
+		budget     = flag.Int("budget", 0, "max cells, evenly sampled (0 = run all)")
+		parallel   = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 0, "stop dispatching new cells after this duration and report partial results (0 = none)")
+		jsonOut    = flag.Bool("json", false, "emit the summary as JSON")
+		repro      = flag.String("repro", "", "replay one cell spec and exit")
+		breakMode  = flag.String("break", "", "sabotage recovery (modes: "+strings.Join(torture.BrokenModes(), ", ")+")")
+		oracles    = flag.Bool("oracles", false, "list the oracles and exit")
+		verbose    = flag.Bool("v", false, "print progress")
 	)
 	flag.Parse()
 
@@ -73,13 +79,14 @@ func main() {
 	}
 
 	opts := torture.MatrixOpts{
-		Designs:   splitList(*designs, torture.DesignNames(), map[string][]string{"all": torture.DesignNames(), "paper": torture.PaperDesigns()}),
-		Workloads: splitList(*workloads, nil, nil),
-		Attacks:   splitList(*attacks, nil, nil),
-		Seeds:     *seeds,
-		Ops:       *ops,
-		CrashPts:  *crashPts,
-		Budget:    *budget,
+		Designs:    splitList(*designs, torture.DesignNames(), map[string][]string{"all": torture.DesignNames(), "paper": torture.PaperDesigns()}),
+		Workloads:  splitList(*workloads, nil, nil),
+		Attacks:    splitList(*attacks, nil, nil),
+		Seeds:      *seeds,
+		Ops:        *ops,
+		CrashPts:   *crashPts,
+		FaultSeeds: *faultSeeds,
+		Budget:     *budget,
 	}
 	cells := torture.EnumerateCells(opts)
 	if !*jsonOut {
@@ -96,7 +103,23 @@ func main() {
 			}
 		}
 	}
-	sum := torture.RunMatrix(runner, cells, *parallel, progress)
+
+	// SIGINT/SIGTERM and -timeout cancel the matrix context: in-flight
+	// cells finish, the rest are skipped, and the partial summary is
+	// still emitted (including as JSON) before the non-zero exit.
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	sum := torture.RunMatrix(ctx, runner, cells, *parallel, progress)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -105,12 +128,12 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		fmt.Println(sum.Describe())
+		fmt.Printf("%s [%s]\n", sum.Describe(), time.Since(start).Round(time.Millisecond))
 		for _, f := range sum.Failures {
 			fmt.Printf("  oracle %s: %s\n    repro: %s (shrunk in %d runs)\n", f.Oracle, f.Detail, f.Repro, f.ShrinkRuns)
 		}
 	}
-	if sum.Failed() {
+	if sum.Failed() || sum.Interrupted {
 		os.Exit(1)
 	}
 }

@@ -321,11 +321,18 @@ func (c *CCNVM) drain(now int64, cause DrainCause) int64 {
 	}
 
 	// Atomic draining: start signal, epoch-held WPQ entries, end signal.
-	c.Ctrl.BeginEpochDrain()
+	// The typed protocol errors are unreachable from a correct drainer
+	// (windows never nest, batches are bounded); a violation is a bug in
+	// this engine, so it escalates.
+	if err := c.Ctrl.BeginEpochDrain(); err != nil {
+		panic(err)
+	}
 	for _, a := range tracked {
 		t = max64(t, c.Ctrl.Write(t, a, content[a]))
 	}
-	c.Ctrl.EndEpochDrain(t)
+	if _, err := c.Ctrl.EndEpochDrain(t); err != nil {
+		panic(err)
+	}
 	st.DrainLinesFlushed += uint64(len(tracked))
 
 	// Commit: ROOTold now matches the NVM tree; the replay-window

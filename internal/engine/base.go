@@ -598,15 +598,25 @@ func (b *Base) ApplyCrashVolatility() {
 // the engine fully operational.
 func (b *Base) NVMSnapshot() *nvm.Image { return b.Ctrl.Device().Snapshot() }
 
-// MakeCrashImage captures the persistent state.
+// MakeCrashImage captures the persistent state. When the device ran
+// under a fault model, the image also carries the controller's suspects
+// manifest and the harness-only fault log produced by the crash.
 func (b *Base) MakeCrashImage(design string) *CrashImage {
-	return &CrashImage{
+	img := &CrashImage{
 		Image:       b.Ctrl.Device().Snapshot(),
 		TCB:         b.TCB.CloneExt(),
 		Keys:        b.Keys,
 		UpdateLimit: b.P.UpdateLimit,
 		Design:      design,
 	}
+	if b.Ctrl.Device().FaultModel() != nil {
+		img.MediaFaults = true
+		if log := b.Ctrl.TakeFaultLog(); log != nil {
+			img.Suspects = log.Suspects
+			img.MediaLog = log
+		}
+	}
+	return img
 }
 
 func max64(a, c int64) int64 {

@@ -112,6 +112,22 @@ type CrashImage struct {
 	// keeps in ECC spare bits and that survives power failure; Arsenal
 	// stores its per-block compressibility tags here.
 	Sideband map[mem.Addr]byte
+
+	// MediaFaults reports that the device ran under a fault model, so
+	// recovery must expect torn lines, partial ADR drains and stuck
+	// lines, and classify the resulting damage as crash loss rather than
+	// tampering where the suspects manifest covers it.
+	MediaFaults bool
+	// Suspects is the WPQ manifest the controller persists first at a
+	// power failure: the line addresses that were accepted or held but
+	// possibly not serviced. Recovery may consult it — real hardware
+	// would have it — to attribute authentication failures to crash
+	// damage. Nil on the idealized device.
+	Suspects []mem.Addr
+	// MediaLog is the harness's ground-truth fault record. It exists for
+	// the torture oracles and diagnostics only; recovery must never read
+	// anything beyond Suspects from it.
+	MediaLog *nvm.FaultLog
 }
 
 // SecStats accumulates engine-level events.

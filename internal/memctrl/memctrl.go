@@ -18,10 +18,24 @@
 package memctrl
 
 import (
+	"errors"
 	"fmt"
 
 	"ccnvm/internal/mem"
 	"ccnvm/internal/nvm"
+)
+
+// Typed protocol errors. They replace the panics that used to guard the
+// draining protocol, so fuzzed and torture paths can surface a broken
+// caller as a reported failure instead of crashing the sweep.
+var (
+	// ErrNestedDrain reports BeginEpochDrain inside an open window.
+	ErrNestedDrain = errors.New("memctrl: nested BeginEpochDrain")
+	// ErrNoDrain reports EndEpochDrain without a matching begin signal.
+	ErrNoDrain = errors.New("memctrl: EndEpochDrain without BeginEpochDrain")
+	// ErrWPQWedged reports a WPQ whose every slot is a held epoch entry:
+	// the drainer failed to bound its batch by the queue size.
+	ErrWPQWedged = errors.New("memctrl: WPQ wedged with held epoch entries")
 )
 
 // Config sizes the controller. Zero values select the paper's setup.
@@ -29,6 +43,13 @@ type Config struct {
 	Banks      int // parallel PCM banks (default 24)
 	ReadQueue  int // read queue entries (default 32)
 	WriteQueue int // WPQ entries (default 64)
+
+	// ReadRetryLimit bounds how many times a failing media read is
+	// retried (with exponential backoff) before the controller reports a
+	// permanent read error. Only consulted when the device carries a
+	// fault model; default 4, which covers the transient-error model's
+	// worst case of two consecutive failures.
+	ReadRetryLimit int
 }
 
 func (c *Config) fill() {
@@ -41,9 +62,13 @@ func (c *Config) fill() {
 	if c.WriteQueue == 0 {
 		c.WriteQueue = 64
 	}
+	if c.ReadRetryLimit == 0 {
+		c.ReadRetryLimit = 4
+	}
 }
 
-// Stats reports controller-level contention.
+// Stats reports controller-level contention and, under a fault model,
+// the retry/scrub/crash-damage counters.
 type Stats struct {
 	Reads          uint64
 	Writes         uint64
@@ -51,11 +76,34 @@ type Stats struct {
 	WPQStallCycles int64  // cycles producers spent waiting for a slot
 	EpochWrites    uint64 // writes issued inside a draining window
 	DroppedOnCrash uint64 // held epoch entries discarded by a crash
+
+	// Fault-model counters; all zero on the idealized device.
+	ReadRetries         uint64 // read attempts repeated after a transient error
+	ReadRetryCycles     int64  // extra cycles spent in retry backoff
+	PermanentReadErrors uint64 // reads that exhausted the retry budget
+	ScrubbedLines       uint64 // weak lines rewritten by scrub passes
+	ScrubRemapped       uint64 // lines scrubbing gave up on and remapped
+	TornOnCrash         uint64 // WPQ entries torn at power failure
+	DroppedByADR        uint64 // WPQ entries wholly lost past the ADR budget
+	StuckOnCrash        uint64 // lines stuck-at failed at power failure
+	WriteErrors         uint64 // device writes rejected with a typed error
 }
 
 type heldEntry struct {
 	addr mem.Addr
 	line mem.Line
+}
+
+// pendingWrite tracks one accepted-but-unserviced WPQ entry while a
+// fault model is active, with enough context to tear or revert it at a
+// power failure: the media content before the write and whether the
+// line existed at all.
+type pendingWrite struct {
+	addr  mem.Addr
+	line  mem.Line // the new content the producer wrote
+	old   mem.Line // media content before this write
+	oldOk bool
+	seq   uint64 // global write sequence (disambiguates tear decisions)
 }
 
 // Controller fronts one NVM device.
@@ -77,6 +125,12 @@ type Controller struct {
 	held       []heldEntry
 	inDrain    bool
 	stats      Stats
+
+	// Fault-model state (empty on the idealized device).
+	pending  []pendingWrite // accepted writes not yet serviced, FIFO
+	wseq     uint64         // monotonic write sequence for tear decisions
+	faultLog *nvm.FaultLog  // built by Crash when a fault model is active
+	err      error          // first device/protocol error (sticky)
 }
 
 // New builds a controller over dev.
@@ -105,7 +159,37 @@ func (c *Controller) advance(now int64) {
 		}
 		c.backlogUpd = now
 	}
+	if c.pending != nil {
+		// Entries retire FIFO as the fluid backlog drains below them.
+		unserviced := int(c.backlog)
+		if float64(unserviced) < c.backlog {
+			unserviced++
+		}
+		if drop := len(c.pending) - unserviced; drop > 0 {
+			c.pending = append(c.pending[:0], c.pending[drop:]...)
+		}
+	}
 }
+
+// trackPending reports whether accepted writes must be tracked for
+// crash-time fault injection.
+func (c *Controller) trackPending() bool {
+	return c.dev.FaultModel().CrashAffectsWPQ()
+}
+
+// fail records the first device or protocol error; later errors are
+// dropped (the first is the root cause).
+func (c *Controller) fail(err error) {
+	c.stats.WriteErrors++
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// Err returns the first device or protocol error the controller
+// swallowed, nil if none. Torture cells report a non-nil value as a
+// failure.
+func (c *Controller) Err() error { return c.err }
 
 // Device returns the fronted NVM device.
 func (c *Controller) Device() *nvm.Device { return c.dev }
@@ -153,10 +237,41 @@ func (c *Controller) Read(now int64, a mem.Addr) (mem.Line, bool, int64) {
 	b := c.bankOf(a)
 	start := max64(now, c.readBanks[b])
 	done := start + c.dev.Timing().ReadCycles
+	l, ok := c.dev.Read(a)
+	done += c.retryPenalty(a)
 	c.readBanks[b] = done
 	c.readQ = append(c.readQ, done)
-	l, ok := c.dev.Read(a)
 	return l, ok, done
+}
+
+// retryPenalty models bounded retry-with-backoff for media read errors:
+// each failing attempt is retried after an exponentially growing backoff
+// until the device succeeds or the retry budget is exhausted (a
+// permanent read error; the content is still returned — the simulator
+// has it — but the error is counted, and the fault oracles require the
+// count to stay zero under the transient-error model). Returns the extra
+// cycles the retries cost. Zero without a fault model.
+func (c *Controller) retryPenalty(a mem.Addr) int64 {
+	if c.dev.FaultModel() == nil {
+		return 0
+	}
+	var extra int64
+	for attempt := 0; c.dev.ReadFails(a, attempt); {
+		attempt++
+		shift := uint(attempt - 1)
+		if shift > 6 {
+			shift = 6
+		}
+		cost := c.dev.Timing().ReadCycles << shift
+		c.stats.ReadRetries++
+		c.stats.ReadRetryCycles += cost
+		extra += cost
+		if attempt >= c.cfg.ReadRetryLimit {
+			c.stats.PermanentReadErrors++
+			break
+		}
+	}
+	return extra
 }
 
 // Write enqueues a line write into the WPQ and returns the cycle at
@@ -176,7 +291,8 @@ func (c *Controller) Write(now int64, a mem.Addr, l mem.Line) int64 {
 		// is a held epoch entry the protocol is broken: the drainer must
 		// bound its batch by the WPQ size.
 		if c.backlog <= 0 {
-			panic(fmt.Sprintf("memctrl: WPQ wedged with %d held epoch entries", len(c.held)))
+			c.fail(fmt.Errorf("%w (%d held)", ErrWPQWedged, len(c.held)))
+			return now
 		}
 		need := occ + 1 - float64(c.cfg.WriteQueue)
 		wait := int64(need/c.drainRate() + 0.999999)
@@ -190,9 +306,29 @@ func (c *Controller) Write(now int64, a mem.Addr, l mem.Line) int64 {
 		c.held = append(c.held, heldEntry{a, l})
 		return now
 	}
-	c.backlog++
-	c.dev.Write(a, l) // durable at acceptance (ADR)
+	c.devWrite(a, l) // durable at acceptance (ADR)
 	return now
+}
+
+// devWrite services one WPQ entry: the line becomes durable, the fluid
+// backlog grows by one, and — under a fault model — the entry is
+// remembered until it retires, so a power failure can tear it.
+func (c *Controller) devWrite(a mem.Addr, l mem.Line) {
+	var old mem.Line
+	var oldOk bool
+	track := c.trackPending()
+	if track {
+		old, oldOk = c.dev.Peek(a)
+	}
+	if err := c.dev.Write(a, l); err != nil {
+		c.fail(err)
+		return
+	}
+	c.backlog++
+	if track {
+		c.wseq++
+		c.pending = append(c.pending, pendingWrite{addr: a, line: l, old: old, oldOk: oldOk, seq: c.wseq})
+	}
 }
 
 // ReadBypass services a metadata or write-path read with pure device
@@ -211,7 +347,7 @@ func (c *Controller) ReadBypass(now int64, a mem.Addr) (mem.Line, bool, int64) {
 		}
 	}
 	l, ok := c.dev.Read(a)
-	return l, ok, now + c.dev.Timing().ReadCycles
+	return l, ok, now + c.dev.Timing().ReadCycles + c.retryPenalty(a)
 }
 
 // InDrain reports whether a draining window is open.
@@ -221,30 +357,68 @@ func (c *Controller) InDrain() bool { return c.inDrain }
 func (c *Controller) HeldEntries() int { return len(c.held) }
 
 // BeginEpochDrain opens the atomic-draining window: subsequent writes
-// are tagged as epoch metadata and held in the WPQ.
-func (c *Controller) BeginEpochDrain() {
+// are tagged as epoch metadata and held in the WPQ. Nesting windows is a
+// protocol violation and returns ErrNestedDrain (also recorded sticky).
+func (c *Controller) BeginEpochDrain() error {
 	if c.inDrain {
-		panic("memctrl: nested BeginEpochDrain")
+		c.fail(ErrNestedDrain)
+		return ErrNestedDrain
 	}
 	c.inDrain = true
+	return nil
 }
 
 // EndEpochDrain delivers the end signal: every held entry becomes
 // durable and is scheduled on the banks. It returns the cycle at which
 // the last entry's NVM write completes (background time; producers need
-// not wait for it).
-func (c *Controller) EndEpochDrain(now int64) int64 {
+// not wait for it), or ErrNoDrain when no window is open.
+func (c *Controller) EndEpochDrain(now int64) (int64, error) {
 	if !c.inDrain {
-		panic("memctrl: EndEpochDrain without BeginEpochDrain")
+		c.fail(ErrNoDrain)
+		return now, ErrNoDrain
 	}
 	c.inDrain = false
 	c.advance(now)
 	for _, h := range c.held {
-		c.backlog++
-		c.dev.Write(h.addr, h.line)
+		c.devWrite(h.addr, h.line)
 	}
 	c.held = c.held[:0]
-	return now + int64(c.backlog/c.drainRate())
+	return now + int64(c.backlog/c.drainRate()), nil
+}
+
+// Scrub runs one scrubbing pass over the device's weak lines: each is
+// read and rewritten in place (re-rolling its cell state) until it holds
+// stable data, up to eight rewrites; a line still weak after that is
+// remapped to a spare and exempted. The pass guarantees no weak line
+// survives it, which the read-error-bounded-retry oracle asserts. It
+// returns the cycle at which the scrub writes were accepted. A no-op
+// without a fault model.
+func (c *Controller) Scrub(now int64) int64 {
+	dev := c.dev
+	if dev.FaultModel() == nil {
+		return now
+	}
+	for _, a := range dev.WeakLines() {
+		healed := false
+		for i := 0; i < 8; i++ {
+			l, ok := dev.Peek(a)
+			if !ok {
+				healed = true
+				break
+			}
+			now = c.Write(now, a, l)
+			c.stats.ScrubbedLines++
+			if !dev.LineWeak(a) {
+				healed = true
+				break
+			}
+		}
+		if !healed {
+			dev.ExemptLine(a)
+			c.stats.ScrubRemapped++
+		}
+	}
+	return now
 }
 
 // Crash applies power-failure semantics: serviceable WPQ entries are
@@ -252,14 +426,158 @@ func (c *Controller) EndEpochDrain(now int64) int64 {
 // epoch entries that never saw the end signal are dropped, leaving the
 // NVM Merkle tree in its previous consistent state. The controller is
 // left empty and idle.
+//
+// Under a fault model the ADR guarantee weakens: only the first
+// ADRBudget unserviced entries flush whole; later entries tear at
+// 8-byte granularity or drop, held entries tear instead of vanishing
+// cleanly, and StuckLines written lines fail permanently. The damage is
+// recorded in a FaultLog (see TakeFaultLog) whose Suspects manifest —
+// the addresses of every in-flight or held entry — is the only part
+// recovery may consult.
 func (c *Controller) Crash() {
+	if c.dev.FaultModel().Enabled() {
+		c.crashFaults()
+	}
 	c.stats.DroppedOnCrash += uint64(len(c.held))
 	c.held = c.held[:0]
+	c.pending = nil
 	c.inDrain = false
 	c.backlog = 0
 	c.backlogUpd = 0
 	for i := range c.readBanks {
 		c.readBanks[i] = 0
+	}
+}
+
+// crashFaults injects the fault model's power-failure damage and builds
+// the fault log.
+func (c *Controller) crashFaults() {
+	fm := c.dev.FaultModel()
+	log := &nvm.FaultLog{}
+
+	// Partial ADR drain: the first K unserviced entries flush whole
+	// (they are already durable — acceptance wrote them through); the
+	// rest tear or drop. Damage is applied per address in FIFO order so
+	// overlapping writes compose word-by-word like real media.
+	victims := c.pending
+	if fm.ADRBudget > 0 && len(victims) > fm.ADRBudget {
+		log.Flushed = fm.ADRBudget
+		victims = victims[fm.ADRBudget:]
+	} else if fm.ADRBudget > 0 {
+		log.Flushed = len(victims)
+		victims = nil
+	} else {
+		// Unbounded budget: every serviced entry survives whole.
+		log.Flushed = len(victims)
+		victims = nil
+	}
+
+	// The suspects manifest: the lines the ADR flush FAILED to service —
+	// the entries past the energy budget and everything held without an
+	// end signal. Real hardware knows exactly this (the flush pointer
+	// stops, and NVDIMM SMART reports the dirty shutdown); entries it
+	// flushed whole are durable and need no suspicion. The manifest is
+	// persisted first (a few hundred bytes, well inside any budget), so
+	// recovery can distinguish crash loss from tampering.
+	seen := map[mem.Addr]bool{}
+	for _, p := range victims {
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			log.Suspects = append(log.Suspects, p.addr)
+		}
+	}
+	for _, h := range c.held {
+		if !seen[h.addr] {
+			seen[h.addr] = true
+			log.Suspects = append(log.Suspects, h.addr)
+		}
+	}
+	sortAddrs(log.Suspects)
+
+	perAddr := map[mem.Addr][]pendingWrite{}
+	var order []mem.Addr
+	for _, p := range victims {
+		if _, ok := perAddr[p.addr]; !ok {
+			order = append(order, p.addr)
+		}
+		perAddr[p.addr] = append(perAddr[p.addr], p)
+	}
+	for _, a := range order {
+		entries := perAddr[a]
+		// Start from the media content before the first beyond-budget
+		// entry; every earlier write to a flushed or retired entry is
+		// already folded into that base.
+		cur, present := entries[0].old, entries[0].oldOk
+		damaged := false
+		for _, p := range entries {
+			mask := fm.TearMask(p.addr, p.seq)
+			switch {
+			case mask == 0:
+				c.stats.DroppedByADR++
+				log.Events = append(log.Events, nvm.FaultEvent{Addr: p.addr, Kind: "dropped"})
+				damaged = true
+			case mask == 0xff:
+				cur, present = p.line, true
+			default:
+				base := cur
+				if !present {
+					base = mem.Line{}
+				}
+				cur, present = nvm.MixWords(base, p.line, mask), true
+				c.stats.TornOnCrash++
+				log.Events = append(log.Events, nvm.FaultEvent{Addr: p.addr, Kind: "torn", Mask: mask})
+				damaged = true
+			}
+		}
+		if damaged {
+			c.dev.ApplyCrashFault(a, cur, present)
+		}
+	}
+
+	// Held epoch entries never saw the end signal. The idealized device
+	// drops them whole (the atomic-draining guarantee); with torn writes
+	// enabled, words of them may have leaked to the media.
+	if fm.TornWrites {
+		for i, h := range c.held {
+			mask := fm.TearMask(h.addr, c.wseq+uint64(i)+1)
+			if mask == 0 || mask == 0xff {
+				// 0xff would be a fully persisted held entry — the end
+				// signal never arrived, so cap the leak below a full line
+				// to preserve "held entries are never durable whole".
+				log.Events = append(log.Events, nvm.FaultEvent{Addr: h.addr, Kind: "dropped", Held: true})
+				continue
+			}
+			cur, ok := c.dev.Peek(h.addr)
+			if !ok {
+				cur = mem.Line{}
+			}
+			c.dev.ApplyCrashFault(h.addr, nvm.MixWords(cur, h.line, mask), true)
+			c.stats.TornOnCrash++
+			log.Events = append(log.Events, nvm.FaultEvent{Addr: h.addr, Kind: "torn", Mask: mask, Held: true})
+		}
+	}
+
+	// Stuck-at failures: cells that do not survive the power cycle.
+	for _, a := range c.dev.InjectStuckLines() {
+		c.stats.StuckOnCrash++
+		log.Events = append(log.Events, nvm.FaultEvent{Addr: a, Kind: "stuck"})
+	}
+	c.faultLog = log
+}
+
+// TakeFaultLog returns the fault log of the last Crash and clears it;
+// nil when no fault model is active or Crash has not run.
+func (c *Controller) TakeFaultLog() *nvm.FaultLog {
+	log := c.faultLog
+	c.faultLog = nil
+	return log
+}
+
+func sortAddrs(a []mem.Addr) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package memctrl
 
 import (
+	"errors"
 	"testing"
 
 	"ccnvm/internal/mem"
@@ -90,7 +91,10 @@ func TestEpochDrainHoldsUntilEnd(t *testing.T) {
 	if c.HeldEntries() != 1 {
 		t.Fatalf("held = %d, want 1", c.HeldEntries())
 	}
-	last := c.EndEpochDrain(100)
+	last, err := c.EndEpochDrain(100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if last != 500 {
 		t.Fatalf("drain background completion = %d, want 500", last)
 	}
@@ -146,37 +150,34 @@ func TestCrashAfterEndKeepsEntries(t *testing.T) {
 	}
 }
 
-func TestNestedBeginPanics(t *testing.T) {
+func TestNestedBeginReturnsTypedError(t *testing.T) {
 	c := ctrl(t, Config{})
-	c.BeginEpochDrain()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("nested BeginEpochDrain did not panic")
-		}
-	}()
-	c.BeginEpochDrain()
+	if err := c.BeginEpochDrain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginEpochDrain(); !errors.Is(err, ErrNestedDrain) {
+		t.Fatalf("nested BeginEpochDrain returned %v, want ErrNestedDrain", err)
+	}
+	if !errors.Is(c.Err(), ErrNestedDrain) {
+		t.Fatalf("sticky Err() = %v, want ErrNestedDrain", c.Err())
+	}
 }
 
-func TestEndWithoutBeginPanics(t *testing.T) {
+func TestEndWithoutBeginReturnsTypedError(t *testing.T) {
 	c := ctrl(t, Config{})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("EndEpochDrain without begin did not panic")
-		}
-	}()
-	c.EndEpochDrain(0)
+	if _, err := c.EndEpochDrain(0); !errors.Is(err, ErrNoDrain) {
+		t.Fatalf("EndEpochDrain without begin returned %v, want ErrNoDrain", err)
+	}
 }
 
-func TestWedgedWPQPanics(t *testing.T) {
+func TestWedgedWPQReturnsTypedError(t *testing.T) {
 	c := ctrl(t, Config{WriteQueue: 1})
 	c.BeginEpochDrain()
 	c.Write(0, 0, line(1))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("wedged WPQ did not panic")
-		}
-	}()
 	c.Write(0, 64, line(2))
+	if !errors.Is(c.Err(), ErrWPQWedged) {
+		t.Fatalf("wedged WPQ recorded %v, want ErrWPQWedged", c.Err())
+	}
 }
 
 func TestEpochWriteCounting(t *testing.T) {
@@ -235,5 +236,97 @@ func TestReadBypassForwardsHeld(t *testing.T) {
 	_, _, done = c.ReadBypass(100, 64)
 	if done != 200 {
 		t.Fatalf("bypass read done at %d, want 200", done)
+	}
+}
+
+// TestEndEpochDrainRounding pins the fluid-drain completion semantics:
+// when the backlog divides the drain rate exactly, the returned cycle is
+// exactly backlog*WriteCycles/Banks; when it does not, the completion
+// truncates to the cycle at which less than one line remains in flight
+// (advance's ceiling keeps that final sub-line entry occupying a WPQ
+// slot until it is fully pushed, so nothing retires early).
+func TestEndEpochDrainRounding(t *testing.T) {
+	// Exact division: 2 lines at 1 line per 400 cycles.
+	c := ctrl(t, Config{Banks: 1})
+	c.BeginEpochDrain()
+	c.Write(0, 0, line(1))
+	c.Write(0, 64, line(2))
+	done, err := c.EndEpochDrain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 800 {
+		t.Fatalf("exact drain done at %d, want 800", done)
+	}
+
+	// Fractional division: 5 lines at 3 lines per 400 cycles is
+	// 666.67 cycles; the completion truncates, and the final sub-line
+	// must still hold its slot at that cycle.
+	c = ctrl(t, Config{Banks: 3})
+	c.BeginEpochDrain()
+	for i := 0; i < 5; i++ {
+		c.Write(0, mem.Addr(i*64), line(byte(i+1)))
+	}
+	done, err = c.EndEpochDrain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := 3.0 / 400.0
+	if lo := float64(done) * rate; lo < 4 {
+		t.Fatalf("drain done at %d covers only %.3f of 5 lines", done, lo)
+	}
+	if hi := float64(done+1) * rate; hi < 5 {
+		t.Fatalf("drain done at %d: even the next cycle drains only %.3f of 5 lines", done, hi)
+	}
+	if float64(done)*rate >= 5 {
+		t.Fatalf("drain done at %d over-waits the fluid backlog", done)
+	}
+}
+
+// TestCrashMidDrainAfterPartialEnd crashes while the backlog of an
+// already end-signalled epoch is still draining, under an ADR energy
+// budget smaller than the backlog: the first ADRBudget entries flush
+// whole, the rest drop, and the suspects manifest names exactly the
+// dropped lines.
+func TestCrashMidDrainAfterPartialEnd(t *testing.T) {
+	dev := nvm.NewDevice(mem.MustLayout(64<<20), nvm.Timing{ReadCycles: 100, WriteCycles: 400})
+	dev.SetFaultModel(&nvm.FaultModel{Seed: 7, ADRBudget: 2})
+	c := New(Config{Banks: 1}, dev)
+
+	// Durable base content, fully serviced long before the drain.
+	for i := 0; i < 4; i++ {
+		c.Write(0, mem.Addr(i*64), line(byte(10+i)))
+	}
+	t0 := int64(1 << 20) // far past the base writes' service time
+	if err := c.BeginEpochDrain(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.Write(t0, mem.Addr(i*64), line(byte(20+i)))
+	}
+	if _, err := c.EndEpochDrain(t0); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash() // power fails before the four-entry backlog drains
+
+	for i := 0; i < 2; i++ {
+		if got, _ := c.Device().Peek(mem.Addr(i * 64)); got != line(byte(20+i)) {
+			t.Fatalf("entry %d inside the ADR budget did not flush", i)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if got, _ := c.Device().Peek(mem.Addr(i * 64)); got != line(byte(10+i)) {
+			t.Fatalf("entry %d past the ADR budget did not revert to its pre-drain content", i)
+		}
+	}
+	log := c.TakeFaultLog()
+	if log == nil || log.Flushed != 2 {
+		t.Fatalf("fault log = %+v, want Flushed 2", log)
+	}
+	if len(log.Suspects) != 2 || log.Suspects[0] != 128 || log.Suspects[1] != 192 {
+		t.Fatalf("suspects = %v, want the two dropped lines [128 192]", log.Suspects)
+	}
+	if got := c.Stats().DroppedByADR; got != 2 {
+		t.Fatalf("DroppedByADR = %d, want 2", got)
 	}
 }

@@ -9,6 +9,7 @@ package nvm
 
 import (
 	"fmt"
+	"sort"
 
 	"ccnvm/internal/mem"
 )
@@ -63,6 +64,11 @@ type Device struct {
 
 	writes WriteBreakdown
 	reads  uint64
+
+	// Media fault state; all nil/empty on the idealized device.
+	faults     *FaultModel
+	stuck      map[mem.Addr]bool // permanently unreadable until rewritten
+	weakExempt map[mem.Addr]bool // chronically weak lines remapped by scrubbing
 }
 
 // NewDevice builds a device over the given layout and timing.
@@ -72,6 +78,24 @@ func NewDevice(layout *mem.Layout, timing Timing) *Device {
 
 // Layout returns the device's address-space layout.
 func (d *Device) Layout() *mem.Layout { return d.layout }
+
+// SetFaultModel installs (or, with nil, removes) the media fault model.
+// Install it before issuing traffic: weak-line decisions depend on wear.
+func (d *Device) SetFaultModel(m *FaultModel) {
+	d.faults = m
+	if m != nil {
+		if d.stuck == nil {
+			d.stuck = make(map[mem.Addr]bool)
+		}
+		if d.weakExempt == nil {
+			d.weakExempt = make(map[mem.Addr]bool)
+		}
+	}
+}
+
+// FaultModel returns the installed fault model (nil on the idealized
+// device).
+func (d *Device) FaultModel() *FaultModel { return d.faults }
 
 // Timing returns the device latencies.
 func (d *Device) Timing() Timing { return d.timing }
@@ -88,8 +112,9 @@ func (d *Device) Read(a mem.Addr) (mem.Line, bool) {
 func (d *Device) Peek(a mem.Addr) (mem.Line, bool) { return d.store.Read(a) }
 
 // Write persists line l at a, counting the write against its region and
-// the line's wear counter.
-func (d *Device) Write(a mem.Addr, l mem.Line) {
+// the line's wear counter. Writing heals a stuck line (the device remaps
+// it to a spare). An out-of-range address returns *AddrRangeError.
+func (d *Device) Write(a mem.Addr, l mem.Line) error {
 	a = mem.Align(a)
 	switch d.layout.RegionOf(a) {
 	case mem.RegionData:
@@ -101,10 +126,122 @@ func (d *Device) Write(a mem.Addr, l mem.Line) {
 	case mem.RegionTree:
 		d.writes.Tree++
 	default:
-		panic(fmt.Sprintf("nvm: write outside address space: %#x", uint64(a)))
+		return &AddrRangeError{Addr: a}
 	}
 	d.wear[a]++
+	delete(d.stuck, a)
 	d.store.Write(a, l)
+	return nil
+}
+
+// ReadFails reports whether the given read attempt (0-based) of line a
+// fails under the fault model: always for a stuck line, for the first
+// one or two attempts of a weak line. The idealized device never fails.
+func (d *Device) ReadFails(a mem.Addr, attempt int) bool {
+	if d.faults == nil {
+		return false
+	}
+	a = mem.Align(a)
+	if d.stuck[a] {
+		return true
+	}
+	if d.faults.WeakLineRate <= 0 || d.weakExempt[a] {
+		return false
+	}
+	if _, ok := d.store.Read(a); !ok {
+		return false // never-written cells have no weak state
+	}
+	if !d.faults.lineWeak(a, d.wear[a]) {
+		return false
+	}
+	return attempt < d.faults.failCount(a, d.wear[a])
+}
+
+// LineWeak reports whether a's current cell state is weak (scrubbing
+// targets these).
+func (d *Device) LineWeak(a mem.Addr) bool {
+	if d.faults == nil || d.weakExempt[a] || d.stuck[a] {
+		return false
+	}
+	a = mem.Align(a)
+	if _, ok := d.store.Read(a); !ok {
+		return false
+	}
+	return d.faults.lineWeak(a, d.wear[a])
+}
+
+// WeakLines lists the currently weak written lines in address order.
+func (d *Device) WeakLines() []mem.Addr {
+	if d.faults == nil || d.faults.WeakLineRate <= 0 {
+		return nil
+	}
+	var out []mem.Addr
+	for _, a := range d.store.Addrs() {
+		if d.LineWeak(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ExemptLine marks a line as remapped to a spare after scrubbing gave up
+// on its cells: it no longer produces weak-line errors.
+func (d *Device) ExemptLine(a mem.Addr) {
+	if d.weakExempt == nil {
+		d.weakExempt = make(map[mem.Addr]bool)
+	}
+	d.weakExempt[mem.Align(a)] = true
+}
+
+// StuckLines returns the currently stuck lines in address order.
+func (d *Device) StuckLines() []mem.Addr {
+	out := make([]mem.Addr, 0, len(d.stuck))
+	for a := range d.stuck {
+		out = append(out, a)
+	}
+	sortAddrs(out)
+	return out
+}
+
+// InjectStuckLines applies the fault model's stuck-at failures at a
+// power loss: StuckLines distinct written lines, picked deterministically
+// from the seed, become permanently unreadable. It returns the newly
+// stuck addresses.
+func (d *Device) InjectStuckLines() []mem.Addr {
+	if d.faults == nil || d.faults.StuckLines <= 0 {
+		return nil
+	}
+	addrs := d.store.Addrs()
+	if len(addrs) == 0 {
+		return nil
+	}
+	if d.stuck == nil {
+		d.stuck = make(map[mem.Addr]bool)
+	}
+	var out []mem.Addr
+	for i := 0; len(out) < d.faults.StuckLines && i < 4*d.faults.StuckLines+16; i++ {
+		a := addrs[int(d.faults.hash(saltStuck, uint64(i))%uint64(len(addrs)))]
+		if !d.stuck[a] {
+			d.stuck[a] = true
+			out = append(out, a)
+		}
+	}
+	sortAddrs(out)
+	return out
+}
+
+// ApplyCrashFault mutates the persistent content without any access
+// accounting: the power-failure fault model tears or reverts lines the
+// ADR flush could not cover, which is not a serviced write and must not
+// show up in write or wear statistics. present=false removes the line
+// (no word of it ever reached the media).
+func (d *Device) ApplyCrashFault(a mem.Addr, l mem.Line, present bool) {
+	a = mem.Align(a)
+	if present {
+		d.store.Write(a, l)
+	} else {
+		d.store.Delete(a)
+	}
 }
 
 // Writes returns the per-region write counters.
@@ -128,34 +265,70 @@ func (d *Device) MaxWear() (mem.Addr, uint64) {
 
 // Image is a crash snapshot of the persistent state: the NVM contents
 // plus nothing else (TCB registers are snapshotted by the engine, which
-// owns them).
+// owns them). Stuck lists lines whose cells failed permanently at the
+// power loss: they hold content but return read errors until rewritten.
 type Image struct {
 	Layout *mem.Layout
 	Store  *mem.Store
+	Stuck  map[mem.Addr]bool
 }
 
 // Snapshot captures the current persistent contents.
 func (d *Device) Snapshot() *Image {
-	return &Image{Layout: d.layout, Store: d.store.Clone()}
+	img := &Image{Layout: d.layout, Store: d.store.Clone()}
+	if len(d.stuck) > 0 {
+		img.Stuck = make(map[mem.Addr]bool, len(d.stuck))
+		for a := range d.stuck {
+			img.Stuck[a] = true
+		}
+	}
+	return img
 }
 
 // Restore replaces the device contents with a snapshot, clearing access
 // statistics. Used to reboot a simulated machine from a crash image.
+// Wear counters reset with the statistics: the model tracks per-boot
+// write pressure, not lifetime endurance (see TestRestoreResetsWear).
 func (d *Device) Restore(img *Image) {
 	d.store = *img.Store.Clone()
 	d.writes = WriteBreakdown{}
 	d.reads = 0
 	d.wear = make(map[mem.Addr]uint64)
+	d.stuck = make(map[mem.Addr]bool)
+	for a := range img.Stuck {
+		d.stuck[a] = true
+	}
 }
 
 // Read returns the line at a in the image, with never-written handling
-// identical to the live device.
-func (i *Image) Read(a mem.Addr) (mem.Line, bool) { return i.Store.Read(a) }
+// identical to the live device. Stuck lines read as absent: their
+// content is unreachable.
+func (i *Image) Read(a mem.Addr) (mem.Line, bool) {
+	if i.Stuck[a] {
+		return mem.Line{}, false
+	}
+	return i.Store.Read(a)
+}
 
-// Write mutates the image in place. Attack injection uses it.
-func (i *Image) Write(a mem.Addr, l mem.Line) { i.Store.Write(a, l) }
+// Write mutates the image in place; attack injection and recovery's
+// Apply use it. Writing heals a stuck line, mirroring the device.
+func (i *Image) Write(a mem.Addr, l mem.Line) {
+	delete(i.Stuck, a)
+	i.Store.Write(a, l)
+}
 
 // Clone deep-copies the image so attacks can be injected on a copy.
 func (i *Image) Clone() *Image {
-	return &Image{Layout: i.Layout, Store: i.Store.Clone()}
+	cp := &Image{Layout: i.Layout, Store: i.Store.Clone()}
+	if len(i.Stuck) > 0 {
+		cp.Stuck = make(map[mem.Addr]bool, len(i.Stuck))
+		for a := range i.Stuck {
+			cp.Stuck[a] = true
+		}
+	}
+	return cp
+}
+
+func sortAddrs(a []mem.Addr) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
 }

@@ -1,6 +1,7 @@
 package nvm
 
 import (
+	"errors"
 	"testing"
 
 	"ccnvm/internal/mem"
@@ -36,14 +37,20 @@ func TestWriteBreakdownByRegion(t *testing.T) {
 	}
 }
 
-func TestWriteOutsideSpacePanics(t *testing.T) {
+func TestWriteOutsideSpaceReturnsTypedError(t *testing.T) {
 	d := device(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-space write did not panic")
-		}
-	}()
-	d.Write(mem.Addr(d.Layout().TotalBytes()), mem.Line{})
+	bad := mem.Addr(d.Layout().TotalBytes())
+	err := d.Write(bad, mem.Line{})
+	var re *AddrRangeError
+	if !errors.As(err, &re) {
+		t.Fatalf("out-of-space write returned %v, want *AddrRangeError", err)
+	}
+	if re.Addr != bad {
+		t.Fatalf("error names address %#x, want %#x", uint64(re.Addr), uint64(bad))
+	}
+	if d.Writes().Total() != 0 {
+		t.Fatal("failed write counted against a region")
+	}
 }
 
 func TestReadNeverWritten(t *testing.T) {
@@ -131,5 +138,29 @@ func TestWriteBreakdownAdd(t *testing.T) {
 	a.Add(b)
 	if a.Data != 11 || a.HMAC != 22 || a.Counter != 33 || a.Tree != 44 {
 		t.Fatalf("Add result = %+v", a)
+	}
+}
+
+// TestRestoreResetsWear pins the wear semantics Restore documents: wear
+// counters track per-boot write pressure, so a reboot from a crash
+// image starts them at zero and only post-restore writes accumulate.
+// The fault model keys weak-line decisions on (addr, wear), so this
+// reset is also what re-rolls cell state across a reboot.
+func TestRestoreResetsWear(t *testing.T) {
+	d := device(t)
+	var l mem.Line
+	for i := 0; i < 5; i++ {
+		d.Write(128, l)
+	}
+	img := d.Snapshot()
+	d.Restore(img)
+	if _, w := d.MaxWear(); w != 0 {
+		t.Fatalf("wear survived Restore: max %d, want 0", w)
+	}
+	d.Write(128, l)
+	d.Write(128, l)
+	d.Write(0, l)
+	if a, w := d.MaxWear(); a != 128 || w != 2 {
+		t.Fatalf("post-restore MaxWear = (%#x,%d), want (0x80,2)", uint64(a), w)
 	}
 }

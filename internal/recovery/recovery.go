@@ -27,6 +27,7 @@ import (
 	"ccnvm/internal/bmt"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
+	"ccnvm/internal/nvm"
 	"ccnvm/internal/seccrypto"
 )
 
@@ -41,6 +42,23 @@ type TamperedBlock struct {
 // String renders the finding.
 func (b TamperedBlock) String() string {
 	return fmt.Sprintf("tampered data block %#x (stored counter %d)", uint64(b.Addr), b.StoredCounter)
+}
+
+// LostBlock is a data block recovery could not restore but attributes
+// to crash-time media damage rather than tampering: the authentication
+// failure is covered by the suspects manifest (a line the WPQ had
+// accepted but possibly not serviced whole) or by a stuck line the
+// device reports unreadable. Lost blocks are crash loss — detected,
+// enumerated, and distinguishable from an attack.
+type LostBlock struct {
+	Addr  mem.Addr // the data block that could not be recovered
+	Line  mem.Addr // the damaged line implicated (data, counter or HMAC line)
+	Cause string   // "torn-data", "torn-counter", "torn-hmac", "stuck-data", "stuck-counter", "stuck-hmac"
+}
+
+// String renders the finding.
+func (b LostBlock) String() string {
+	return fmt.Sprintf("lost data block %#x (%s at %#x)", uint64(b.Addr), b.Cause, uint64(b.Line))
 }
 
 // Report is the outcome of recovery.
@@ -81,6 +99,36 @@ type Report struct {
 
 	// RebuiltRoot is the step-4 root implied by the recovered counters.
 	RebuiltRoot mem.Line
+
+	// LostBlocks are data blocks recovery could not restore but whose
+	// authentication failure is media-attributable (see LostBlock): crash
+	// loss, not tampering. Only produced when the image was taken under a
+	// fault model.
+	LostBlocks []LostBlock
+
+	// MediaErrors lists lines the device reports permanently unreadable
+	// (stuck-at after exhausting read retries). Recovery learns them from
+	// the device, as real hardware would from uncorrectable-ECC machine
+	// checks.
+	MediaErrors []mem.Addr
+
+	// HealedLines are suspect lines recovery verified or repaired — lines
+	// the crash may have damaged but that were not implicated in any
+	// loss: either the ADR flush completed them, or HMAC-replay / tree
+	// rebuild restored their logical content.
+	HealedLines []mem.Addr
+
+	// CrashLossWindow reports that some acknowledged writes may have been
+	// lost to media damage at crash. It is set pessimistically whenever
+	// the suspects manifest is non-empty — an entry the ADR failed to
+	// service whole may have dropped a write without leaving mismatching
+	// bytes (a fully-masked tear keeps the previous self-consistent
+	// content), so no amount of verification can prove the loss away —
+	// and the enumerated LostBlocks refine it where damage is provable.
+	// It is the media-fault analogue of PotentialReplay: detected, not
+	// locatable beyond the suspect set — but attributable to the crash,
+	// not to an attacker.
+	CrashLossWindow bool
 }
 
 // Clean reports whether no attack was detected: the image decrypts,
@@ -103,6 +151,15 @@ func (r *Report) Located() bool {
 // an attack was detected but could not be located.
 func (r *Report) DataDropped() bool { return r.PotentialReplay }
 
+// Lossless reports whether recovery restored every acknowledged write:
+// no attack detected, no blocks lost to media damage, no unreadable
+// lines, and no crash-loss window. When false with Clean() true, the
+// image is attack-free but some writes were lost to the crash — the
+// report enumerates or bounds them.
+func (r *Report) Lossless() bool {
+	return r.Clean() && len(r.LostBlocks) == 0 && len(r.MediaErrors) == 0 && !r.CrashLossWindow
+}
+
 // Recovered is the post-recovery persistent state produced by Apply.
 type Recovered struct {
 	TCB engine.TCB
@@ -117,28 +174,58 @@ func Recover(img *engine.CrashImage) *Report {
 	cry := seccrypto.MustEngine(img.Keys)
 	lay := img.Image.Layout
 	tree := bmt.New(lay, cry)
+	sus := suspectSet(img)
 
 	// Step 1: locate replay attacks via the consistent NVM tree. Osiris
-	// does not persist its tree, so there is nothing to check.
+	// does not persist its tree, so there is nothing to check. Under a
+	// fault model, mismatches covered by the suspects manifest (the torn
+	// line itself, or a child whose torn parent stores a stale link) are
+	// crash damage: the step-4 rebuild heals them, and only the
+	// unexplained remainder is reported as an attack.
 	if img.Design != "osiris" {
 		addrs := img.Image.Store.Addrs()
-		if bad := tree.VerifyAll(img.Image.Store, img.TCB.RootOld, addrs); len(bad) == 0 {
+		rd := imageReader{img.Image}
+		if bad := tree.VerifyAll(rd, img.TCB.RootOld, addrs); len(bad) == 0 {
 			r.ConsistentRoot = "old"
-		} else if bad2 := tree.VerifyAll(img.Image.Store, img.TCB.RootNew, addrs); len(bad2) == 0 {
+		} else if bad2 := tree.VerifyAll(rd, img.TCB.RootNew, addrs); len(bad2) == 0 {
 			// Crash between the end signal and the ROOTold update: ADR
 			// completed the drain, so the tree matches ROOTnew.
 			r.ConsistentRoot = "new"
+		} else if img.MediaFaults {
+			atkOld := attackMismatches(lay, bad, sus)
+			atkNew := attackMismatches(lay, bad2, sus)
+			// The root whose unexplained mismatches are fewest is the one
+			// the crash left authoritative.
+			if len(atkNew) < len(atkOld) {
+				r.TreeMismatches = atkNew
+			} else {
+				r.TreeMismatches = atkOld
+			}
 		} else {
 			r.TreeMismatches = bad
 		}
 	}
 
 	// Step 2: recover stalled counters via data HMAC retries.
-	recoveredLines, nretry, blocks, tampered, perLine := recoverCounters(img, cry)
-	r.Nretry = nretry
-	r.RecoveredBlocks = blocks
-	r.Tampered = tampered
-	r.RecoveredLines = len(recoveredLines)
+	res := recoverCounters(img, cry)
+	r.Nretry = res.nretry
+	r.RecoveredBlocks = res.blocks
+	r.Tampered = res.tampered
+	r.RecoveredLines = len(res.lines)
+	r.LostBlocks = res.lost
+
+	// faultEscape: media damage could explain a consistency anomaly that
+	// would otherwise read as an attack. Requires evidence — suspects,
+	// stuck lines, or enumerated losses — not merely an enabled model.
+	faultEscape := img.MediaFaults && (len(sus) > 0 || len(res.lost) > 0)
+	pagesSus := suspectCounterLines(lay, sus)
+
+	// A non-empty manifest means the ADR flush stopped short: some entry
+	// may have dropped whole, leaving stale self-consistent bytes no
+	// check can flag. Report the loss window pessimistically.
+	if img.MediaFaults && len(img.Suspects) > 0 {
+		r.CrashLossWindow = true
+	}
 
 	// Step 3: detect the replay window. The check is conclusive only
 	// when steps 1-2 located nothing: a located spoof/splice already
@@ -147,21 +234,46 @@ func Recover(img *engine.CrashImage) *Report {
 	switch img.Design {
 	case "ccnvm":
 		if r.Nretry != r.Nwb && stepsClean {
-			r.PotentialReplay = true
+			switch {
+			case !faultEscape:
+				r.PotentialReplay = true
+			case r.Nretry < r.Nwb:
+				// Fewer retries than acknowledged write-backs: some writes
+				// never reached the media (dropped or torn by the partial
+				// ADR drain). Crash loss, not replay.
+				r.CrashLossWindow = true
+			case r.Nretry-r.Nwb <= suspectRetries(res.perLine, pagesSus):
+				// More retries than Nwb accounts for, but the excess is
+				// fully explained by retries on media-damaged counter
+				// lines (e.g. a committed epoch's counter drain torn after
+				// Nwb was reset). Everything re-authenticated: healed.
+			default:
+				r.PotentialReplay = true
+			}
 		}
 	case "ccnvm-ext":
 		// The extension compares each recorded per-line update count
 		// against the line's recovered retries: a disagreeing line pins
-		// the replay to its page.
+		// the replay to its page — unless the page's lines are in the
+		// suspect set, in which case the disagreement is crash loss.
 		if stepsClean {
 			for ca, recorded := range img.TCB.ExtDirty {
-				if perLine[ca] != recorded {
-					page := lay.CounterLineIndex(ca) * mem.PageSize
-					r.ReplayedPages = append(r.ReplayedPages, mem.Addr(page))
+				if res.perLine[ca] == recorded {
+					continue
 				}
+				if faultEscape && pagesSus[ca] {
+					r.CrashLossWindow = true
+					continue
+				}
+				page := lay.CounterLineIndex(ca) * mem.PageSize
+				r.ReplayedPages = append(r.ReplayedPages, mem.Addr(page))
 			}
-			for ca, got := range perLine {
+			for ca, got := range res.perLine {
 				if got > 0 && img.TCB.ExtDirty[ca] == 0 {
+					if faultEscape && pagesSus[ca] {
+						r.CrashLossWindow = true
+						continue
+					}
 					page := lay.CounterLineIndex(ca) * mem.PageSize
 					r.ReplayedPages = append(r.ReplayedPages, mem.Addr(page))
 				}
@@ -171,20 +283,125 @@ func Recover(img *engine.CrashImage) *Report {
 	}
 
 	// Step 4: rebuild the Merkle tree from the recovered counters.
-	overlay := overlayReader{base: img.Image.Store, lines: encodeLines(recoveredLines)}
-	counterAddrs := collectCounterAddrs(lay, img.Image.Store, recoveredLines)
+	overlay := overlayReader{base: imageReader{img.Image}, lines: encodeLines(res.lines)}
+	counterAddrs := collectCounterAddrs(lay, img.Image.Store, res.lines)
 	_, rebuilt := tree.Rebuild(overlay, counterAddrs)
 	r.RebuiltRoot = rebuilt
 
 	// Root-per-write-back designs validate the rebuilt root against
-	// ROOTnew: a mismatch proves an attack that cannot be located.
+	// ROOTnew: a mismatch proves an attack that cannot be located — or,
+	// with media-damage evidence, acknowledged writes lost to the crash
+	// (these designs cannot tell the two apart; that inability is the
+	// paper's argument for cc-NVM's located mechanisms).
 	switch img.Design {
 	case "osiris", "ccnvm-wods", "sc":
-		if rebuilt != img.TCB.RootNew && len(r.TreeMismatches) == 0 && len(r.Tampered) == 0 {
-			r.PotentialReplay = true
+		if rebuilt != img.TCB.RootNew && stepsClean {
+			if faultEscape {
+				r.CrashLossWindow = true
+			} else {
+				r.PotentialReplay = true
+			}
 		}
 	}
+
+	finishMediaReport(r, img, sus, res.implicated)
 	return r
+}
+
+// finishMediaReport fills the media sections of the report: the stuck
+// lines the device reports unreadable, and the suspect lines that were
+// not implicated in any loss — healed (flushed whole, re-authenticated
+// by HMAC replay, or rebuilt with the tree).
+func finishMediaReport(r *Report, img *engine.CrashImage, sus, implicated map[mem.Addr]bool) {
+	if !img.MediaFaults {
+		return
+	}
+	for a := range img.Image.Stuck {
+		r.MediaErrors = append(r.MediaErrors, a)
+	}
+	sortAddrs(r.MediaErrors)
+	for _, s := range img.Suspects {
+		if !implicated[s] && !img.Image.Stuck[s] {
+			r.HealedLines = append(r.HealedLines, s)
+		}
+	}
+	sortAddrs(r.HealedLines)
+}
+
+// suspectSet is the union of the controller's WPQ manifest and the
+// device's stuck lines: every line whose content recovery may not trust
+// to be whole. Nil when the image was taken without a fault model, which
+// keeps the faultless paths bit-identical.
+func suspectSet(img *engine.CrashImage) map[mem.Addr]bool {
+	if !img.MediaFaults {
+		return nil
+	}
+	m := make(map[mem.Addr]bool, len(img.Suspects)+len(img.Image.Stuck))
+	for _, a := range img.Suspects {
+		m[a] = true
+	}
+	for a := range img.Image.Stuck {
+		m[a] = true
+	}
+	return m
+}
+
+// attackMismatches filters a step-1 mismatch list down to the entries
+// that media damage cannot explain. A mismatch is media-attributable
+// when the reported child is itself suspect (its content may be torn) or
+// its parent is (the stored link may be torn) — VerifyAll reports a torn
+// parent both at itself and at each child its stale links disown.
+func attackMismatches(lay *mem.Layout, ms []bmt.Mismatch, sus map[mem.Addr]bool) []bmt.Mismatch {
+	var attack []bmt.Mismatch
+	for _, m := range ms {
+		if sus[m.Addr] {
+			continue
+		}
+		if m.Level < lay.TopLevel() {
+			pl, pi, _ := lay.ParentOf(m.Level, m.Index)
+			if sus[lay.NodeAddr(pl, pi)] {
+				continue
+			}
+		}
+		attack = append(attack, m)
+	}
+	return attack
+}
+
+// suspectCounterLines maps the suspect set onto the counter lines whose
+// pages it can affect: a suspect data line implicates its page's counter
+// line, a suspect HMAC line the counter line of the blocks it covers,
+// and a suspect counter line itself. Tree nodes carry no per-page state.
+func suspectCounterLines(lay *mem.Layout, sus map[mem.Addr]bool) map[mem.Addr]bool {
+	if len(sus) == 0 {
+		return nil
+	}
+	m := make(map[mem.Addr]bool, len(sus))
+	for s := range sus {
+		switch lay.RegionOf(s) {
+		case mem.RegionData:
+			m[lay.CounterLineOf(s)] = true
+		case mem.RegionCounter:
+			m[s] = true
+		case mem.RegionHMAC:
+			lineIdx := uint64(s-lay.HMACBase) / mem.LineSize
+			da := mem.Addr(lineIdx * mem.HMACsPerLine * mem.LineSize)
+			m[lay.CounterLineOf(da)] = true
+		}
+	}
+	return m
+}
+
+// suspectRetries totals the recovered retries that landed on counter
+// lines media damage can explain.
+func suspectRetries(perLine map[mem.Addr]uint64, pagesSus map[mem.Addr]bool) uint64 {
+	var n uint64
+	for ca, r := range perLine {
+		if pagesSus[ca] {
+			n += r
+		}
+	}
+	return n
 }
 
 // Apply writes the recovered counters and the rebuilt tree into the
@@ -197,39 +414,72 @@ func Apply(img *engine.CrashImage, _ *Report) Recovered {
 	tree := bmt.New(lay, cry)
 
 	// Re-run counter recovery to obtain the lines (Recover is pure).
-	recovered, _, _, _, _ := recoverCounters(img, cry)
-	for ca, cl := range recovered {
+	res := recoverCounters(img, cry)
+	for ca, cl := range res.lines {
 		img.Image.Write(ca, cl.Encode())
 	}
-	counterAddrs := collectCounterAddrs(lay, img.Image.Store, recovered)
-	nodes, root := tree.Rebuild(img.Image.Store, counterAddrs)
+	counterAddrs := collectCounterAddrs(lay, img.Image.Store, res.lines)
+	nodes, root := tree.Rebuild(imageReader{img.Image}, counterAddrs)
 	for a, n := range nodes {
 		img.Image.Write(a, n)
+	}
+	// The rebuild defines the entire tree. A stored node it did not
+	// cover has no surviving counter line under it — the partial ADR
+	// drain dropped the leaves an earlier epoch's node update assumed —
+	// and its stale links would contradict the rebuilt root; revert it
+	// to the level default the rebuild used. Faultless images never
+	// carry uncovered nodes, so this is a no-op there.
+	for _, a := range img.Image.Store.Addrs() {
+		if lay.RegionOf(a) != mem.RegionTree {
+			continue
+		}
+		if _, ok := nodes[a]; !ok {
+			lv, _ := lay.NodeAt(a)
+			img.Image.Write(a, tree.DefaultNode(lv))
+		}
 	}
 	return Recovered{TCB: engine.TCB{RootNew: root, RootOld: root, Nwb: 0}}
 }
 
+// counterResult is the outcome of the step-2 counter recovery walk.
+type counterResult struct {
+	lines      map[mem.Addr]seccrypto.CounterLine // counter lines advanced by retries
+	nretry     uint64                             // total retries (Nretry)
+	blocks     int                                // data blocks whose counters advanced
+	tampered   []TamperedBlock                    // HMAC never matched, not media-attributable
+	lost       []LostBlock                        // HMAC never matched, media-attributable
+	perLine    map[mem.Addr]uint64                // per-counter-line retry totals (§4.4 extension)
+	implicated map[mem.Addr]bool                  // suspect/stuck lines tied to a loss
+}
+
 // recoverCounters walks every data block in the image, recovering its
-// counter by HMAC retries bounded by the design's update limit. It
-// returns the advanced counter lines, the total retries (Nretry), the
-// number of recovered blocks, the blocks whose HMAC never matched, and
-// the per-counter-line retry totals the §4.4 extension compares against
-// its persistent registers.
-func recoverCounters(img *engine.CrashImage, cry *seccrypto.Engine) (map[mem.Addr]seccrypto.CounterLine, uint64, int, []TamperedBlock, map[mem.Addr]uint64) {
+// counter by HMAC retries bounded by the design's update limit. Under a
+// fault model, blocks whose lines are stuck are lost outright, and
+// blocks whose HMAC never matches are classified lost rather than
+// tampered when the failure is covered by a suspect line — torn data,
+// counter or HMAC content left by the partial ADR drain.
+func recoverCounters(img *engine.CrashImage, cry *seccrypto.Engine) counterResult {
 	lay := img.Image.Layout
-	lines := map[mem.Addr]seccrypto.CounterLine{}
-	perLine := map[mem.Addr]uint64{}
-	var nretry uint64
-	blocks := 0
-	var tampered []TamperedBlock
-	for _, a := range img.Image.Store.Addrs() {
-		if lay.RegionOf(a) != mem.RegionData {
-			continue
+	res := counterResult{
+		lines:      map[mem.Addr]seccrypto.CounterLine{},
+		perLine:    map[mem.Addr]uint64{},
+		implicated: map[mem.Addr]bool{},
+	}
+	sus := suspectSet(img)
+	stuck := img.Image.Stuck
+	for _, a := range dataWalkAddrs(img, sus) {
+		ca := lay.CounterLineOf(a)
+		ha, _ := lay.HMACLineOf(a)
+		if img.MediaFaults {
+			if cause, line := stuckCause(stuck, a, ca, ha); cause != "" {
+				res.lost = append(res.lost, LostBlock{Addr: a, Line: line, Cause: cause})
+				res.implicated[line] = true
+				continue
+			}
 		}
 		ct, _ := img.Image.Read(a)
 		stored := storedHMAC(img, cry, a)
-		ca := lay.CounterLineOf(a)
-		cl, ok := lines[ca]
+		cl, ok := res.lines[ca]
 		if !ok {
 			raw, _ := img.Image.Read(ca)
 			cl = seccrypto.DecodeCounterLine(raw)
@@ -247,20 +497,84 @@ func recoverCounters(img *engine.CrashImage, cry *seccrypto.Engine) (map[mem.Add
 					// (overflows persist immediately): treat as tampered.
 					break
 				}
-				nretry += retry
-				perLine[ca] += retry
-				blocks++
+				res.nretry += retry
+				res.perLine[ca] += retry
+				res.blocks++
 				cl.Minors[slot] += uint8(retry)
-				lines[ca] = cl
+				res.lines[ca] = cl
 			}
 			found = true
 			break
 		}
-		if !found {
-			tampered = append(tampered, TamperedBlock{Addr: a, StoredCounter: base})
+		if found {
+			continue
+		}
+		if img.MediaFaults && (sus[a] || sus[ca] || sus[ha]) {
+			line, cause := ca, "torn-counter"
+			if !sus[ca] {
+				if sus[a] {
+					line, cause = a, "torn-data"
+				} else {
+					line, cause = ha, "torn-hmac"
+				}
+			}
+			res.lost = append(res.lost, LostBlock{Addr: a, Line: line, Cause: cause})
+			for _, s := range []mem.Addr{a, ca, ha} {
+				if sus[s] {
+					res.implicated[s] = true
+				}
+			}
+			continue
+		}
+		res.tampered = append(res.tampered, TamperedBlock{Addr: a, StoredCounter: base})
+	}
+	return res
+}
+
+// dataWalkAddrs lists the data blocks the counter-recovery walk must
+// visit: every data line in the store plus, under a fault model, every
+// suspect data line absent from it — a dropped first write leaves no
+// stored line, but its block may still carry non-virgin counter or HMAC
+// evidence that must be classified as loss, not skipped.
+func dataWalkAddrs(img *engine.CrashImage, sus map[mem.Addr]bool) []mem.Addr {
+	lay := img.Image.Layout
+	var out []mem.Addr
+	seen := map[mem.Addr]bool{}
+	for _, a := range img.Image.Store.Addrs() {
+		if lay.RegionOf(a) == mem.RegionData {
+			out = append(out, a)
+			seen[a] = true
 		}
 	}
-	return lines, nretry, blocks, tampered, perLine
+	if !img.MediaFaults {
+		return out
+	}
+	extra := false
+	for s := range sus {
+		if lay.RegionOf(s) == mem.RegionData && !seen[s] {
+			out = append(out, s)
+			extra = true
+		}
+	}
+	if extra {
+		sortAddrs(out)
+	}
+	return out
+}
+
+// stuckCause classifies a data block covered by a stuck line, returning
+// the cause label and the unreadable line, or "" when none of the
+// block's lines is stuck.
+func stuckCause(stuck map[mem.Addr]bool, a, ca, ha mem.Addr) (string, mem.Addr) {
+	switch {
+	case stuck[a]:
+		return "stuck-data", a
+	case stuck[ca]:
+		return "stuck-counter", ca
+	case stuck[ha]:
+		return "stuck-hmac", ha
+	}
+	return "", 0
 }
 
 // storedHMAC extracts the stored data HMAC of block a, synthesizing the
@@ -306,8 +620,19 @@ func sortAddrs(a []mem.Addr) {
 	}
 }
 
+// imageReader adapts an nvm.Image to bmt.Reader: reads go through the
+// image so stuck lines present as absent (default content) instead of
+// leaking their unreadable stored bytes into verification or rebuild.
+type imageReader struct {
+	img *nvm.Image
+}
+
+func (r imageReader) Read(a mem.Addr) (mem.Line, bool) { return r.img.Read(a) }
+
+var _ bmt.Reader = imageReader{}
+
 type overlayReader struct {
-	base  *mem.Store
+	base  bmt.Reader
 	lines map[mem.Addr]mem.Line
 }
 
@@ -340,6 +665,9 @@ func recoverArsenalImage(img *engine.CrashImage) *Report {
 	cry := seccrypto.MustEngine(img.Keys)
 	lay := img.Image.Layout
 	tree := bmt.New(lay, cry)
+	sus := suspectSet(img)
+	stuck := img.Image.Stuck
+	implicated := map[mem.Addr]bool{}
 
 	lines := map[mem.Addr]seccrypto.CounterLine{}
 	lineOf := func(ca mem.Addr) seccrypto.CounterLine {
@@ -349,16 +677,25 @@ func recoverArsenalImage(img *engine.CrashImage) *Report {
 		raw, _ := img.Image.Read(ca)
 		return seccrypto.DecodeCounterLine(raw)
 	}
-	for _, a := range img.Image.Store.Addrs() {
-		if lay.RegionOf(a) != mem.RegionData {
-			continue
-		}
+	for _, a := range dataWalkAddrs(img, sus) {
 		ca := lay.CounterLineOf(a)
 		slot := lay.CounterSlotOf(a)
 		line, _ := img.Image.Read(a)
 		if img.Sideband[a] == 1 { // engine.TagPacked
+			// Packed lines are self-describing; only the data line itself
+			// can lose them (the counter line is reconstructed inline).
+			if img.MediaFaults && stuck[a] {
+				r.LostBlocks = append(r.LostBlocks, LostBlock{Addr: a, Line: a, Cause: "stuck-data"})
+				implicated[a] = true
+				continue
+			}
 			_, ctr, ok := engine.UnpackArsenalLine(cry, a, line)
 			if !ok {
+				if img.MediaFaults && sus[a] {
+					r.LostBlocks = append(r.LostBlocks, LostBlock{Addr: a, Line: a, Cause: "torn-data"})
+					implicated[a] = true
+					continue
+				}
 				r.Tampered = append(r.Tampered, TamperedBlock{Addr: a})
 				continue
 			}
@@ -368,22 +705,58 @@ func recoverArsenalImage(img *engine.CrashImage) *Report {
 			lines[ca] = cl
 			r.RecoveredBlocks++
 		} else {
+			ha, _ := lay.HMACLineOf(a)
+			if img.MediaFaults {
+				if cause, bad := stuckCause(stuck, a, ca, ha); cause != "" {
+					r.LostBlocks = append(r.LostBlocks, LostBlock{Addr: a, Line: bad, Cause: cause})
+					implicated[bad] = true
+					continue
+				}
+			}
 			cl := lineOf(ca)
 			base := cl.Counter(slot)
 			stored := storedHMAC(img, cry, a)
 			if cry.DataHMAC(a, base, line) != stored {
+				if img.MediaFaults && (sus[a] || sus[ca] || sus[ha]) {
+					bad, cause := ca, "torn-counter"
+					if !sus[ca] {
+						if sus[a] {
+							bad, cause = a, "torn-data"
+						} else {
+							bad, cause = ha, "torn-hmac"
+						}
+					}
+					r.LostBlocks = append(r.LostBlocks, LostBlock{Addr: a, Line: bad, Cause: cause})
+					for _, s := range []mem.Addr{a, ca, ha} {
+						if sus[s] {
+							implicated[s] = true
+						}
+					}
+					continue
+				}
 				r.Tampered = append(r.Tampered, TamperedBlock{Addr: a, StoredCounter: base})
 			}
 		}
 	}
 	r.RecoveredLines = len(lines)
 
-	overlay := overlayReader{base: img.Image.Store, lines: encodeLines(lines)}
+	// Same pessimism as the generic path: an unserviced WPQ entry may
+	// have dropped whole without leaving verifiable damage.
+	if img.MediaFaults && len(img.Suspects) > 0 {
+		r.CrashLossWindow = true
+	}
+
+	overlay := overlayReader{base: imageReader{img.Image}, lines: encodeLines(lines)}
 	counterAddrs := collectCounterAddrs(lay, img.Image.Store, lines)
 	_, rebuilt := tree.Rebuild(overlay, counterAddrs)
 	r.RebuiltRoot = rebuilt
 	if rebuilt != img.TCB.RootNew && len(r.Tampered) == 0 {
-		r.PotentialReplay = true
+		if img.MediaFaults && (len(sus) > 0 || len(r.LostBlocks) > 0) {
+			r.CrashLossWindow = true
+		} else {
+			r.PotentialReplay = true
+		}
 	}
+	finishMediaReport(r, img, sus, implicated)
 	return r
 }

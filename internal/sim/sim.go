@@ -72,6 +72,17 @@ type Config struct {
 	// of what the core last stored — an end-to-end check of the whole
 	// encrypt/decrypt/authenticate path. Enabled in tests.
 	CheckReads bool
+
+	// Faults installs a media fault model on the NVM device. Nil (the
+	// default) is the idealized device every published figure was
+	// measured on; all fault machinery is gated on it, so results stay
+	// bit-identical with faults off.
+	Faults *nvm.FaultModel
+
+	// ScrubOps is the scrubbing cadence under a fault model: one scrub
+	// pass every ScrubOps trace operations (default 100000). Ignored
+	// without a fault model.
+	ScrubOps int
 }
 
 func (c *Config) fill() error {
@@ -101,6 +112,9 @@ func (c *Config) fill() error {
 	}
 	if c.MSHRs == 0 {
 		c.MSHRs = 8
+	}
+	if c.ScrubOps == 0 {
+		c.ScrubOps = 100000
 	}
 	if c.Keys == nil {
 		k := seccrypto.DefaultKeys()
@@ -143,10 +157,14 @@ type Machine struct {
 	cfg  Config
 	lay  *mem.Layout
 	dev  *nvm.Device
+	ctrl *memctrl.Controller
 	eng  engine.Engine
 	l1   *cache.Cache
 	l2   *cache.Cache
 	core coreState
+
+	scrubbing  bool // fault model active: run periodic scrub passes
+	sinceScrub int  // ops since the last scrub pass
 
 	shadow map[mem.Addr]mem.Line // CheckReads oracle
 	seq    uint64                // store content sequence
@@ -171,12 +189,16 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
+	// The fault model must be in place before the controller exists: the
+	// controller decides at construction whether to track in-flight WPQ
+	// entries for crash-time fault injection.
+	dev.SetFaultModel(cfg.Faults)
 	ctrl := memctrl.New(cfg.MemCfg, dev)
 	eng, err := buildEngine(cfg.Design, lay, *cfg.Keys, ctrl, cfg.MetaCfg, cfg.Params)
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, lay: lay, dev: dev, eng: eng}
+	m := &Machine{cfg: cfg, lay: lay, dev: dev, ctrl: ctrl, eng: eng, scrubbing: cfg.Faults.Enabled()}
 	if cfg.CheckReads {
 		m.shadow = make(map[mem.Addr]mem.Line)
 	}
@@ -283,6 +305,12 @@ func (m *Machine) loadLine(a mem.Addr, dep bool) mem.Line {
 func (m *Machine) step(op trace.Op) {
 	m.core.now += int64(op.Gap)
 	m.core.instrs += uint64(op.Gap) + 1
+	if m.scrubbing {
+		if m.sinceScrub++; m.sinceScrub >= m.cfg.ScrubOps {
+			m.sinceScrub = 0
+			m.ctrl.Scrub(m.core.now)
+		}
+	}
 	switch op.Kind {
 	case trace.Load:
 		m.loadLine(op.Addr, op.Dep)

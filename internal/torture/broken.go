@@ -14,7 +14,7 @@ import (
 // harness can run, used to prove the oracles have teeth: each mode must
 // be caught by at least one oracle on an otherwise healthy matrix.
 func BrokenModes() []string {
-	return []string{"skip-counter-replay", "ignore-tampered", "skip-root-check"}
+	return []string{"skip-counter-replay", "ignore-tampered", "skip-root-check", "accept-torn"}
 }
 
 // BrokenRunner returns a runner whose recovery is sabotaged in the named
@@ -85,6 +85,21 @@ func BrokenRunner(mode string) (*Runner, error) {
 				if rep.ConsistentRoot == "" {
 					rep.ConsistentRoot = "new"
 				}
+				return rep
+			},
+		}, nil
+	case "accept-torn":
+		// The media-loss classification is erased: recovery trusts every
+		// line the crash left behind and the report claims a lossless
+		// image. Fault cells must trip the torn-write/adr-budget oracles —
+		// stale or fabricated content silently accepted, or a lossless
+		// claim over a non-empty suspects manifest.
+		return &Runner{
+			Recover: func(img *engine.CrashImage) *recovery.Report {
+				rep := recovery.Recover(img)
+				rep.LostBlocks = nil
+				rep.MediaErrors = nil
+				rep.CrashLossWindow = false
 				return rep
 			},
 		}, nil

@@ -1,0 +1,39 @@
+package torture
+
+import "testing"
+
+// FuzzFaultCell explores the media-fault dimensions: any (design,
+// workload, trace seed, crash point, fault seed, torn, ADR budget, weak
+// percentage, stuck count) combination must satisfy every oracle on a
+// clean crash — in particular, no torn, dropped or stuck line may ever
+// be silently accepted by recovery. A separate target (rather than new
+// FuzzCell parameters) keeps the existing corpus arity valid. Under
+// plain `go test` only the seed corpus runs; `make fuzz-short` gives it
+// a fixed budget, and `go test -fuzz=FuzzFaultCell ./internal/torture/`
+// explores further.
+func FuzzFaultCell(f *testing.F) {
+	f.Add(uint8(4), uint8(0), int64(1), uint16(200), uint16(150), int64(1), true, uint8(4), uint8(0), uint8(0))
+	f.Add(uint8(2), uint8(3), int64(9), uint16(300), uint16(222), int64(7), false, uint8(2), uint8(20), uint8(2))
+	f.Add(uint8(6), uint8(1), int64(42), uint16(120), uint16(100), int64(3), true, uint8(1), uint8(0), uint8(1))
+	f.Add(uint8(0), uint8(2), int64(7), uint16(250), uint16(180), int64(11), true, uint8(8), uint8(10), uint8(0))
+	r := DefaultRunner()
+	f.Fuzz(func(t *testing.T, design, workload uint8, seed int64, ops, crash uint16, fseed int64, torn bool, adr, weak, stuck uint8) {
+		designs, workloads := DesignNames(), WorkloadNames()
+		c := Cell{
+			Design:    designs[int(design)%len(designs)],
+			Workload:  workloads[int(workload)%len(workloads)],
+			Seed:      seed,
+			Ops:       1 + int(ops)%400,
+			Attack:    "none",
+			FaultSeed: fseed,
+			Torn:      torn,
+			ADRBudget: int(adr) % 17,
+			WeakPct:   int(weak) % 101,
+			Stuck:     int(stuck) % 9,
+		}
+		c.CrashAt = 1 + int(crash)%c.Ops
+		if fail := r.RunCell(c); fail != nil {
+			t.Fatalf("%v\nrepro: %s", fail, fail.Cell.Repro())
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package torture
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("golden.update", false, "rewrite golden files")
+
+// TestJSONSummaryGolden pins the machine-readable schema of
+// `ccnvm-torture -json`: field names, omitempty behaviour for the fault
+// and interruption dimensions, and the exact indented encoding the CLI
+// emits. Consumers parse this output; an accidental rename or a fault
+// field leaking into faultless cells is a breaking change this test
+// catches. Regenerate after a deliberate schema change with
+//
+//	go test ./internal/torture/ -run TestJSONSummaryGolden -golden.update
+func TestJSONSummaryGolden(t *testing.T) {
+	sum := Summary{
+		Cells: 3,
+		Failures: []MatrixFailure{
+			{
+				// A faultless attack cell: none of the omitempty fault
+				// fields may appear in its encoding.
+				Failure: Failure{
+					Cell:   Cell{Design: "ccnvm", Workload: "hot", Seed: 3, Ops: 160, CrashAt: 80, Attack: "spoof", N: 4},
+					Oracle: "tamper-detected",
+					Detail: "spoofed data line accepted as authentic",
+				},
+				Repro:      "go run ./cmd/ccnvm-torture -repro 'design=ccnvm,workload=hot,seed=3,ops=160,crash=80,attack=spoof,n=4,m=0'",
+				ShrinkRuns: 12,
+			},
+			{
+				// A media-fault cell: every fault dimension present.
+				Failure: Failure{
+					Cell: Cell{
+						Design: "sc", Workload: "stream", Seed: 311, Ops: 47, CrashAt: 17, Attack: "none",
+						FaultSeed: -245, Torn: true, ADRBudget: 1, WeakPct: 33, Stuck: 3,
+					},
+					Oracle: "torn-write-detected",
+					Detail: "post-recovery tree mismatches the recovered root",
+				},
+				Repro:      "go run ./cmd/ccnvm-torture -repro 'design=sc,workload=stream,seed=311,ops=47,crash=17,attack=none,n=0,m=0,fseed=-245,torn=1,adr=1,weak=33,stuck=3'",
+				ShrinkRuns: 30,
+			},
+		},
+		Interrupted: true,
+		Skipped:     1,
+	}
+
+	// Encode exactly as cmd/ccnvm-torture does.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "summary.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -golden.update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json schema drifted from the golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// The golden summary must round-trip: a consumer decoding the file
+	// sees the same values the CLI encoded.
+	var back Summary
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatalf("golden file does not decode: %v", err)
+	}
+	if back.Cells != sum.Cells || back.Skipped != sum.Skipped || !back.Interrupted ||
+		len(back.Failures) != len(sum.Failures) ||
+		back.Failures[1].Cell != sum.Failures[1].Cell {
+		t.Fatal("golden summary does not round-trip")
+	}
+}

@@ -1,6 +1,9 @@
 package torture
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestLongMatrix is the extended matrix, gated behind -torture.long:
 //
@@ -13,13 +16,14 @@ func TestLongMatrix(t *testing.T) {
 		t.Skip("extended matrix runs only with -torture.long")
 	}
 	opts := MatrixOpts{
-		Seeds:    8,
-		Ops:      600,
-		CrashPts: 6,
-		Ns:       []uint64{2, 4, 16, 64},
+		Seeds:      8,
+		Ops:        600,
+		CrashPts:   6,
+		Ns:         []uint64{2, 4, 16, 64},
+		FaultSeeds: 20,
 	}
 	cells := EnumerateCells(opts)
-	sum := RunMatrix(DefaultRunner(), cells, 0, func(done, total int, f *Failure) {
+	sum := RunMatrix(context.Background(), DefaultRunner(), cells, 0, func(done, total int, f *Failure) {
 		if done%1000 == 0 {
 			t.Logf("%d/%d cells", done, total)
 		}

@@ -1,6 +1,7 @@
 package torture
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -17,6 +18,27 @@ type MatrixOpts struct {
 	CrashPts  int      // crash points per trace; default 3
 	Ns        []uint64 // update limits cycled across cells; default {4, 16}
 	Budget    int      // max cells (0 = unbounded); evenly sampled when exceeded
+
+	// FaultSeeds appends media-fault cells: for every design and
+	// workload, this many fault seeds are cycled through FaultProfiles.
+	// Zero (the default) adds no fault cells, keeping the faultless
+	// matrix byte-identical to its historical shape.
+	FaultSeeds int
+}
+
+// FaultProfiles are the media-fault shapes the matrix cycles fault cells
+// through. Torn-write profiles always pair with a finite ADR budget: the
+// harness drains epochs synchronously inside WriteBack, so the WPQ holds
+// no end-signal-less entries at a crash point and tearing only bites on
+// entries past the budget.
+func FaultProfiles() []Cell {
+	return []Cell{
+		{Torn: true, ADRBudget: 8},
+		{ADRBudget: 4},
+		{Torn: true, ADRBudget: 2, WeakPct: 10},
+		{WeakPct: 20, Stuck: 2},
+		{Torn: true, ADRBudget: 1, Stuck: 1},
+	}
 }
 
 func (o MatrixOpts) withDefaults() MatrixOpts {
@@ -72,6 +94,32 @@ func EnumerateCells(o MatrixOpts) []Cell {
 			}
 		}
 	}
+	// Fault cells ride after the faultless matrix: clean crashes under
+	// deterministic media damage, cycled through the fault profiles.
+	if o.FaultSeeds > 0 {
+		profiles := FaultProfiles()
+		for _, d := range o.Designs {
+			for _, w := range o.Workloads {
+				for fs := 0; fs < o.FaultSeeds; fs++ {
+					p := profiles[fs%len(profiles)]
+					cells = append(cells, Cell{
+						Design:    d,
+						Workload:  w,
+						Seed:      int64(fs % o.Seeds),
+						Ops:       o.Ops,
+						CrashAt:   o.Ops * 2 / 3,
+						Attack:    "none",
+						N:         o.Ns[fs%len(o.Ns)],
+						FaultSeed: int64(fs)*7919 + 1,
+						Torn:      p.Torn,
+						ADRBudget: p.ADRBudget,
+						WeakPct:   p.WeakPct,
+						Stuck:     p.Stuck,
+					}.normalized())
+				}
+			}
+		}
+	}
 	if o.Budget > 0 && len(cells) > o.Budget {
 		sampled := make([]Cell, o.Budget)
 		for i := range sampled {
@@ -93,6 +141,12 @@ type MatrixFailure struct {
 type Summary struct {
 	Cells    int             `json:"cells"`
 	Failures []MatrixFailure `json:"failures"`
+
+	// Interrupted marks a run cut short by context cancellation (SIGINT
+	// or -timeout); Skipped counts the cells that never executed. A
+	// partial summary still lists every failure seen before the cut.
+	Interrupted bool `json:"interrupted,omitempty"`
+	Skipped     int  `json:"skipped,omitempty"`
 }
 
 // Failed reports whether any cell violated an oracle.
@@ -103,7 +157,9 @@ func (s *Summary) Failed() bool { return len(s.Failures) > 0 }
 // every failure, and returns the summary with failures in cell-index
 // order. parallel <= 0 selects GOMAXPROCS workers; progress, when
 // non-nil, is called after each cell with (done, total, failure-or-nil).
-func RunMatrix(r *Runner, cells []Cell, parallel int, progress func(done, total int, f *Failure)) *Summary {
+// Cancelling ctx stops dispatching new cells — in-flight cells finish —
+// and skips the shrink pass, so a partial summary is returned promptly.
+func RunMatrix(ctx context.Context, r *Runner, cells []Cell, parallel int, progress func(done, total int, f *Failure)) *Summary {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -111,8 +167,9 @@ func RunMatrix(r *Runner, cells []Cell, parallel int, progress func(done, total 
 		parallel = len(cells)
 	}
 	type res struct {
-		idx int
-		f   *Failure
+		idx     int
+		f       *Failure
+		skipped bool
 	}
 	idxCh := make(chan int)
 	resCh := make(chan res)
@@ -122,7 +179,12 @@ func RunMatrix(r *Runner, cells []Cell, parallel int, progress func(done, total 
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				resCh <- res{idx: i, f: r.RunCell(cells[i])}
+				select {
+				case <-ctx.Done():
+					resCh <- res{idx: i, skipped: true}
+				default:
+					resCh <- res{idx: i, f: r.RunCell(cells[i])}
+				}
 			}
 		}()
 	}
@@ -136,8 +198,12 @@ func RunMatrix(r *Runner, cells []Cell, parallel int, progress func(done, total 
 	}()
 
 	failed := map[int]*Failure{}
-	done := 0
+	done, skipped := 0, 0
 	for rr := range resCh {
+		if rr.skipped {
+			skipped++
+			continue
+		}
 		done++
 		if rr.f != nil {
 			failed[rr.idx] = rr.f
@@ -147,10 +213,15 @@ func RunMatrix(r *Runner, cells []Cell, parallel int, progress func(done, total 
 		}
 	}
 
-	sum := &Summary{Cells: len(cells)}
+	sum := &Summary{Cells: len(cells), Skipped: skipped, Interrupted: ctx.Err() != nil}
 	for i := range cells {
 		f, ok := failed[i]
 		if !ok {
+			continue
+		}
+		if sum.Interrupted {
+			// No time to shrink: report the raw failure with its repro.
+			sum.Failures = append(sum.Failures, MatrixFailure{Failure: *f, Repro: f.Cell.Repro()})
 			continue
 		}
 		min, runs := Shrink(r, *f, 64)
@@ -165,8 +236,12 @@ func RunMatrix(r *Runner, cells []Cell, parallel int, progress func(done, total 
 
 // Describe renders a short human-readable summary line.
 func (s *Summary) Describe() string {
-	if !s.Failed() {
-		return fmt.Sprintf("torture: %d cells, all oracles passed", s.Cells)
+	note := ""
+	if s.Interrupted {
+		note = fmt.Sprintf(" (interrupted, %d cells skipped)", s.Skipped)
 	}
-	return fmt.Sprintf("torture: %d cells, %d FAILED", s.Cells, len(s.Failures))
+	if !s.Failed() {
+		return fmt.Sprintf("torture: %d cells, all oracles passed%s", s.Cells-s.Skipped, note)
+	}
+	return fmt.Sprintf("torture: %d cells, %d FAILED%s", s.Cells-s.Skipped, len(s.Failures), note)
 }

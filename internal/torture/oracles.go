@@ -4,9 +4,13 @@ import (
 	"fmt"
 	"strings"
 
+	"ccnvm/internal/bmt"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
+	"ccnvm/internal/memctrl"
+	"ccnvm/internal/nvm"
 	"ccnvm/internal/recovery"
+	"ccnvm/internal/seccrypto"
 )
 
 // Context carries one executed cell's evidence to the oracles: the
@@ -33,16 +37,31 @@ type Context struct {
 	RunViolations  uint64
 	ReadDivergence string
 
+	// Media is the harness-side ground-truth fault log the controller
+	// recorded at the crash (nil on faultless cells); CtrlStats carries
+	// the controller's retry/scrub/crash-damage counters. PostScrubWeak
+	// is the number of weak lines surviving the mid-trace scrub pass.
+	Media         *nvm.FaultLog
+	CtrlStats     memctrl.Stats
+	PostScrubWeak int
+
+	// Recovered is the TCB state Apply produced, once applyRecovery ran.
+	Recovered *recovery.Recovered
+
 	applied    bool
 	goldenDivs []string
 	goldenRun  bool
 }
 
+// Faulty reports whether the cell ran under a media-fault model.
+func (c *Context) Faulty() bool { return c.Cell.Faulty() }
+
 // applyRecovery runs the runner's Apply seam once; oracles that inspect
 // post-recovery state share the applied image.
 func (c *Context) applyRecovery() {
 	if !c.applied {
-		c.Runner.applyFn()(c.Img, c.Rep)
+		rec := c.Runner.applyFn()(c.Img, c.Rep)
+		c.Recovered = &rec
 		c.applied = true
 	}
 }
@@ -124,6 +143,30 @@ var oracleList = []Oracle{
 			"decrypted data and stored HMACs.",
 		Check: checkGoldenState,
 	},
+	{
+		Name: "torn-write-detected",
+		Doc: "Under media faults, every surviving block of the recovered image " +
+			"verifies as a version the trace actually wrote (nothing is silently " +
+			"accepted as fabricated or mixed content), any block left at a stale " +
+			"version is covered by a loss report, stuck lines surface as media " +
+			"errors, and the post-recovery tree matches the recovered root.",
+		Check: checkTornWriteDetected,
+	},
+	{
+		Name: "adr-budget",
+		Doc: "The crash-time ADR flush never exceeds its energy budget, every " +
+			"damaged line is covered by the suspects manifest recovery consumes, " +
+			"and an undamaged fault cell recovers lossless — recovery neither " +
+			"trusts torn lines nor cries wolf.",
+		Check: checkADRBudget,
+	},
+	{
+		Name: "read-error-bounded-retry",
+		Doc: "Transient read errors are absorbed by bounded retry (no read ever " +
+			"exhausts the retry budget) and a scrub pass rewrites or remaps every " +
+			"weak line, so none survives the maintenance window.",
+		Check: checkReadErrorBoundedRetry,
+	},
 }
 
 func checkRuntimeReads(c *Context) string {
@@ -144,11 +187,14 @@ func checkCleanRecovery(c *Context) string {
 		return "" // legitimately unrecoverable; golden-state still guards its clean cases
 	}
 	if !c.Rep.Clean() {
+		// This holds on fault cells too: pure media damage must be
+		// classified as crash loss (LostBlocks / CrashLossWindow), never
+		// as tampering — the loss-vs-attack distinguishability claim.
 		return fmt.Sprintf("clean crash flagged: mismatches=%d tampered=%d replayedPages=%d potentialReplay=%v (Nwb=%d Nretry=%d)",
 			len(c.Rep.TreeMismatches), len(c.Rep.Tampered), len(c.Rep.ReplayedPages),
 			c.Rep.PotentialReplay, c.Rep.Nwb, c.Rep.Nretry)
 	}
-	if c.Cell.Design == "sc" && (c.Rep.Nretry != 0 || c.Rep.RecoveredBlocks != 0) {
+	if !c.Faulty() && c.Cell.Design == "sc" && (c.Rep.Nretry != 0 || c.Rep.RecoveredBlocks != 0) {
 		return fmt.Sprintf("SC persists the full path per write-back yet recovery needed %d retries over %d blocks",
 			c.Rep.Nretry, c.Rep.RecoveredBlocks)
 	}
@@ -162,6 +208,19 @@ func checkAttackCaught(c *Context) string {
 		return ""
 	}
 	rep := c.Rep
+	if c.Faulty() {
+		// Under media faults the located-evidence minimums are waived:
+		// damage may displace the evidence, and a loss verdict already
+		// proves the attacked state was not silently trusted. Only a
+		// report that claims a lossless clean image must prove it healed.
+		if rep.Clean() && rep.Lossless() {
+			if _, divs := c.goldenVersions(); len(divs) > 0 {
+				return fmt.Sprintf("%s attack on %s went undetected under faults: %s",
+					c.Cell.Attack, victimList(c.Victims), divs[0])
+			}
+		}
+		return ""
+	}
 	if rep.Clean() {
 		// Recovery noticed nothing. That is acceptable only when the
 		// recovered state provably equals the reference (e.g. Osiris's
@@ -222,6 +281,12 @@ func checkEpochAtomicity(c *Context) string {
 	if !treePersisting(c.Cell.Design) {
 		return ""
 	}
+	if c.Faulty() {
+		// Torn or dropped drain writes legitimately leave the tree
+		// matching neither root and skew the retry accounting; the
+		// torn-write-detected oracle owns fault cells.
+		return ""
+	}
 	rep := c.Rep
 	treeAttacked := c.attackInPlay() &&
 		(c.Cell.Attack == "counter-replay" || c.Cell.Attack == "tree-spoof")
@@ -246,6 +311,12 @@ func checkEpochAtomicity(c *Context) string {
 }
 
 func checkGoldenState(c *Context) string {
+	if c.Faulty() {
+		// Accepted crash loss means the latest reference state is not
+		// the contract; the torn-write-detected oracle holds fault cells
+		// to the versioned contract instead.
+		return ""
+	}
 	if !c.Rep.Clean() {
 		return "" // a flagged image is not claimed to be serviceable
 	}
@@ -256,6 +327,149 @@ func checkGoldenState(c *Context) string {
 	}
 	if divs := c.golden(); len(divs) > 0 {
 		return "recovered image diverges from the golden reference: " + strings.Join(divs, "; ")
+	}
+	return ""
+}
+
+// goldenVersions verifies the recovered image against the reference's
+// version history (see VerifyImageVersions), excluding the blocks the
+// report enumerates as lost or tampered, and caching the result. For
+// non-arsenal designs it applies recovery first.
+func (c *Context) goldenVersions() (stale []mem.Addr, divs []string) {
+	excluded := map[mem.Addr]bool{}
+	for _, lb := range c.Rep.LostBlocks {
+		excluded[lb.Addr] = true
+	}
+	for _, tb := range c.Rep.Tampered {
+		excluded[tb.Addr] = true
+	}
+	if c.Cell.Design == "arsenal" {
+		return c.Ref.VerifyArsenalImageVersions(c.Img, excluded)
+	}
+	c.applyRecovery()
+	return c.Ref.VerifyImageVersions(c.Img, excluded)
+}
+
+// checkTornWriteDetected is the tentpole oracle: on fault cells, every
+// line the crash damaged must end up healed (rebuilt to a written
+// version) or lost-but-detected (enumerated or covered by a loss
+// verdict) — never silently accepted.
+func checkTornWriteDetected(c *Context) string {
+	if !c.Faulty() || c.attackInPlay() {
+		return ""
+	}
+	rep := c.Rep
+	stale, divs := c.goldenVersions()
+	if len(divs) > 0 {
+		return "recovered image silently accepts content the trace never wrote: " + divs[0]
+	}
+	if len(stale) > 0 && rep.Lossless() && c.Cell.Design != "wocc" {
+		// Stale content is acceptable crash loss ONLY when the report
+		// says so; a lossless verdict over rewound blocks is silent
+		// acceptance. (w/o CC is exempt: unbounded staleness is its
+		// motivating defect, and it makes no loss claims.)
+		return fmt.Sprintf("block %#x recovered at a stale version but the report claims lossless recovery",
+			uint64(stale[0]))
+	}
+	// Stuck lines the device reports must surface as media errors.
+	if c.Media != nil {
+		for _, ev := range c.Media.Events {
+			if ev.Kind != "stuck" {
+				continue
+			}
+			found := false
+			for _, ma := range rep.MediaErrors {
+				if ma == ev.Addr {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Sprintf("stuck line %#x not reported as a media error", uint64(ev.Addr))
+			}
+		}
+	}
+	// The post-recovery image must be self-consistent: the rebuilt tree
+	// verifies against the root Apply installed. Mismatches at (or under)
+	// a stuck line are waived — Apply cannot rewrite an unreadable node,
+	// and the report already surfaces it as a media error. (Arsenal is
+	// verified functionally pre-Apply; the generic rebuild does not
+	// apply.)
+	if c.Cell.Design != "arsenal" && c.Recovered != nil {
+		lay := c.Img.Image.Layout
+		tree := bmt.New(lay, seccrypto.MustEngine(c.Img.Keys))
+		stuck := c.Img.Image.Stuck
+		for _, m := range tree.VerifyAll(c.Img.Image, c.Recovered.TCB.RootNew, c.Img.Image.Store.Addrs()) {
+			if stuck[m.Addr] {
+				continue
+			}
+			if m.Level < lay.TopLevel() {
+				pl, pi, _ := lay.ParentOf(m.Level, m.Index)
+				if stuck[lay.NodeAddr(pl, pi)] {
+					continue
+				}
+			}
+			return fmt.Sprintf("post-recovery tree mismatches the recovered root beyond any stuck line: %s", m.String())
+		}
+	}
+	return ""
+}
+
+// checkADRBudget asserts the crash-time fault machinery kept its own
+// contract: the flush count respects the energy budget, the suspects
+// manifest covers every damaged line, and a cell whose crash damaged
+// nothing recovers lossless.
+func checkADRBudget(c *Context) string {
+	if !c.Faulty() || c.Media == nil {
+		return ""
+	}
+	if c.Cell.ADRBudget > 0 && c.Media.Flushed > c.Cell.ADRBudget {
+		return fmt.Sprintf("ADR flushed %d entries over a budget of %d", c.Media.Flushed, c.Cell.ADRBudget)
+	}
+	suspects := map[mem.Addr]bool{}
+	for _, a := range c.Img.Suspects {
+		suspects[a] = true
+	}
+	for _, ev := range c.Media.Events {
+		if ev.Kind == "stuck" {
+			continue // stuck lines are reported by the device, not the manifest
+		}
+		if !suspects[ev.Addr] {
+			return fmt.Sprintf("%s line %#x damaged at crash but missing from the suspects manifest", ev.Kind, uint64(ev.Addr))
+		}
+	}
+	// Cry-wolf: a crash that damaged nothing and left no unserviced
+	// entries must not be blamed on the media. (Clean()-side verdicts are
+	// the other oracles' business — w/o CC legitimately flags its own
+	// staleness as tamper.)
+	if !c.attackInPlay() && len(c.Media.Events) == 0 && len(c.Img.Suspects) == 0 &&
+		(len(c.Rep.LostBlocks) > 0 || len(c.Rep.MediaErrors) > 0 || c.Rep.CrashLossWindow) {
+		return fmt.Sprintf("crash damaged nothing yet recovery reports media loss (lost=%d mediaErrs=%d window=%v)",
+			len(c.Rep.LostBlocks), len(c.Rep.MediaErrors), c.Rep.CrashLossWindow)
+	}
+	if len(c.Img.Suspects) > 0 && c.Rep.Lossless() {
+		// An unserviced WPQ entry may have dropped a write whole, leaving
+		// stale self-consistent bytes no check can flag: recovery must
+		// report the loss window pessimistically, never claim lossless.
+		return fmt.Sprintf("suspects manifest lists %d unserviced lines yet recovery claims a lossless image",
+			len(c.Img.Suspects))
+	}
+	return ""
+}
+
+// checkReadErrorBoundedRetry asserts transient read errors never escape
+// the bounded retry (no permanent read error on a weak-only cell) and
+// that the scrub pass left no weak line behind.
+func checkReadErrorBoundedRetry(c *Context) string {
+	if c.Cell.WeakPct <= 0 {
+		return ""
+	}
+	if c.CtrlStats.PermanentReadErrors != 0 {
+		return fmt.Sprintf("%d reads exhausted the retry budget (transient errors must stay transient)",
+			c.CtrlStats.PermanentReadErrors)
+	}
+	if c.PostScrubWeak != 0 {
+		return fmt.Sprintf("%d weak lines survived the scrub pass", c.PostScrubWeak)
 	}
 	return ""
 }

@@ -20,6 +20,19 @@ type Reference struct {
 	counters map[mem.Addr]seccrypto.CounterLine
 	plain    map[mem.Addr]mem.Line
 	writes   map[mem.Addr]uint64
+	history  map[mem.Addr][]version
+}
+
+// version is one acceptable post-crash state of a data block: the
+// effective counter and plaintext a specific write (or minor-overflow
+// re-encryption) gave it. The media-fault oracles verify recovered
+// blocks against the history, not just the latest state — a partial ADR
+// drain may legitimately leave a block at an older version, which is
+// crash loss the report must own, while content matching no version is
+// fabrication.
+type version struct {
+	Ctr uint64
+	Pt  mem.Line
 }
 
 // NewReference builds a reference machine over the harness layout.
@@ -34,6 +47,7 @@ func NewReference(lay *mem.Layout, keys seccrypto.Keys) *Reference {
 		counters: make(map[mem.Addr]seccrypto.CounterLine),
 		plain:    make(map[mem.Addr]mem.Line),
 		writes:   make(map[mem.Addr]uint64),
+		history:  make(map[mem.Addr][]version),
 	}
 }
 
@@ -43,11 +57,25 @@ func NewReference(lay *mem.Layout, keys seccrypto.Keys) *Reference {
 func (r *Reference) WriteBack(addr mem.Addr, pt mem.Line) {
 	addr = mem.Align(addr)
 	ca := r.lay.CounterLineOf(addr)
+	slot := r.lay.CounterSlotOf(addr)
 	cl := r.counters[ca]
-	cl.Bump(r.lay.CounterSlotOf(addr))
+	overflow := cl.Bump(slot)
 	r.counters[ca] = cl
+	if overflow {
+		// A minor overflow re-encrypts every written block of the page
+		// under its new effective counter (the engines persist that
+		// immediately), so each gains a fresh acceptable version with
+		// unchanged plaintext.
+		for b, bpt := range r.plain {
+			if b != addr && r.lay.CounterLineOf(b) == ca {
+				r.history[b] = append(r.history[b],
+					version{Ctr: cl.Counter(r.lay.CounterSlotOf(b)), Pt: bpt})
+			}
+		}
+	}
 	r.plain[addr] = pt
 	r.writes[addr]++
+	r.history[addr] = append(r.history[addr], version{Ctr: cl.Counter(slot), Pt: pt})
 }
 
 // Plaintext returns the expected content of addr (zero if never
@@ -176,6 +204,125 @@ func (r *Reference) VerifyArsenalImage(img *engine.CrashImage) []string {
 		}
 	}
 	return divs
+}
+
+// VerifyImageVersions checks a post-Apply crash image of a
+// conventional-layout design against the reference's version history
+// instead of its latest state: every written block (minus the excluded
+// set, the blocks the report enumerated as lost or tampered) must
+// authenticate as SOME state the trace actually produced — the latest
+// version, an older one, or the implicit virgin state of a block whose
+// every write dropped. Blocks at a non-latest version are returned as
+// stale (acceptable crash loss the recovery report must own); content
+// matching no version at all is a divergence — recovery silently
+// accepted bytes the trace never wrote.
+func (r *Reference) VerifyImageVersions(img *engine.CrashImage, excluded map[mem.Addr]bool) (stale []mem.Addr, divs []string) {
+	for _, a := range r.Written() {
+		if excluded[a] {
+			continue
+		}
+		if len(divs) >= maxDivergences {
+			divs = append(divs, "... more divergences suppressed")
+			return stale, divs
+		}
+		old, div := r.checkBlockVersion(img, a)
+		switch {
+		case div != "":
+			divs = append(divs, div)
+		case old:
+			stale = append(stale, a)
+		}
+	}
+	return stale, divs
+}
+
+// VerifyArsenalImageVersions is the Arsenal analogue (pre-Apply, like
+// VerifyArsenalImage): packed blocks carry counter and plaintext inline,
+// raw-fallback blocks follow the conventional check.
+func (r *Reference) VerifyArsenalImageVersions(img *engine.CrashImage, excluded map[mem.Addr]bool) (stale []mem.Addr, divs []string) {
+	for _, a := range r.Written() {
+		if excluded[a] {
+			continue
+		}
+		if len(divs) >= maxDivergences {
+			divs = append(divs, "... more divergences suppressed")
+			return stale, divs
+		}
+		if img.Sideband[a] != engine.TagPacked {
+			old, div := r.checkBlockVersion(img, a)
+			switch {
+			case div != "":
+				divs = append(divs, div)
+			case old:
+				stale = append(stale, a)
+			}
+			continue
+		}
+		line, ok := img.Image.Read(a)
+		if !ok && line == (mem.Line{}) {
+			// Virgin media under a packed tag: the block's every write
+			// dropped before reaching the device — stale at version 0.
+			stale = append(stale, a)
+			continue
+		}
+		pt, ctr, authed := engine.UnpackArsenalLine(r.cry, a, line)
+		if !authed {
+			divs = append(divs, fmt.Sprintf("packed block %#x fails inline authentication", uint64(a)))
+			continue
+		}
+		v, known := r.versionAt(a, ctr)
+		switch {
+		case !known:
+			divs = append(divs, fmt.Sprintf("packed block %#x carries counter %d, which no write of the trace produced", uint64(a), ctr))
+		case pt != v.Pt:
+			divs = append(divs, fmt.Sprintf("packed block %#x authenticates at counter %d but holds content the trace never wrote there", uint64(a), ctr))
+		case ctr != r.CounterOf(a):
+			stale = append(stale, a)
+		}
+	}
+	return stale, divs
+}
+
+// checkBlockVersion classifies one conventional-layout block against the
+// version history: ("", false) → latest, ("", true) → an older written
+// version or the virgin state, otherwise a divergence message.
+func (r *Reference) checkBlockVersion(img *engine.CrashImage, a mem.Addr) (stale bool, div string) {
+	raw, _ := img.Image.Read(r.lay.CounterLineOf(a))
+	cl := seccrypto.DecodeCounterLine(raw)
+	ctrImg := cl.Counter(r.lay.CounterSlotOf(a))
+	ct, _ := img.Image.Read(a)
+	stored := r.storedHMAC(img, a)
+	if ctrImg == 0 {
+		// The implicit version 0: counter, data and HMAC all still at
+		// their never-written defaults.
+		if ct == (mem.Line{}) && stored == r.cry.DataHMAC(a, 0, mem.Line{}) {
+			return true, ""
+		}
+		return false, fmt.Sprintf("block %#x sits at counter 0 with non-virgin content", uint64(a))
+	}
+	v, known := r.versionAt(a, ctrImg)
+	switch {
+	case !known:
+		return false, fmt.Sprintf("block %#x carries counter %d, which no write of the trace produced", uint64(a), ctrImg)
+	case stored != r.cry.DataHMAC(a, ctrImg, ct):
+		return false, fmt.Sprintf("block %#x fails authentication at counter %d", uint64(a), ctrImg)
+	case r.cry.Decrypt(a, ctrImg, ct) != v.Pt:
+		return false, fmt.Sprintf("block %#x authenticates at counter %d but decrypts to content the trace never wrote there", uint64(a), ctrImg)
+	}
+	return ctrImg != r.CounterOf(a), ""
+}
+
+// versionAt finds the history entry of block a carrying the given
+// effective counter; counters are strictly increasing per block, so a
+// match is unique.
+func (r *Reference) versionAt(a mem.Addr, ctr uint64) (version, bool) {
+	h := r.history[mem.Align(a)]
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].Ctr == ctr {
+			return h[i], true
+		}
+	}
+	return version{}, false
 }
 
 // storedHMAC extracts the stored data HMAC of block a from the image,

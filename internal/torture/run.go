@@ -63,9 +63,17 @@ func pattern(addr mem.Addr, v byte) mem.Line {
 }
 
 // RunCell executes one cell end to end and returns the first oracle
-// violation, or nil when every oracle passes.
-func (r *Runner) RunCell(c Cell) *Failure {
+// violation, or nil when every oracle passes. A panic anywhere in the
+// cell (engine, recovery, oracle) is converted into a "panic" failure —
+// fuzzed and fault-injected paths must degrade to typed errors, never
+// take the harness down.
+func (r *Runner) RunCell(c Cell) (fail *Failure) {
 	c = c.normalized()
+	defer func() {
+		if p := recover(); p != nil {
+			fail = &Failure{Cell: c, Oracle: "panic", Detail: fmt.Sprintf("cell panicked: %v", p)}
+		}
+	}()
 	if err := c.Validate(); err != nil {
 		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
 	}
@@ -73,7 +81,7 @@ func (r *Runner) RunCell(c Cell) *Failure {
 	if err != nil {
 		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
 	}
-	eng, err := BuildEngine(c.Design, engine.Params{UpdateLimit: c.N, QueueEntries: c.M})
+	eng, ctrl, err := BuildEngine(c.Design, engine.Params{UpdateLimit: c.N, QueueEntries: c.M}, c.faultModel())
 	if err != nil {
 		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
 	}
@@ -83,7 +91,9 @@ func (r *Runner) RunCell(c Cell) *Failure {
 	// Drive the trace to the crash point, mirroring stores into the
 	// reference and checking loads against it. The adversary snapshots
 	// the DIMM halfway to the crash — the "old version" replay attacks
-	// restore from.
+	// restore from. On weak-line cells the same point doubles as the
+	// maintenance window: a scrub pass rewrites every unstable line, and
+	// the read-error oracle asserts none survives it.
 	snapAt := c.CrashAt / 2
 	var snap *nvm.Image
 	var snapWrites map[mem.Addr]uint64
@@ -92,6 +102,10 @@ func (r *Runner) RunCell(c Cell) *Failure {
 		if i == snapAt {
 			snap = eng.(interface{ NVMSnapshot() *nvm.Image }).NVMSnapshot()
 			snapWrites = ref.WriteCounts()
+			if c.WeakPct > 0 {
+				now = ctrl.Scrub(now)
+				ctx.PostScrubWeak = len(ctrl.Device().WeakLines())
+			}
 		}
 		now += int64(op.Gap)
 		switch op.Kind {
@@ -111,6 +125,11 @@ func (r *Runner) RunCell(c Cell) *Failure {
 	ctx.RunViolations = eng.Stats().IntegrityViolations
 
 	ctx.Img = eng.Crash()
+	ctx.Media = ctx.Img.MediaLog
+	ctx.CtrlStats = ctrl.Stats()
+	if err := ctrl.Err(); err != nil {
+		return &Failure{Cell: c, Oracle: "device-fault", Detail: "controller recorded a device/protocol error: " + err.Error()}
+	}
 	ctx.Victims, ctx.AttackChanged, err = injectAttack(c, ctx.Img, snap, snapWrites, ref)
 	if err != nil {
 		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}

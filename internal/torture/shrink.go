@@ -7,11 +7,14 @@ package torture
 // sound reduction. The search spends at most budget cell executions and
 // returns the smallest still-failing cell plus the number of runs used.
 //
-// Three phases, each kept only if the cell still fails the same oracle:
+// Four phases, each kept only if the cell still fails the same oracle:
 //  1. drop the attack (a failure that survives as a clean crash is a
 //     strictly simpler repro, whatever oracle it then trips);
-//  2. bisect CrashAt downward, then walk it down linearly;
-//  3. trim Ops to CrashAt so the repro generates no dead trace tail.
+//  2. reduce the fault dimensions: first all of them at once (a
+//     faultless repro is strictly simpler, whatever oracle it trips),
+//     then one dimension at a time, then the fault seed to 1;
+//  3. bisect CrashAt downward, then walk it down linearly;
+//  4. trim Ops to CrashAt so the repro generates no dead trace tail.
 func Shrink(r *Runner, f Failure, budget int) (Failure, int) {
 	if budget <= 0 {
 		budget = 64
@@ -46,7 +49,41 @@ func Shrink(r *Runner, f Failure, budget int) (Failure, int) {
 		try(c, false)
 	}
 
-	// Phase 2: bisect the crash point down, then creep linearly.
+	// Phase 2: reduce the fault dimensions.
+	if best.Cell.Faulty() {
+		c := best.Cell
+		c.FaultSeed, c.Torn, c.ADRBudget, c.WeakPct, c.Stuck = 0, false, 0, 0, 0
+		try(c, false)
+	}
+	if best.Cell.Faulty() {
+		if best.Cell.Torn {
+			c := best.Cell
+			c.Torn = false
+			try(c, true)
+		}
+		if best.Cell.ADRBudget > 0 {
+			c := best.Cell
+			c.ADRBudget = 0
+			try(c, true)
+		}
+		if best.Cell.WeakPct > 0 {
+			c := best.Cell
+			c.WeakPct = 0
+			try(c, true)
+		}
+		if best.Cell.Stuck > 0 {
+			c := best.Cell
+			c.Stuck = 0
+			try(c, true)
+		}
+		if best.Cell.Faulty() && best.Cell.FaultSeed != 1 {
+			c := best.Cell
+			c.FaultSeed = 1
+			try(c, true)
+		}
+	}
+
+	// Phase 3: bisect the crash point down, then creep linearly.
 	for runs < budget && best.Cell.CrashAt > 1 {
 		c := best.Cell
 		c.CrashAt = best.Cell.CrashAt / 2
@@ -60,7 +97,7 @@ func Shrink(r *Runner, f Failure, budget int) (Failure, int) {
 		}
 	}
 
-	// Phase 3: drop the trace tail past the crash.
+	// Phase 4: drop the trace tail past the crash.
 	if best.Cell.Ops > best.Cell.CrashAt {
 		c := best.Cell
 		c.Ops = c.CrashAt

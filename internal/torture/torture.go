@@ -60,6 +60,34 @@ type Cell struct {
 	Attack   string `json:"attack"`   // one of AttackNames
 	N        uint64 `json:"n"`        // engine update limit (0 = paper default)
 	M        int    `json:"m"`        // dirty address queue entries (0 = default)
+
+	// Media-fault dimensions; all zero reproduces the idealized device
+	// bit-for-bit. FaultSeed drives every fault decision deterministically.
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	Torn      bool  `json:"torn,omitempty"`       // torn-line persistence at crash
+	ADRBudget int   `json:"adr_budget,omitempty"` // ADR flushes only this many WPQ entries whole
+	WeakPct   int   `json:"weak_pct,omitempty"`   // percent of written lines with transient read errors
+	Stuck     int   `json:"stuck,omitempty"`      // lines stuck-at failed at the crash
+}
+
+// Faulty reports whether any media-fault dimension is active.
+func (c Cell) Faulty() bool {
+	return c.Torn || c.ADRBudget > 0 || c.WeakPct > 0 || c.Stuck > 0
+}
+
+// faultModel materializes the cell's fault dimensions, nil when the cell
+// runs on the idealized device.
+func (c Cell) faultModel() *nvm.FaultModel {
+	if !c.Faulty() {
+		return nil
+	}
+	return &nvm.FaultModel{
+		Seed:         c.FaultSeed,
+		TornWrites:   c.Torn,
+		ADRBudget:    c.ADRBudget,
+		WeakLineRate: float64(c.WeakPct) / 100,
+		StuckLines:   c.Stuck,
+	}
 }
 
 // normalized fills defaults and clamps the crash point into the trace.
@@ -96,13 +124,41 @@ func (c Cell) Validate() error {
 	if c.CrashAt < 1 || c.CrashAt > c.Ops {
 		return fmt.Errorf("torture: crash point %d outside trace of %d ops", c.CrashAt, c.Ops)
 	}
+	if c.WeakPct < 0 || c.WeakPct > 100 {
+		return fmt.Errorf("torture: weak-line percentage %d out of range [0,100]", c.WeakPct)
+	}
+	if c.ADRBudget < 0 || c.ADRBudget > 1<<16 {
+		return fmt.Errorf("torture: ADR budget %d out of range", c.ADRBudget)
+	}
+	if c.Stuck < 0 || c.Stuck > 64 {
+		return fmt.Errorf("torture: stuck-line count %d out of range [0,64]", c.Stuck)
+	}
 	return nil
 }
 
-// String renders the cell as the key=value spec Repro embeds.
+// String renders the cell as the key=value spec Repro embeds. Fault
+// dimensions are appended only when active, so faultless cells keep
+// their historical spec (and repro lines) unchanged.
 func (c Cell) String() string {
-	return fmt.Sprintf("design=%s,workload=%s,seed=%d,ops=%d,crash=%d,attack=%s,n=%d,m=%d",
+	s := fmt.Sprintf("design=%s,workload=%s,seed=%d,ops=%d,crash=%d,attack=%s,n=%d,m=%d",
 		c.Design, c.Workload, c.Seed, c.Ops, c.CrashAt, c.Attack, c.N, c.M)
+	if !c.Faulty() {
+		return s
+	}
+	s += fmt.Sprintf(",fseed=%d", c.FaultSeed)
+	if c.Torn {
+		s += ",torn=1"
+	}
+	if c.ADRBudget > 0 {
+		s += fmt.Sprintf(",adr=%d", c.ADRBudget)
+	}
+	if c.WeakPct > 0 {
+		s += fmt.Sprintf(",weak=%d", c.WeakPct)
+	}
+	if c.Stuck > 0 {
+		s += fmt.Sprintf(",stuck=%d", c.Stuck)
+	}
+	return s
 }
 
 // Repro is the one-line command that replays exactly this cell.
@@ -139,6 +195,16 @@ func ParseCell(spec string) (Cell, error) {
 			c.N, err = strconv.ParseUint(v, 10, 64)
 		case "m":
 			c.M, err = strconv.Atoi(v)
+		case "fseed":
+			c.FaultSeed, err = strconv.ParseInt(v, 10, 64)
+		case "torn":
+			c.Torn = v == "1" || v == "true"
+		case "adr":
+			c.ADRBudget, err = strconv.Atoi(v)
+		case "weak":
+			c.WeakPct, err = strconv.Atoi(v)
+		case "stuck":
+			c.Stuck, err = strconv.Atoi(v)
 		default:
 			return Cell{}, fmt.Errorf("torture: unknown cell field %q", k)
 		}
@@ -155,29 +221,37 @@ func ParseCell(spec string) (Cell, error) {
 
 // BuildEngine constructs a fresh engine of the named design over its own
 // NVM device, mirroring the simulator's wiring but without the CPU-side
-// caches the harness does not need.
-func BuildEngine(design string, p engine.Params) (engine.Engine, error) {
+// caches the harness does not need. A non-nil fault model arms the
+// device with deterministic media faults; the controller is returned so
+// the harness can drive scrubbing and read its fault statistics.
+func BuildEngine(design string, p engine.Params, fm *nvm.FaultModel) (engine.Engine, *memctrl.Controller, error) {
 	lay := mem.MustLayout(Capacity)
 	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
+	if fm != nil {
+		dev.SetFaultModel(fm)
+	}
 	ctrl := memctrl.New(memctrl.Config{}, dev)
 	keys := seccrypto.DefaultKeys()
+	var eng engine.Engine
 	switch design {
 	case "wocc":
-		return engine.NewWoCC(lay, keys, ctrl, metacache.Config{}, p), nil
+		eng = engine.NewWoCC(lay, keys, ctrl, metacache.Config{}, p)
 	case "sc":
-		return engine.NewSC(lay, keys, ctrl, metacache.Config{}, p), nil
+		eng = engine.NewSC(lay, keys, ctrl, metacache.Config{}, p)
 	case "osiris":
-		return engine.NewOsiris(lay, keys, ctrl, metacache.Config{}, p), nil
+		eng = engine.NewOsiris(lay, keys, ctrl, metacache.Config{}, p)
 	case "ccnvm":
-		return core.NewCCNVM(lay, keys, ctrl, metacache.Config{}, p), nil
+		eng = core.NewCCNVM(lay, keys, ctrl, metacache.Config{}, p)
 	case "ccnvm-wods":
-		return core.NewCCNVMWoDS(lay, keys, ctrl, metacache.Config{}, p), nil
+		eng = core.NewCCNVMWoDS(lay, keys, ctrl, metacache.Config{}, p)
 	case "ccnvm-ext":
-		return core.NewCCNVMExt(lay, keys, ctrl, metacache.Config{}, p), nil
+		eng = core.NewCCNVMExt(lay, keys, ctrl, metacache.Config{}, p)
 	case "arsenal":
-		return engine.NewArsenal(lay, keys, ctrl, metacache.Config{}, p), nil
+		eng = engine.NewArsenal(lay, keys, ctrl, metacache.Config{}, p)
+	default:
+		return nil, nil, fmt.Errorf("torture: unknown design %q", design)
 	}
-	return nil, fmt.Errorf("torture: unknown design %q", design)
+	return eng, ctrl, nil
 }
 
 // treePersisting reports whether the design maintains the in-NVM Merkle

@@ -1,6 +1,7 @@
 package torture
 
 import (
+	"context"
 	"flag"
 	"strings"
 	"testing"
@@ -21,11 +22,58 @@ func ShortMatrixOpts() MatrixOpts {
 
 func TestShortMatrix(t *testing.T) {
 	cells := EnumerateCells(ShortMatrixOpts())
-	sum := RunMatrix(DefaultRunner(), cells, 0, nil)
+	sum := RunMatrix(context.Background(), DefaultRunner(), cells, 0, nil)
 	for _, f := range sum.Failures {
 		t.Errorf("%s\n  repro: %s", f.Error(), f.Repro)
 	}
 	t.Logf("%s", sum.Describe())
+}
+
+// TestFaultMatrix is the media-fault slice: every design crosses two
+// workloads and eight fault seeds cycled through the fault profiles,
+// with no attack — pure crash damage. Zero oracle failures means no
+// design ever silently accepted a torn, dropped or stuck line.
+func TestFaultMatrix(t *testing.T) {
+	opts := MatrixOpts{
+		Workloads:  []string{"hot", "mixed"},
+		Attacks:    []string{"none"},
+		Seeds:      2,
+		Ops:        200,
+		CrashPts:   1,
+		FaultSeeds: 8,
+	}
+	var cells []Cell
+	for _, c := range EnumerateCells(opts) {
+		if c.Faulty() {
+			cells = append(cells, c)
+		}
+	}
+	if want := len(DesignNames()) * 2 * 8; len(cells) != want {
+		t.Fatalf("fault matrix has %d cells, want %d", len(cells), want)
+	}
+	sum := RunMatrix(context.Background(), DefaultRunner(), cells, 0, nil)
+	for _, f := range sum.Failures {
+		t.Errorf("%s\n  repro: %s", f.Error(), f.Repro)
+	}
+	t.Logf("%s", sum.Describe())
+}
+
+// TestRunMatrixInterrupted exercises the cancellation path: a cancelled
+// context must skip the remaining cells and mark the summary partial.
+func TestRunMatrixInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cells := EnumerateCells(MatrixOpts{
+		Designs: []string{"ccnvm"}, Workloads: []string{"hot"},
+		Attacks: []string{"none"}, Seeds: 2, Ops: 120, CrashPts: 2,
+	})
+	sum := RunMatrix(ctx, DefaultRunner(), cells, 2, nil)
+	if !sum.Interrupted {
+		t.Fatal("summary not marked interrupted under a cancelled context")
+	}
+	if sum.Skipped != len(cells) {
+		t.Fatalf("cancelled before dispatch, yet only %d of %d cells skipped", sum.Skipped, len(cells))
+	}
 }
 
 // TestShortMatrixCoversVocabulary guards the budget sampling: the short
@@ -128,6 +176,14 @@ func TestBrokenRecoveryCaught(t *testing.T) {
 			Attacks: []string{"counter-replay"}, Seeds: 2, Ops: 160, CrashPts: 2,
 			Ns: []uint64{4},
 		},
+		// Erasing the media-loss classification claims lossless images over
+		// torn and dropped drains; fault cells must trip the torn-write /
+		// adr-budget oracles.
+		"accept-torn": {
+			Designs: []string{"ccnvm", "osiris"}, Workloads: []string{"hot"},
+			Attacks: []string{"none"}, Seeds: 2, Ops: 160, CrashPts: 1,
+			FaultSeeds: 4,
+		},
 	}
 	for mode, opts := range modes {
 		mode, opts := mode, opts
@@ -137,7 +193,7 @@ func TestBrokenRecoveryCaught(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sum := RunMatrix(r, EnumerateCells(opts), 0, nil)
+			sum := RunMatrix(context.Background(), r, EnumerateCells(opts), 0, nil)
 			if !sum.Failed() {
 				t.Fatalf("broken mode %q slipped past every oracle over %d cells", mode, sum.Cells)
 			}
