@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race fuzz-short vuln torture torture-faults torture-long ci bench profile clean
+.PHONY: all tier1 vet race fuzz-short vuln lint-designs torture torture-faults torture-long ci bench profile clean
 
 all: tier1
 
@@ -40,6 +40,25 @@ vuln:
 		echo "vuln: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
+# lint-designs enforces the design registry: no quoted design names and
+# no switches on a .Design field outside internal/design (tests may
+# spell names out — that is what pins the registry). A line that is just
+# the root-package import `"ccnvm"` is excluded; it is an import path,
+# not a design name.
+lint-designs:
+	@bad=$$(grep -rn -E '"(wocc|sc|osiris|ccnvm|ccnvm-wods|ccnvm-ext|arsenal)"' \
+		--include='*.go' . \
+		| grep -v '_test\.go' | grep -v '^\./internal/design/' \
+		| grep -v -E ':[[:space:]]*(_ )?"ccnvm"$$'); \
+	sw=$$(grep -rn -E 'switch[^{]*\.Design\b' --include='*.go' . \
+		| grep -v '_test\.go' | grep -v '^\./internal/design/'); \
+	if [ -n "$$bad$$sw" ]; then \
+		echo "lint-designs: design names must come from the internal/design registry:"; \
+		printf '%s\n%s\n' "$$bad" "$$sw" | sed '/^$$/d; s/^/  /'; \
+		exit 1; \
+	fi; \
+	echo "lint-designs: ok"
+
 # torture runs the full differential crash/attack matrix via the CLI;
 # torture-faults adds the media-fault cells (torn writes, partial ADR
 # drains, weak and stuck lines) on top of the clean-crash matrix;
@@ -54,7 +73,7 @@ torture-long:
 	$(GO) test ./internal/torture/ -torture.long -timeout 30m -v
 
 # ci is what a merge must pass.
-ci: tier1 vet race fuzz-short vuln
+ci: tier1 vet lint-designs race fuzz-short vuln
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

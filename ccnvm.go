@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"ccnvm/internal/attack"
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/experiments"
 	"ccnvm/internal/mem"
@@ -37,6 +38,20 @@ import (
 	"ccnvm/internal/recovery"
 	"ccnvm/internal/sim"
 	"ccnvm/internal/trace"
+)
+
+// Design names accepted by Config.Design, RunBenchmark and the Run*
+// evaluation helpers. The canonical list lives in the internal design
+// registry; these constants re-export it so callers never spell a
+// design name as a raw string.
+const (
+	DesignWoCC      = design.WoCC      // secure NVM without crash consistency (the baseline)
+	DesignSC        = design.SC        // strict consistency
+	DesignOsiris    = design.Osiris    // Osiris Plus
+	DesignCCNVMWoDS = design.CCNVMWoDS // cc-NVM without deferred spreading
+	DesignCCNVM     = design.CCNVM     // cc-NVM (the paper's design)
+	DesignCCNVMExt  = design.CCNVMExt  // §4.4 extension with per-line update registers
+	DesignArsenal   = design.Arsenal   // related-work compression baseline
 )
 
 // Core simulation types.
@@ -98,17 +113,18 @@ const (
 	Store = trace.Store
 )
 
-// Designs returns the five evaluated designs in the paper's order:
-// "wocc", "sc", "osiris", "ccnvm-wods", "ccnvm".
+// Designs returns the five evaluated designs in the paper's order,
+// DesignWoCC through DesignCCNVM.
 func Designs() []string { return sim.Designs() }
 
-// AllDesigns additionally includes "ccnvm-ext", the paper's §4.4
+// AllDesigns additionally includes DesignCCNVMExt — the paper's §4.4
 // future-work extension: persistent per-line update registers that let
-// recovery localize even the deferred-spreading replay window.
+// recovery localize even the deferred-spreading replay window — and the
+// DesignArsenal compression baseline.
 func AllDesigns() []string { return sim.AllDesigns() }
 
-// DesignLabel maps a design name to the paper's label (e.g. "ccnvm" ->
-// "cc-NVM").
+// DesignLabel maps a design name to the paper's label (e.g. DesignCCNVM
+// renders as cc-NVM).
 func DesignLabel(d string) string { return sim.DesignLabel(d) }
 
 // Benchmarks returns the eight SPEC CPU2006 stand-in workloads in the

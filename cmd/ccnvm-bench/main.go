@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/experiments"
 )
@@ -204,7 +205,7 @@ func cellOps(f *experiments.Fig5, o experiments.Options) int64 {
 	designs := len(f.Designs)
 	hasBase := false
 	for _, d := range f.Designs {
-		if d == "wocc" {
+		if d == design.BaselineName() {
 			hasBase = true
 		}
 	}

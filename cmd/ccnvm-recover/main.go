@@ -20,12 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ccnvm"
 )
 
 func main() {
-	design := flag.String("design", "ccnvm", "design: wocc, sc, osiris, ccnvm-wods, ccnvm, ccnvm-ext")
+	design := flag.String("design", ccnvm.DesignCCNVM, "design: "+strings.Join(ccnvm.AllDesigns(), ", "))
 	kind := flag.String("attack", "none", "attack: none, spoof, splice, replay, tree")
 	bench := flag.String("benchmark", "gcc", "workload")
 	ops := flag.Int("ops", 30000, "memory operations before the crash")

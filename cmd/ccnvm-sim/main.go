@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/report"
@@ -32,7 +33,8 @@ import (
 )
 
 func main() {
-	design := flag.String("design", "ccnvm", "design (wocc, sc, osiris, ccnvm-wods, ccnvm, ccnvm-ext), a comma-separated list, or \"all\"")
+	designFlag := flag.String("design", design.CCNVM,
+		"design ("+strings.Join(design.Names(), ", ")+"), a comma-separated list, or \"all\" for the paper's five")
 	bench := flag.String("benchmark", "gcc", "workload: one of the eight SPEC stand-ins")
 	ops := flag.Int("ops", 300000, "memory operations")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -67,9 +69,9 @@ func main() {
 			StuckLines:   *faultStuck,
 		}
 	}
-	designs := parseDesigns(*design)
-	if len(designs) == 0 {
-		fatal(fmt.Errorf("-design %q names no designs", *design))
+	designs, err := parseDesigns(*designFlag)
+	if err != nil {
+		fatal(err)
 	}
 
 	// A recorded trace is parsed once and replayed read-only by every
@@ -146,18 +148,27 @@ func main() {
 }
 
 // parseDesigns expands the -design flag: a single name, a
-// comma-separated list, or "all" for the paper's five designs.
-func parseDesigns(s string) []string {
+// comma-separated list, or "all" for the paper's five designs. Every
+// name is validated against the design registry up front, so a typo
+// fails fast with the registered names instead of a late engine error.
+func parseDesigns(s string) ([]string, error) {
 	if s == "all" {
-		return sim.Designs()
+		return sim.Designs(), nil
 	}
 	var out []string
 	for _, d := range strings.Split(s, ",") {
-		if d = strings.TrimSpace(d); d != "" {
-			out = append(out, d)
+		if d = strings.TrimSpace(d); d == "" {
+			continue
 		}
+		if _, ok := design.Lookup(d); !ok {
+			return nil, design.UnknownError(d)
+		}
+		out = append(out, d)
 	}
-	return out
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-design %q names no designs", s)
+	}
+	return out, nil
 }
 
 // parseTraceFile loads a recorded trace from disk.

@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"ccnvm/internal/design"
 	"ccnvm/internal/torture"
 )
 
@@ -78,8 +79,16 @@ func main() {
 		return
 	}
 
+	designList := splitList(*designs, torture.DesignNames(), map[string][]string{"all": torture.DesignNames(), "paper": torture.PaperDesigns()})
+	// Fail fast on a typo'd design name before any cell is enumerated,
+	// listing the registered names instead of silently running nothing.
+	for _, d := range designList {
+		if _, ok := design.Lookup(d); !ok {
+			fatal(design.UnknownError(d))
+		}
+	}
 	opts := torture.MatrixOpts{
-		Designs:    splitList(*designs, torture.DesignNames(), map[string][]string{"all": torture.DesignNames(), "paper": torture.PaperDesigns()}),
+		Designs:    designList,
 		Workloads:  splitList(*workloads, nil, nil),
 		Attacks:    splitList(*attacks, nil, nil),
 		Seeds:      *seeds,

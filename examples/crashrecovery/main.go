@@ -51,7 +51,7 @@ func kvTrace(n int, seed int64) []ccnvm.Op {
 
 func main() {
 	fmt.Println("=== scenario 1: clean crash, full recovery ===")
-	m := machine("ccnvm")
+	m := machine(ccnvm.DesignCCNVM)
 	img := crash(m, 12000)
 	rep := ccnvm.Recover(img)
 	fmt.Printf("recovered %d stalled blocks (Nretry=%d == Nwb=%d), clean=%v\n",
@@ -60,7 +60,7 @@ func main() {
 	fmt.Println("-> tree rebuilt; the KV store reopens with every committed record intact")
 
 	fmt.Println("\n=== scenario 2: spoofed record after the crash ===")
-	m = machine("ccnvm")
+	m = machine(ccnvm.DesignCCNVM)
 	img = crash(m, 12000)
 	victim := firstData(img)
 	must(ccnvm.SpoofData(img, victim))
@@ -70,7 +70,7 @@ func main() {
 		uint64(victim), img.Image.Store.Len()-1)
 
 	fmt.Println("\n=== scenario 3: spliced records ===")
-	m = machine("ccnvm")
+	m = machine(ccnvm.DesignCCNVM)
 	img = crash(m, 12000)
 	a, b := firstData(img), lastData(img)
 	must(ccnvm.SpliceData(img, a, b))
@@ -79,7 +79,7 @@ func main() {
 		len(rep.Tampered), uint64(a), uint64(b))
 
 	fmt.Println("\n=== scenario 4: replayed counter line (the 'normal' replay) ===")
-	m = machine("ccnvm")
+	m = machine(ccnvm.DesignCCNVM)
 	// Snapshot an early persistent state as the adversary's stash.
 	m.Run("kv", kvTrace(6000, 7))
 	old := m.Snapshot()
@@ -90,7 +90,7 @@ func main() {
 	fmt.Printf("step 1 located %d tree mismatch(es): %v\n", len(rep.TreeMismatches), rep.Located())
 
 	fmt.Println("\n=== scenario 5: Figure 4's data replay inside the DS window ===")
-	for _, design := range []string{"ccnvm", "osiris"} {
+	for _, design := range []string{ccnvm.DesignCCNVM, ccnvm.DesignOsiris} {
 		m = machine(design)
 		m.Run("kv", kvTrace(8000, 7))
 		hot := ccnvm.Addr(512 << 20) // a record far from the table
@@ -102,7 +102,7 @@ func main() {
 		rep = ccnvm.Recover(img)
 		fmt.Printf("%-12s detected=%v located=%v dataDropped=%v",
 			ccnvm.DesignLabel(design), !rep.Clean(), rep.Located(), rep.DataDropped())
-		if design == "ccnvm" {
+		if design == ccnvm.DesignCCNVM {
 			fmt.Printf("  (Nwb=%d vs Nretry=%d)", rep.Nwb, rep.Nretry)
 		}
 		fmt.Println()
@@ -111,7 +111,7 @@ func main() {
 	fmt.Println("   bounds this window to the dirty address queue (<=42 counters, 0.01% of NVM)")
 
 	fmt.Println("\n=== scenario 5b: the same replay against the §4.4 extension ===")
-	m = machine("ccnvm-ext")
+	m = machine(ccnvm.DesignCCNVMExt)
 	m.Run("kv", kvTrace(8000, 7))
 	hotExt := ccnvm.Addr(512 << 20)
 	m.Run("kv", writeBackTail(hotExt, 1))
@@ -124,7 +124,7 @@ func main() {
 	fmt.Println("-> the extra persistent registers pin the replay to one page: only it is dropped")
 
 	fmt.Println("\n=== scenario 6: the same crash without crash consistency ===")
-	m = machine("wocc")
+	m = machine(ccnvm.DesignWoCC)
 	// A hot record updated dozens of times: without consistency the NVM
 	// counter lags far beyond any recovery bound.
 	hot := ccnvm.Addr(0)

@@ -16,7 +16,7 @@ func main() {
 	// A machine with the paper's configuration: 16 GiB PCM behind a
 	// 3 GHz core, 32 KB L1 / 256 KB L2, a 128 KB metadata cache, N=16
 	// update-limit and a 64-entry dirty address queue.
-	m, err := ccnvm.NewMachine(ccnvm.Config{Design: "ccnvm"})
+	m, err := ccnvm.NewMachine(ccnvm.Config{Design: ccnvm.DesignCCNVM})
 	if err != nil {
 		log.Fatal(err)
 	}

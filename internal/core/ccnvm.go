@@ -1,6 +1,7 @@
 package core
 
 import (
+	"ccnvm/internal/design/names"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
@@ -115,11 +116,11 @@ func newCCNVM(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, me
 func (c *CCNVM) Name() string {
 	switch {
 	case c.extRegs:
-		return "ccnvm-ext"
+		return names.CCNVMExt
 	case c.deferred:
-		return "ccnvm"
+		return names.CCNVM
 	default:
-		return "ccnvm-wods"
+		return names.CCNVMWoDS
 	}
 }
 

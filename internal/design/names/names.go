@@ -1,0 +1,20 @@
+// Package names holds the canonical design-name constants. It is a
+// leaf package (no imports) so that the engine implementations can name
+// themselves and the design registry can key its descriptors without an
+// import cycle: engine/core import names; internal/design imports
+// engine and core. Everything else should go through internal/design —
+// these constants exist so design-name string literals never appear
+// outside the internal/design tree (enforced by `make lint-designs`).
+package names
+
+// The seven registered designs, in the paper's order followed by the
+// extensions.
+const (
+	WoCC      = "wocc"       // secure NVM without crash consistency (baseline)
+	SC        = "sc"         // strict consistency
+	Osiris    = "osiris"     // Osiris Plus
+	CCNVMWoDS = "ccnvm-wods" // cc-NVM without deferred spreading
+	CCNVM     = "ccnvm"      // cc-NVM (the paper's contribution)
+	CCNVMExt  = "ccnvm-ext"  // §4.4 extension: per-line update registers
+	Arsenal   = "arsenal"    // related-work compression baseline
+)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"ccnvm/internal/compress"
+	"ccnvm/internal/design/names"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
 	"ccnvm/internal/metacache"
@@ -65,7 +66,7 @@ func NewArsenal(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, 
 }
 
 // Name implements Engine.
-func (a *Arsenal) Name() string { return "arsenal" }
+func (a *Arsenal) Name() string { return names.Arsenal }
 
 // CompressionRatio reports the fraction of write-backs that fit inline.
 func (a *Arsenal) CompressionRatio() float64 {

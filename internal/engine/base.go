@@ -593,6 +593,11 @@ func (b *Base) ApplyCrashVolatility() {
 	b.hmacFree, b.aesFree = 0, 0
 }
 
+// RestoreTCB installs recovered TCB register state, as a reboot after
+// successful recovery would. Exposed on Base so reboot harnesses work
+// uniformly across designs without knowing the concrete engine type.
+func (b *Base) RestoreTCB(t TCB) { b.TCB = t }
+
 // NVMSnapshot captures the current NVM contents non-destructively: the
 // adversary's view of the DIMM at this instant. Unlike Crash it leaves
 // the engine fully operational.

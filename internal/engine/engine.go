@@ -27,8 +27,9 @@ import (
 // dirty LLC evictions; both return completion/acceptance timestamps in
 // core cycles.
 type Engine interface {
-	// Name identifies the design ("wocc", "sc", "osiris", "ccnvm-wods",
-	// "ccnvm").
+	// Name identifies the design; implementations return their
+	// internal/design/names constant so registry keys and crash images
+	// agree.
 	Name() string
 
 	// ReadBlock fetches, decrypts and authenticates the data block at

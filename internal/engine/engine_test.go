@@ -6,6 +6,7 @@ import (
 
 	"ccnvm/internal/bmt"
 	"ccnvm/internal/core"
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
@@ -22,29 +23,20 @@ func rig(t testing.TB, design string, p engine.Params) engine.Engine {
 	return rigMeta(t, design, p, metacache.Config{})
 }
 
-func rigMeta(t testing.TB, design string, p engine.Params, mc metacache.Config) engine.Engine {
+func rigMeta(t testing.TB, name string, p engine.Params, mc metacache.Config) engine.Engine {
 	t.Helper()
 	lay := mem.MustLayout(capacity)
 	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
 	ctrl := memctrl.New(memctrl.Config{}, dev)
 	keys := seccrypto.DefaultKeys()
-	switch design {
-	case "wocc":
-		return engine.NewWoCC(lay, keys, ctrl, mc, p)
-	case "sc":
-		return engine.NewSC(lay, keys, ctrl, mc, p)
-	case "osiris":
-		return engine.NewOsiris(lay, keys, ctrl, mc, p)
-	case "ccnvm":
-		return core.NewCCNVM(lay, keys, ctrl, mc, p)
-	case "ccnvm-wods":
-		return core.NewCCNVMWoDS(lay, keys, ctrl, mc, p)
+	d, ok := design.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown design %q", name)
 	}
-	t.Fatalf("unknown design %q", design)
-	return nil
+	return d.New(lay, keys, ctrl, mc, p)
 }
 
-var allDesigns = []string{"wocc", "sc", "osiris", "ccnvm-wods", "ccnvm"}
+var allDesigns = design.PaperNames()
 
 func pattern(addr mem.Addr, v byte) mem.Line {
 	var l mem.Line

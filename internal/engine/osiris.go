@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"ccnvm/internal/design/names"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
 	"ccnvm/internal/metacache"
@@ -43,7 +44,7 @@ func NewOsiris(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, m
 }
 
 // Name implements Engine.
-func (o *Osiris) Name() string { return "osiris" }
+func (o *Osiris) Name() string { return names.Osiris }
 
 // truth returns the newest content of counter line ca: the shadow entry
 // if the line ever ran ahead of NVM, otherwise the persistent copy.

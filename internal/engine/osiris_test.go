@@ -3,7 +3,7 @@ package engine_test
 import (
 	"testing"
 
-	"ccnvm/internal/core"
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
@@ -24,23 +24,16 @@ func rigDev(t testing.TB, design string, p engine.Params) (engine.Engine, *nvm.D
 
 // engineOn builds an engine over an existing device (fresh or restored
 // from a crash image).
-func engineOn(t testing.TB, design string, dev *nvm.Device, p engine.Params) engine.Engine {
+func engineOn(t testing.TB, name string, dev *nvm.Device, p engine.Params) engine.Engine {
 	t.Helper()
 	ctrl := memctrl.New(memctrl.Config{}, dev)
 	keys := seccrypto.DefaultKeys()
 	lay := dev.Layout()
-	switch design {
-	case "wocc":
-		return engine.NewWoCC(lay, keys, ctrl, metacache.Config{}, p)
-	case "sc":
-		return engine.NewSC(lay, keys, ctrl, metacache.Config{}, p)
-	case "osiris":
-		return engine.NewOsiris(lay, keys, ctrl, metacache.Config{}, p)
-	case "ccnvm":
-		return core.NewCCNVM(lay, keys, ctrl, metacache.Config{}, p)
+	d, ok := design.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown design %q", name)
 	}
-	t.Fatalf("unknown design %q", design)
-	return nil
+	return d.New(lay, keys, ctrl, metacache.Config{}, p)
 }
 
 // reboot restores the (recovered) crash image onto a fresh device,
@@ -51,16 +44,7 @@ func reboot(t testing.TB, design string, img *engine.CrashImage, rec recovery.Re
 	dev := nvm.NewDevice(img.Image.Layout, nvm.PCMTiming(3))
 	dev.Restore(img.Image)
 	e := engineOn(t, design, dev, p)
-	switch e := e.(type) {
-	case *engine.WoCC:
-		e.TCB = rec.TCB
-	case *engine.SC:
-		e.TCB = rec.TCB
-	case *engine.Osiris:
-		e.TCB = rec.TCB
-	default:
-		t.Fatalf("reboot: unhandled design %q", design)
-	}
+	e.(interface{ RestoreTCB(engine.TCB) }).RestoreTCB(rec.TCB)
 	return e
 }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"ccnvm/internal/design/names"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
 	"ccnvm/internal/metacache"
@@ -30,7 +31,7 @@ func NewSC(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, metaC
 }
 
 // Name implements Engine.
-func (s *SC) Name() string { return "sc" }
+func (s *SC) Name() string { return names.SC }
 
 // ReadBlock implements Engine via the shared path.
 func (s *SC) ReadBlock(now int64, addr mem.Addr) (mem.Line, int64) {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"ccnvm/internal/design/names"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
 	"ccnvm/internal/metacache"
@@ -32,7 +33,7 @@ func NewWoCC(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, met
 }
 
 // Name implements Engine.
-func (w *WoCC) Name() string { return "wocc" }
+func (w *WoCC) Name() string { return names.WoCC }
 
 // ReadBlock implements Engine via the shared path, then settles any
 // dirty metadata the fetch displaced.

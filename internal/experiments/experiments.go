@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/report"
 	"ccnvm/internal/sim"
@@ -103,21 +104,22 @@ func RunFig5(o Options) (*Fig5, error) {
 		AvgNormIPC:   map[string]float64{},
 		AvgNormWrite: map[string]float64{},
 	}
+	baseline := design.BaselineName()
 	designs := o.Designs
 	hasBase := false
 	for _, d := range designs {
-		if d == "wocc" {
+		if d == baseline {
 			hasBase = true
 		}
 	}
 	if !hasBase {
-		designs = append([]string{"wocc"}, designs...)
+		designs = append([]string{baseline}, designs...)
 	}
 	matrix, err := runMatrix(o, designs, o.Benchmarks)
 	if err != nil {
 		return nil, err
 	}
-	base := matrix["wocc"]
+	base := matrix[baseline]
 	for _, d := range o.Designs {
 		f.Cells[d] = map[string]Cell{}
 		var ipcs, writes []float64
@@ -260,17 +262,17 @@ type Headline struct {
 // Headline derives the summary deltas.
 func (f *Fig5) Headline() Headline {
 	h := Headline{}
-	if v, ok := f.AvgNormIPC["sc"]; ok {
+	if v, ok := f.AvgNormIPC[design.SC]; ok {
 		h.SCIPCDrop = 1 - v
 	}
-	if v, ok := f.AvgNormWrite["sc"]; ok {
+	if v, ok := f.AvgNormWrite[design.SC]; ok {
 		h.SCWriteFactor = v
 	}
-	cc, os := f.AvgNormIPC["ccnvm"], f.AvgNormIPC["osiris"]
+	cc, os := f.AvgNormIPC[design.CCNVM], f.AvgNormIPC[design.Osiris]
 	if os > 0 {
 		h.CCNVMvsOsirisUp = cc/os - 1
 	}
-	ccw, osw := f.AvgNormWrite["ccnvm"], f.AvgNormWrite["osiris"]
+	ccw, osw := f.AvgNormWrite[design.CCNVM], f.AvgNormWrite[design.Osiris]
 	if osw > 0 {
 		h.CCNVMExtraWr = ccw/osw - 1
 	}
@@ -331,7 +333,7 @@ func RunLifetime(o Options, benchmark string) (*Lifetime, error) {
 		r := matrix[d][benchmark]
 		l.Writes[d] = r.NVMWrites.Total()
 		l.MaxWear[d] = r.MaxWear
-		if d == "wocc" {
+		if d == design.BaselineName() {
 			baseWear = r.MaxWear
 		}
 	}
@@ -377,7 +379,7 @@ func RunFig6a(o Options, ns []uint64) (*Fig6, error) {
 	if len(ns) == 0 {
 		ns = []uint64{4, 8, 16, 32, 64}
 	}
-	designs := []string{"osiris", "ccnvm-wods", "ccnvm"}
+	designs := []string{design.Osiris, design.CCNVMWoDS, design.CCNVM}
 	f := &Fig6{Title: "Fig 6(a) update-times limit N", Designs: designs, Points: map[string][]SweepPoint{}}
 	for _, n := range ns {
 		oo := o
@@ -396,7 +398,7 @@ func RunFig6b(o Options, ms []int) (*Fig6, error) {
 	if len(ms) == 0 {
 		ms = []int{32, 40, 48, 56, 64}
 	}
-	designs := []string{"osiris", "ccnvm-wods", "ccnvm"}
+	designs := []string{design.Osiris, design.CCNVMWoDS, design.CCNVM}
 	f := &Fig6{Title: "Fig 6(b) dirty address queue entries M", Designs: designs, Points: map[string][]SweepPoint{}}
 	for _, m := range ms {
 		oo := o
@@ -413,11 +415,12 @@ func RunFig6b(o Options, ms []int) (*Fig6, error) {
 // (baseline + designs) × benchmarks block goes through runMatrix so
 // one sweep point saturates the worker pool.
 func sweepPoint(f *Fig6, o Options, param uint64, designs []string) error {
-	matrix, err := runMatrix(o, append([]string{"wocc"}, designs...), o.Benchmarks)
+	baseline := design.BaselineName()
+	matrix, err := runMatrix(o, append([]string{baseline}, designs...), o.Benchmarks)
 	if err != nil {
 		return err
 	}
-	base := matrix["wocc"]
+	base := matrix[baseline]
 	for _, d := range designs {
 		var ipcs, wrs []float64
 		for _, b := range o.Benchmarks {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ccnvm/internal/attack"
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/recovery"
@@ -65,7 +66,7 @@ type RecoveryMatrix struct {
 // blocks keep their counters inline).
 func RunRecoveryMatrix(designs []string) (*RecoveryMatrix, error) {
 	if len(designs) == 0 {
-		designs = append(sim.Designs(), "ccnvm-ext")
+		designs = append(sim.Designs(), design.CCNVMExt)
 	}
 	m := &RecoveryMatrix{
 		Designs:  designs,

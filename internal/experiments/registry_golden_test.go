@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRegistryFig5Golden pins a real (small) Figure 5 sweep bit-for-bit
+// across the design-dispatch refactor: the whole path — registry-built
+// engines, the simulated machines, normalization against the w/o-CC
+// baseline, CSV rendering — must reproduce the golden generated before
+// the registry existed. Regenerate (only after an intentional behaviour
+// change) with
+//
+//	go test ./internal/experiments/ -run TestRegistryFig5Golden -update
+func TestRegistryFig5Golden(t *testing.T) {
+	o := Options{Ops: 60000, Benchmarks: []string{"gcc", "lbm"}}
+	f, err := RunFig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig5.registry.golden.csv", buf.Bytes())
+}

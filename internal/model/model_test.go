@@ -4,7 +4,7 @@ import (
 	"math"
 	"testing"
 
-	"ccnvm/internal/core"
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
@@ -44,25 +44,18 @@ func TestPaperArithmetic(t *testing.T) {
 }
 
 // device builds an engine over the paper-sized layout.
-func build(t *testing.T, design string, n uint64) (engine.Engine, *nvm.Device) {
+func build(t *testing.T, name string, n uint64) (engine.Engine, *nvm.Device) {
 	t.Helper()
 	lay := mem.MustLayout(capacity)
 	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
 	ctrl := memctrl.New(memctrl.Config{}, dev)
 	keys := seccrypto.DefaultKeys()
 	p := engine.Params{UpdateLimit: n}
-	switch design {
-	case "wocc":
-		return engine.NewWoCC(lay, keys, ctrl, metacache.Config{}, p), dev
-	case "sc":
-		return engine.NewSC(lay, keys, ctrl, metacache.Config{}, p), dev
-	case "osiris":
-		return engine.NewOsiris(lay, keys, ctrl, metacache.Config{}, p), dev
-	case "ccnvm":
-		return core.NewCCNVM(lay, keys, ctrl, metacache.Config{}, p), dev
+	d, ok := design.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown design %q", name)
 	}
-	t.Fatal("unknown design")
-	return nil, nil
+	return d.New(lay, keys, ctrl, metacache.Config{}, p), dev
 }
 
 // run issues write-backs over a block cycle and returns the measured

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"ccnvm/internal/bmt"
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/nvm"
@@ -88,8 +89,9 @@ type Report struct {
 	// ReplayedPages lists the 4 KiB pages whose recorded per-line update
 	// count disagrees with the recovered retries — the §4.4 extension's
 	// page-granular location of data-replay attacks inside the
-	// deferred-spreading window. Only the "ccnvm-ext" design produces
-	// entries; plain cc-NVM can only set PotentialReplay.
+	// deferred-spreading window. Only designs with per-line replay
+	// registers (cc-NVM+Ext) produce entries; plain cc-NVM can only set
+	// PotentialReplay.
 	ReplayedPages []mem.Addr
 
 	// RecoveredBlocks counts data blocks whose counters were advanced;
@@ -165,24 +167,33 @@ type Recovered struct {
 	TCB engine.TCB
 }
 
-// Recover runs the four-step process on a crash image.
+// Recover dispatches a crash image to the recovery procedure its
+// design's registry descriptor declares. Images of unregistered designs
+// get the conservative generic procedure (design.ForImage).
 func Recover(img *engine.CrashImage) *Report {
-	if img.Design == "arsenal" {
-		return recoverArsenalImage(img)
+	d := design.ForImage(img.Design)
+	if d.Strategy == design.RecoverInlinePacked {
+		return recoverInlinePackedImage(img)
 	}
+	return recoverGenericImage(img, d)
+}
+
+// recoverGenericImage runs the four-step counter-retry process, with
+// steps 1 and 3 shaped by the design's declared capabilities.
+func recoverGenericImage(img *engine.CrashImage, d design.Descriptor) *Report {
 	r := &Report{Design: img.Design, Nwb: img.TCB.Nwb}
 	cry := seccrypto.MustEngine(img.Keys)
 	lay := img.Image.Layout
 	tree := bmt.New(lay, cry)
 	sus := suspectSet(img)
 
-	// Step 1: locate replay attacks via the consistent NVM tree. Osiris
-	// does not persist its tree, so there is nothing to check. Under a
-	// fault model, mismatches covered by the suspects manifest (the torn
-	// line itself, or a child whose torn parent stores a stale link) are
-	// crash damage: the step-4 rebuild heals them, and only the
+	// Step 1: locate replay attacks via the consistent NVM tree. Designs
+	// that do not persist their tree (Osiris) have nothing to check.
+	// Under a fault model, mismatches covered by the suspects manifest
+	// (the torn line itself, or a child whose torn parent stores a stale
+	// link) are crash damage: the step-4 rebuild heals them, and only the
 	// unexplained remainder is reported as an attack.
-	if img.Design != "osiris" {
+	if d.Caps.TreePersisted {
 		addrs := img.Image.Store.Addrs()
 		rd := imageReader{img.Image}
 		if bad := tree.VerifyAll(rd, img.TCB.RootOld, addrs); len(bad) == 0 {
@@ -231,8 +242,8 @@ func Recover(img *engine.CrashImage) *Report {
 	// when steps 1-2 located nothing: a located spoof/splice already
 	// accounts for missing retries (its true retry count is unknowable).
 	stepsClean := len(r.TreeMismatches) == 0 && len(r.Tampered) == 0
-	switch img.Design {
-	case "ccnvm":
+	switch d.Caps.Replay {
+	case design.ReplayNwbWindow:
 		if r.Nretry != r.Nwb && stepsClean {
 			switch {
 			case !faultEscape:
@@ -251,7 +262,7 @@ func Recover(img *engine.CrashImage) *Report {
 				r.PotentialReplay = true
 			}
 		}
-	case "ccnvm-ext":
+	case design.ReplayPerLinePage:
 		// The extension compares each recorded per-line update count
 		// against the line's recovered retries: a disagreeing line pins
 		// the replay to its page — unless the page's lines are in the
@@ -288,13 +299,12 @@ func Recover(img *engine.CrashImage) *Report {
 	_, rebuilt := tree.Rebuild(overlay, counterAddrs)
 	r.RebuiltRoot = rebuilt
 
-	// Root-per-write-back designs validate the rebuilt root against
-	// ROOTnew: a mismatch proves an attack that cannot be located — or,
-	// with media-damage evidence, acknowledged writes lost to the crash
-	// (these designs cannot tell the two apart; that inability is the
-	// paper's argument for cc-NVM's located mechanisms).
-	switch img.Design {
-	case "osiris", "ccnvm-wods", "sc":
+	// Root-compare designs validate the rebuilt root against ROOTnew: a
+	// mismatch proves an attack that cannot be located — or, with
+	// media-damage evidence, acknowledged writes lost to the crash (these
+	// designs cannot tell the two apart; that inability is the paper's
+	// argument for cc-NVM's located mechanisms).
+	if d.Caps.Replay == design.ReplayRootCompare {
 		if rebuilt != img.TCB.RootNew && stepsClean {
 			if faultEscape {
 				r.CrashLossWindow = true
@@ -653,14 +663,14 @@ func encodeLines(m map[mem.Addr]seccrypto.CounterLine) map[mem.Addr]mem.Line {
 
 var _ bmt.Reader = overlayReader{}
 
-// recoverArsenalImage handles the compression-based baseline: counters
-// and HMACs live inline in packed lines (raw-fallback blocks use the
-// conventional regions, written synchronously), so recovery needs no
-// retries at all. Spoofing/splicing breaks the inline HMAC and is
-// located; a whole-line replay is internally consistent, so it is
+// recoverInlinePackedImage handles the compression-based baseline:
+// counters and HMACs live inline in packed lines (raw-fallback blocks
+// use the conventional regions, written synchronously), so recovery
+// needs no retries at all. Spoofing/splicing breaks the inline HMAC and
+// is located; a whole-line replay is internally consistent, so it is
 // detected only by rebuilding the tree from the recovered counters and
 // comparing against ROOTnew — like Osiris, detect-only.
-func recoverArsenalImage(img *engine.CrashImage) *Report {
+func recoverInlinePackedImage(img *engine.CrashImage) *Report {
 	r := &Report{Design: img.Design}
 	cry := seccrypto.MustEngine(img.Keys)
 	lay := img.Image.Layout

@@ -6,6 +6,7 @@ import (
 
 	"ccnvm/internal/attack"
 	"ccnvm/internal/core"
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
@@ -18,28 +19,17 @@ import (
 
 const capacity = 1 << 30
 
-func build(t testing.TB, design string, p engine.Params) engine.Engine {
+func build(t testing.TB, name string, p engine.Params) engine.Engine {
 	t.Helper()
 	lay := mem.MustLayout(capacity)
 	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
 	ctrl := memctrl.New(memctrl.Config{}, dev)
 	keys := seccrypto.DefaultKeys()
-	switch design {
-	case "wocc":
-		return engine.NewWoCC(lay, keys, ctrl, metacache.Config{}, p)
-	case "sc":
-		return engine.NewSC(lay, keys, ctrl, metacache.Config{}, p)
-	case "osiris":
-		return engine.NewOsiris(lay, keys, ctrl, metacache.Config{}, p)
-	case "ccnvm":
-		return core.NewCCNVM(lay, keys, ctrl, metacache.Config{}, p)
-	case "ccnvm-wods":
-		return core.NewCCNVMWoDS(lay, keys, ctrl, metacache.Config{}, p)
-	case "ccnvm-ext":
-		return core.NewCCNVMExt(lay, keys, ctrl, metacache.Config{}, p)
+	d, ok := design.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown design %q", name)
 	}
-	t.Fatalf("unknown design %q", design)
-	return nil
+	return d.New(lay, keys, ctrl, metacache.Config{}, p)
 }
 
 // snapshotNVM captures persistent state without the destructive Crash.

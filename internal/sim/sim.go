@@ -13,6 +13,7 @@ import (
 
 	"ccnvm/internal/cache"
 	"ccnvm/internal/core"
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
@@ -22,40 +23,23 @@ import (
 	"ccnvm/internal/trace"
 )
 
-// Designs lists the five evaluated designs in the paper's order.
-func Designs() []string { return []string{"wocc", "sc", "osiris", "ccnvm-wods", "ccnvm"} }
+// Designs lists the five evaluated designs in the paper's order. Thin
+// wrapper over the design registry, kept so existing callers compile.
+func Designs() []string { return design.PaperNames() }
 
-// AllDesigns additionally includes the §4.4 extension ("ccnvm-ext")
-// and the related-work Arsenal baseline ("arsenal"), neither of which
-// is part of the paper's figures.
-func AllDesigns() []string { return append(Designs(), "ccnvm-ext", "arsenal") }
+// AllDesigns additionally includes the §4.4 extension and the
+// related-work Arsenal baseline, neither of which is part of the
+// paper's figures. Thin wrapper over the design registry.
+func AllDesigns() []string { return design.Names() }
 
-// DesignLabel maps a design name to the paper's label.
-func DesignLabel(d string) string {
-	switch d {
-	case "wocc":
-		return "w/o CC"
-	case "sc":
-		return "SC"
-	case "osiris":
-		return "Osiris Plus"
-	case "ccnvm-wods":
-		return "cc-NVM w/o DS"
-	case "ccnvm":
-		return "cc-NVM"
-	case "ccnvm-ext":
-		return "cc-NVM+Ext"
-	case "arsenal":
-		return "Arsenal"
-	default:
-		return d
-	}
-}
+// DesignLabel maps a design name to the paper's label. Thin wrapper
+// over the design registry.
+func DesignLabel(d string) string { return design.Label(d) }
 
 // Config describes one machine instance. Zero values select the paper's
 // configuration.
 type Config struct {
-	Design   string // "wocc", "sc", "osiris", "ccnvm-wods", "ccnvm"
+	Design   string // a design registered in internal/design (default cc-NVM)
 	Capacity uint64 // NVM data capacity (default 16 GiB)
 
 	L1Size, L1Ways int   // default 32 KiB, 2-way
@@ -87,7 +71,7 @@ type Config struct {
 
 func (c *Config) fill() error {
 	if c.Design == "" {
-		c.Design = "ccnvm"
+		c.Design = design.CCNVM
 	}
 	if c.Capacity == 0 {
 		c.Capacity = 16 << 30
@@ -120,14 +104,8 @@ func (c *Config) fill() error {
 		k := seccrypto.DefaultKeys()
 		c.Keys = &k
 	}
-	found := false
-	for _, d := range AllDesigns() {
-		if d == c.Design {
-			found = true
-		}
-	}
-	if !found {
-		return fmt.Errorf("sim: unknown design %q (known: %v)", c.Design, AllDesigns())
+	if _, ok := design.Lookup(c.Design); !ok {
+		return fmt.Errorf("sim: %w", design.UnknownError(c.Design))
 	}
 	return nil
 }
@@ -221,24 +199,12 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
-func buildEngine(design string, lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, mc metacache.Config, p engine.Params) (engine.Engine, error) {
-	switch design {
-	case "wocc":
-		return engine.NewWoCC(lay, keys, ctrl, mc, p), nil
-	case "sc":
-		return engine.NewSC(lay, keys, ctrl, mc, p), nil
-	case "osiris":
-		return engine.NewOsiris(lay, keys, ctrl, mc, p), nil
-	case "ccnvm":
-		return core.NewCCNVM(lay, keys, ctrl, mc, p), nil
-	case "ccnvm-wods":
-		return core.NewCCNVMWoDS(lay, keys, ctrl, mc, p), nil
-	case "ccnvm-ext":
-		return core.NewCCNVMExt(lay, keys, ctrl, mc, p), nil
-	case "arsenal":
-		return engine.NewArsenal(lay, keys, ctrl, mc, p), nil
+func buildEngine(name string, lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, mc metacache.Config, p engine.Params) (engine.Engine, error) {
+	d, ok := design.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: %w", design.UnknownError(name))
 	}
-	return nil, fmt.Errorf("sim: unknown design %q", design)
+	return d.New(lay, keys, ctrl, mc, p), nil
 }
 
 // Engine exposes the machine's security engine (for crash tests).

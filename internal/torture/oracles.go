@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"ccnvm/internal/bmt"
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
@@ -56,6 +57,19 @@ type Context struct {
 // Faulty reports whether the cell ran under a media-fault model.
 func (c *Context) Faulty() bool { return c.Cell.Faulty() }
 
+// caps resolves the cell's declared capability set from the design
+// registry; the oracles read expectations from it instead of matching on
+// design names. Cells are validated before running, so the lookup
+// cannot miss.
+func (c *Context) caps() design.Capabilities { return design.MustLookup(c.Cell.Design).Caps }
+
+// inlinePacked reports whether the cell's design recovers via the
+// inline-packed strategy (counters/HMACs inside packed data lines),
+// which the golden verification must inspect pre-Apply.
+func (c *Context) inlinePacked() bool {
+	return design.MustLookup(c.Cell.Design).Strategy == design.RecoverInlinePacked
+}
+
 // applyRecovery runs the runner's Apply seam once; oracles that inspect
 // post-recovery state share the applied image.
 func (c *Context) applyRecovery() {
@@ -67,16 +81,16 @@ func (c *Context) applyRecovery() {
 }
 
 // golden returns the divergences between the recovered image and the
-// reference machine, computing them once. Arsenal images are verified
-// functionally pre-Apply (their counters and HMACs live inline in packed
-// lines, which the generic Apply does not understand); every other
-// design is verified bit-for-bit after Apply.
+// reference machine, computing them once. Inline-packed images are
+// verified functionally pre-Apply (their counters and HMACs live inline
+// in packed lines, which the generic Apply does not understand); every
+// other design is verified bit-for-bit after Apply.
 func (c *Context) golden() []string {
 	if c.goldenRun {
 		return c.goldenDivs
 	}
 	c.goldenRun = true
-	if c.Cell.Design == "arsenal" {
+	if c.inlinePacked() {
 		c.goldenDivs = c.Ref.VerifyArsenalImage(c.Img)
 	} else {
 		c.applyRecovery()
@@ -183,7 +197,7 @@ func checkCleanRecovery(c *Context) string {
 	if c.attackInPlay() {
 		return "" // attack-caught owns attacked cells
 	}
-	if c.Cell.Design == "wocc" {
+	if c.caps().TamperOnCrash {
 		return "" // legitimately unrecoverable; golden-state still guards its clean cases
 	}
 	if !c.Rep.Clean() {
@@ -194,17 +208,17 @@ func checkCleanRecovery(c *Context) string {
 			len(c.Rep.TreeMismatches), len(c.Rep.Tampered), len(c.Rep.ReplayedPages),
 			c.Rep.PotentialReplay, c.Rep.Nwb, c.Rep.Nretry)
 	}
-	if !c.Faulty() && c.Cell.Design == "sc" && (c.Rep.Nretry != 0 || c.Rep.RecoveredBlocks != 0) {
-		return fmt.Sprintf("SC persists the full path per write-back yet recovery needed %d retries over %d blocks",
+	if !c.Faulty() && c.caps().ZeroRetryRecovery && (c.Rep.Nretry != 0 || c.Rep.RecoveredBlocks != 0) {
+		return fmt.Sprintf("design persists the full path per write-back yet recovery needed %d retries over %d blocks",
 			c.Rep.Nretry, c.Rep.RecoveredBlocks)
 	}
 	return ""
 }
 
 func checkAttackCaught(c *Context) string {
-	if !c.attackInPlay() || c.Cell.Design == "wocc" {
-		// w/o CC cannot distinguish an attack from its own staleness;
-		// attacked wocc cells assert nothing.
+	if !c.attackInPlay() || c.caps().TamperOnCrash {
+		// A tamper-on-crash design cannot distinguish an attack from its
+		// own staleness; its attacked cells assert nothing.
 		return ""
 	}
 	rep := c.Rep
@@ -244,7 +258,7 @@ func checkAttackCaught(c *Context) string {
 			}
 		}
 	case "counter-replay":
-		if treePersisting(c.Cell.Design) {
+		if c.caps().EpochAtomic {
 			want := c.Img.Image.Layout.CounterLineOf(c.Victims[0])
 			if !mismatchContains(rep, want) {
 				return fmt.Sprintf("replayed counter line %#x not located by the tree check (mismatches=%v)",
@@ -252,7 +266,7 @@ func checkAttackCaught(c *Context) string {
 			}
 		}
 	case "data-replay":
-		if c.Cell.Design == "ccnvm-ext" {
+		if c.caps().Replay == design.ReplayPerLinePage {
 			// The replayed HMAC line spans 8 neighbouring blocks, so the
 			// tamper evidence may land on a neighbour; §4.4 claims page
 			// granularity, and that is what the oracle demands.
@@ -269,7 +283,7 @@ func checkAttackCaught(c *Context) string {
 			}
 		}
 	case "tree-spoof":
-		if treePersisting(c.Cell.Design) && !mismatchContains(rep, c.Victims[0]) {
+		if c.caps().EpochAtomic && !mismatchContains(rep, c.Victims[0]) {
 			return fmt.Sprintf("spoofed tree node %#x not located (mismatches=%v)",
 				uint64(c.Victims[0]), rep.TreeMismatches)
 		}
@@ -278,7 +292,8 @@ func checkAttackCaught(c *Context) string {
 }
 
 func checkEpochAtomicity(c *Context) string {
-	if !treePersisting(c.Cell.Design) {
+	caps := c.caps()
+	if !caps.EpochAtomic {
 		return ""
 	}
 	if c.Faulty() {
@@ -297,15 +312,12 @@ func checkEpochAtomicity(c *Context) string {
 	if c.attackInPlay() {
 		return ""
 	}
-	switch c.Cell.Design {
-	case "sc":
+	if caps.ZeroRetryRecovery {
 		if rep.Nretry != 0 {
-			return fmt.Sprintf("SC crash image needed %d counter retries", rep.Nretry)
+			return fmt.Sprintf("zero-retry crash image needed %d counter retries", rep.Nretry)
 		}
-	default: // ccnvm, ccnvm-wods, ccnvm-ext
-		if rep.Nretry != rep.Nwb {
-			return fmt.Sprintf("replay-window bookkeeping broken on a clean crash: Nretry=%d Nwb=%d", rep.Nretry, rep.Nwb)
-		}
+	} else if rep.Nretry != rep.Nwb {
+		return fmt.Sprintf("replay-window bookkeeping broken on a clean crash: Nretry=%d Nwb=%d", rep.Nretry, rep.Nwb)
 	}
 	return ""
 }
@@ -320,7 +332,7 @@ func checkGoldenState(c *Context) string {
 	if !c.Rep.Clean() {
 		return "" // a flagged image is not claimed to be serviceable
 	}
-	if c.Cell.Design == "wocc" && c.attackInPlay() {
+	if c.caps().TamperOnCrash && c.attackInPlay() {
 		// w/o CC cannot detect replays (its motivating defect): a clean
 		// report over an attacked image asserts nothing there.
 		return ""
@@ -343,7 +355,7 @@ func (c *Context) goldenVersions() (stale []mem.Addr, divs []string) {
 	for _, tb := range c.Rep.Tampered {
 		excluded[tb.Addr] = true
 	}
-	if c.Cell.Design == "arsenal" {
+	if c.inlinePacked() {
 		return c.Ref.VerifyArsenalImageVersions(c.Img, excluded)
 	}
 	c.applyRecovery()
@@ -363,7 +375,7 @@ func checkTornWriteDetected(c *Context) string {
 	if len(divs) > 0 {
 		return "recovered image silently accepts content the trace never wrote: " + divs[0]
 	}
-	if len(stale) > 0 && rep.Lossless() && c.Cell.Design != "wocc" {
+	if len(stale) > 0 && rep.Lossless() && !c.caps().TamperOnCrash {
 		// Stale content is acceptable crash loss ONLY when the report
 		// says so; a lossless verdict over rewound blocks is silent
 		// acceptance. (w/o CC is exempt: unbounded staleness is its
@@ -395,7 +407,7 @@ func checkTornWriteDetected(c *Context) string {
 	// and the report already surfaces it as a media error. (Arsenal is
 	// verified functionally pre-Apply; the generic rebuild does not
 	// apply.)
-	if c.Cell.Design != "arsenal" && c.Recovered != nil {
+	if !c.inlinePacked() && c.Recovered != nil {
 		lay := c.Img.Image.Layout
 		tree := bmt.New(lay, seccrypto.MustEngine(c.Img.Keys))
 		stuck := c.Img.Image.Stuck

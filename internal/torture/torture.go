@@ -19,7 +19,7 @@ import (
 	"strconv"
 	"strings"
 
-	"ccnvm/internal/core"
+	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
@@ -33,15 +33,11 @@ import (
 const Capacity = 1 << 30
 
 // DesignNames lists every design the harness can torture, in the
-// paper's order followed by the extensions.
-func DesignNames() []string {
-	return []string{"wocc", "sc", "osiris", "ccnvm-wods", "ccnvm", "ccnvm-ext", "arsenal"}
-}
+// paper's order followed by the extensions (registry order).
+func DesignNames() []string { return design.Names() }
 
 // PaperDesigns lists the five designs of the paper's evaluation.
-func PaperDesigns() []string {
-	return []string{"wocc", "sc", "osiris", "ccnvm-wods", "ccnvm"}
-}
+func PaperDesigns() []string { return design.PaperNames() }
 
 // AttackNames lists the attack kinds a cell may inject; "none" is the
 // clean-crash control.
@@ -55,11 +51,11 @@ type Cell struct {
 	Design   string `json:"design"`
 	Workload string `json:"workload"`
 	Seed     int64  `json:"seed"`
-	Ops      int    `json:"ops"`      // trace length generated for the cell
-	CrashAt  int    `json:"crash"`    // power failure after this many ops
-	Attack   string `json:"attack"`   // one of AttackNames
-	N        uint64 `json:"n"`        // engine update limit (0 = paper default)
-	M        int    `json:"m"`        // dirty address queue entries (0 = default)
+	Ops      int    `json:"ops"`    // trace length generated for the cell
+	CrashAt  int    `json:"crash"`  // power failure after this many ops
+	Attack   string `json:"attack"` // one of AttackNames
+	N        uint64 `json:"n"`      // engine update limit (0 = paper default)
+	M        int    `json:"m"`      // dirty address queue entries (0 = default)
 
 	// Media-fault dimensions; all zero reproduces the idealized device
 	// bit-for-bit. FaultSeed drives every fault decision deterministically.
@@ -224,7 +220,7 @@ func ParseCell(spec string) (Cell, error) {
 // caches the harness does not need. A non-nil fault model arms the
 // device with deterministic media faults; the controller is returned so
 // the harness can drive scrubbing and read its fault statistics.
-func BuildEngine(design string, p engine.Params, fm *nvm.FaultModel) (engine.Engine, *memctrl.Controller, error) {
+func BuildEngine(name string, p engine.Params, fm *nvm.FaultModel) (engine.Engine, *memctrl.Controller, error) {
 	lay := mem.MustLayout(Capacity)
 	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
 	if fm != nil {
@@ -232,37 +228,11 @@ func BuildEngine(design string, p engine.Params, fm *nvm.FaultModel) (engine.Eng
 	}
 	ctrl := memctrl.New(memctrl.Config{}, dev)
 	keys := seccrypto.DefaultKeys()
-	var eng engine.Engine
-	switch design {
-	case "wocc":
-		eng = engine.NewWoCC(lay, keys, ctrl, metacache.Config{}, p)
-	case "sc":
-		eng = engine.NewSC(lay, keys, ctrl, metacache.Config{}, p)
-	case "osiris":
-		eng = engine.NewOsiris(lay, keys, ctrl, metacache.Config{}, p)
-	case "ccnvm":
-		eng = core.NewCCNVM(lay, keys, ctrl, metacache.Config{}, p)
-	case "ccnvm-wods":
-		eng = core.NewCCNVMWoDS(lay, keys, ctrl, metacache.Config{}, p)
-	case "ccnvm-ext":
-		eng = core.NewCCNVMExt(lay, keys, ctrl, metacache.Config{}, p)
-	case "arsenal":
-		eng = engine.NewArsenal(lay, keys, ctrl, metacache.Config{}, p)
-	default:
-		return nil, nil, fmt.Errorf("torture: unknown design %q", design)
+	d, ok := design.Lookup(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("torture: %w", design.UnknownError(name))
 	}
-	return eng, ctrl, nil
-}
-
-// treePersisting reports whether the design maintains the in-NVM Merkle
-// tree under an atomic-epoch (or per-write-back) protocol, so that a
-// crash image's tree must verify against one of the root registers.
-func treePersisting(design string) bool {
-	switch design {
-	case "sc", "ccnvm", "ccnvm-wods", "ccnvm-ext":
-		return true
-	}
-	return false
+	return d.New(lay, keys, ctrl, metacache.Config{}, p), ctrl, nil
 }
 
 func contains(list []string, s string) bool {
