@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race fuzz-short vuln lint-designs torture torture-faults torture-long ci bench profile clean
+.PHONY: all tier1 vet race fuzz-short vuln lint-designs torture torture-faults torture-reboots torture-long ci bench profile clean
 
 all: tier1
 
@@ -17,10 +17,10 @@ vet:
 	$(GO) vet ./...
 
 # race runs the concurrency-sensitive packages under the race detector:
-# the parallel evaluation matrix, the simulator it drives, and the
-# torture harness's parallel cell runner.
+# the parallel evaluation matrix, the simulator it drives, the torture
+# harness's parallel cell runner, and the recovery package it re-enters.
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/torture/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/torture/ ./internal/recovery/
 
 # fuzz-short gives each native fuzz target a fixed small budget; crashes
 # land in testdata/fuzz/ as regression inputs.
@@ -29,6 +29,7 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzCompressRoundTrip -fuzztime=10s ./internal/compress/
 	$(GO) test -fuzz=FuzzCell -fuzztime=20s ./internal/torture/
 	$(GO) test -fuzz=FuzzFaultCell -fuzztime=20s ./internal/torture/
+	$(GO) test -fuzz=FuzzRebootCell -fuzztime=20s ./internal/torture/
 
 # vuln scans the module against the Go vulnerability database. Skipped
 # with a notice when govulncheck is not installed (it needs network
@@ -69,11 +70,18 @@ torture:
 torture-faults:
 	$(GO) run ./cmd/ccnvm-torture -seeds 4 -designs all -attacks none -faultseeds 16
 
+# torture-reboots crashes recovery itself: every interrupted Apply pass
+# is struck at its k-th persisted recovery write, re-entered from the
+# persisted recovery journal, and the converged image is held to the
+# reboot-convergence / no-new-loss / bounded oracles.
+torture-reboots:
+	$(GO) run ./cmd/ccnvm-torture -seeds 2 -designs all -attacks none -faultseeds 2 -reboots 4
+
 torture-long:
 	$(GO) test ./internal/torture/ -torture.long -timeout 30m -v
 
 # ci is what a merge must pass.
-ci: tier1 vet lint-designs race fuzz-short vuln
+ci: tier1 vet lint-designs race fuzz-short vuln torture-reboots
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

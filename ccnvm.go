@@ -87,6 +87,10 @@ type (
 	RecoveryReport = recovery.Report
 	// Recovered is the state a rebooted controller resumes from.
 	Recovered = recovery.Recovered
+	// RecoveryInterrupt models a power failure during recovery itself:
+	// the After-th persisted recovery write is struck and the Apply pass
+	// stops, to be resumed from the persisted recovery journal.
+	RecoveryInterrupt = recovery.Interrupt
 	// TamperedBlock is a located spoofing/splicing attack.
 	TamperedBlock = recovery.TamperedBlock
 
@@ -184,6 +188,20 @@ func Recover(img *CrashImage) *RecoveryReport { return recovery.Recover(img) }
 func ApplyRecovery(img *CrashImage, rep *RecoveryReport) Recovered {
 	return recovery.Apply(img, rep)
 }
+
+// ApplyRecoveryInterrupted is ApplyRecovery with a simulated power
+// failure: the interrupt's After-th persisted recovery write is struck
+// and the pass stops with ok=false, leaving the image's recovery
+// journal active. A later Recover resumes the pass instead of
+// restarting blind. A nil interrupt (or After 0) runs to completion.
+func ApplyRecoveryInterrupted(img *CrashImage, rep *RecoveryReport, itr *RecoveryInterrupt) (Recovered, bool) {
+	return recovery.ApplyInterrupted(img, rep, itr)
+}
+
+// RecoveryJournalActive reports whether the image carries an
+// uncommitted recovery journal — a previous Apply pass was interrupted
+// and the next Recover will resume it.
+func RecoveryJournalActive(img *CrashImage) bool { return recovery.JournalActive(img) }
 
 // Attack injection (the §2.1 adversary: full control of NVM, no access
 // to the TCB registers).

@@ -4,6 +4,12 @@
 // the NVM image, and then runs the four-step recovery, reporting what
 // was detected, what was located, and whether the data survives.
 //
+// With -reboots N the demo also crashes recovery itself: each Apply
+// pass is interrupted at its -reboot-every-th persisted recovery write,
+// the machine "reboots", and the next recovery resumes from the
+// persisted recovery journal instead of restarting blind, until a final
+// uninterrupted pass commits.
+//
 // Usage:
 //
 //	ccnvm-recover -design ccnvm -attack none      # clean crash
@@ -13,10 +19,17 @@
 //	ccnvm-recover -design ccnvm -attack tree      # located by step 1
 //	ccnvm-recover -design osiris -attack replay   # detected, NOT located
 //	ccnvm-recover -design ccnvm-ext -attack replay # located to the page (§4.4 ext)
-//	ccnvm-recover -design wocc -attack none       # unrecoverable
+//	ccnvm-recover -design ccnvm -reboots 4        # crash recovery itself, 4 times
+//	ccnvm-recover -design ccnvm -json             # machine-readable report
+//
+// Exit status: 0 when the report is clean or lossless, 1 on usage or
+// setup errors, 2 when recovery reports an image that is neither clean
+// nor lossless — tampering was detected and the machine must not
+// resume on this image unexamined.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,31 +44,70 @@ func main() {
 	bench := flag.String("benchmark", "gcc", "workload")
 	ops := flag.Int("ops", 30000, "memory operations before the crash")
 	seed := flag.Int64("seed", 1, "workload seed")
+	reboots := flag.Int("reboots", 0, "crash recovery itself this many times before letting it finish")
+	revery := flag.Int("reboot-every", 2, "strike the k-th persisted recovery write of each interrupted pass")
+	jsonOut := flag.Bool("json", false, "emit the outcome as JSON")
 	flag.Parse()
 
-	if err := run(*design, *kind, *bench, *ops, *seed); err != nil {
+	out, err := run(*design, *kind, *bench, *ops, *seed, *reboots, *revery, !*jsonOut)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccnvm-recover:", err)
 		os.Exit(1)
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "ccnvm-recover:", err)
+			os.Exit(1)
+		}
+	}
+	if !out.Report.Clean() && !out.Report.Lossless() {
+		os.Exit(2)
+	}
 }
 
-func run(design, kind, bench string, ops int, seed int64) error {
+// rebootPass records one interrupted recovery pass of the -reboots loop.
+type rebootPass struct {
+	Pass      int  `json:"pass"`
+	Plan      int  `json:"plan"`   // line writes the pass planned
+	Writes    int  `json:"writes"` // persisted writes issued (incl. the struck one)
+	Committed bool `json:"committed"`
+	Resumed   bool `json:"resumed"` // the re-entered recovery resumed from the journal
+}
+
+// outcome is the machine-readable result of one demo run.
+type outcome struct {
+	Design  string                `json:"design"`
+	Attack  string                `json:"attack"`
+	Reboots int                   `json:"reboots,omitempty"`
+	Passes  []rebootPass          `json:"passes,omitempty"`
+	Report  *ccnvm.RecoveryReport `json:"report"`
+	Verdict string                `json:"verdict"`
+}
+
+func run(design, kind, bench string, ops int, seed int64, reboots, revery int, chatty bool) (*outcome, error) {
+	say := func(format string, args ...interface{}) {
+		if chatty {
+			fmt.Printf(format, args...)
+		}
+	}
 	p, err := ccnvm.ProfileByName(bench)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	g, err := ccnvm.NewGenerator(p, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	stream := ccnvm.CollectOps(g, ops)
 
 	m, err := ccnvm.NewMachine(ccnvm.Config{Design: design})
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	fmt.Printf("running %d ops of %s on %s, then crashing mid-epoch...\n",
+	say("running %d ops of %s on %s, then crashing mid-epoch...\n",
 		ops, bench, ccnvm.DesignLabel(design))
 
 	// The replay attack of Figure 4 needs a precise window: a snapshot of
@@ -80,66 +132,99 @@ func run(design, kind, bench string, ops int, seed int64) error {
 		_, img = m.RunWithCrash(bench, stream, ops)
 		victim = firstDataAddr(img)
 	}
-	fmt.Printf("crash image: %d NVM lines, Nwb=%d\n", img.Image.Store.Len(), img.TCB.Nwb)
+	say("crash image: %d NVM lines, Nwb=%d\n", img.Image.Store.Len(), img.TCB.Nwb)
 
 	switch kind {
 	case "none":
 	case "spoof":
 		if err := ccnvm.SpoofData(img, victim); err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("injected: spoofed data block %#x\n", uint64(victim))
+		say("injected: spoofed data block %#x\n", uint64(victim))
 	case "splice":
 		b := lastDataAddr(img)
 		if err := ccnvm.SpliceData(img, victim, b); err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("injected: spliced blocks %#x <-> %#x\n", uint64(victim), uint64(b))
+		say("injected: spliced blocks %#x <-> %#x\n", uint64(victim), uint64(b))
 	case "replay":
 		if err := ccnvm.ReplayBlock(img, early, victim); err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("injected: replayed block %#x (and its HMAC) to an older version\n", uint64(victim))
+		say("injected: replayed block %#x (and its HMAC) to an older version\n", uint64(victim))
 	case "tree":
 		if err := ccnvm.SpoofTreeNode(img, 1, firstTreeIdx(img)); err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Println("injected: corrupted a level-1 Merkle tree node")
+		say("injected: corrupted a level-1 Merkle tree node\n")
 	default:
-		return fmt.Errorf("unknown attack %q", kind)
+		return nil, fmt.Errorf("unknown attack %q", kind)
 	}
 
 	rep := ccnvm.Recover(img)
-	fmt.Println()
-	fmt.Println("recovery report:")
-	fmt.Printf("  consistent NVM tree:     %s\n", orNone(rep.ConsistentRoot))
-	fmt.Printf("  counters recovered:      %d blocks across %d lines (Nretry=%d, Nwb=%d)\n",
+	out := &outcome{Design: design, Attack: kind, Reboots: reboots, Report: rep}
+
+	// The reboot loop: crash recovery itself, reboot, resume, repeat.
+	if reboots > 0 {
+		say("\nreboot loop: striking every %d-th persisted recovery write, up to %d reboots\n", revery, reboots)
+		done := false
+		for pass := 1; pass <= reboots && !done; pass++ {
+			itr := &ccnvm.RecoveryInterrupt{After: revery, Seq: uint64(pass)}
+			_, ok := ccnvm.ApplyRecoveryInterrupted(img, rep, itr)
+			pr := rebootPass{Pass: pass, Plan: itr.Plan, Writes: itr.Writes, Committed: ok}
+			if ok {
+				say("  pass %d: committed after %d writes (plan %d lines) — converged early\n",
+					pass, itr.Writes, itr.Plan)
+				done = true
+			} else {
+				rep = ccnvm.Recover(img)
+				pr.Resumed = rep.Resumed
+				say("  pass %d: power failed at write %d of a %d-line plan; journal active=%v, recovery resumed=%v\n",
+					pass, itr.Writes, itr.Plan, ccnvm.RecoveryJournalActive(img), rep.Resumed)
+			}
+			out.Passes = append(out.Passes, pr)
+		}
+		if !done {
+			itr := &ccnvm.RecoveryInterrupt{Seq: uint64(reboots + 1)}
+			_, ok := ccnvm.ApplyRecoveryInterrupted(img, rep, itr)
+			out.Passes = append(out.Passes, rebootPass{Pass: reboots + 1, Plan: itr.Plan, Writes: itr.Writes, Committed: ok})
+			say("  final pass: committed=%v (plan %d lines); journal active=%v\n",
+				ok, itr.Plan, ccnvm.RecoveryJournalActive(img))
+		}
+		out.Report = rep
+	}
+
+	say("\nrecovery report:\n")
+	say("  consistent NVM tree:     %s\n", orNone(rep.ConsistentRoot))
+	say("  counters recovered:      %d blocks across %d lines (Nretry=%d, Nwb=%d)\n",
 		rep.RecoveredBlocks, rep.RecoveredLines, rep.Nretry, rep.Nwb)
-	fmt.Printf("  located tree mismatches: %d\n", len(rep.TreeMismatches))
+	say("  located tree mismatches: %d\n", len(rep.TreeMismatches))
 	for _, mm := range rep.TreeMismatches {
-		fmt.Printf("    - %s\n", mm)
+		say("    - %s\n", mm)
 	}
-	fmt.Printf("  located tampered blocks: %d\n", len(rep.Tampered))
+	say("  located tampered blocks: %d\n", len(rep.Tampered))
 	for _, tb := range rep.Tampered {
-		fmt.Printf("    - %s\n", tb)
+		say("    - %s\n", tb)
 	}
-	fmt.Printf("  potential replay:        %v\n", rep.PotentialReplay)
+	say("  potential replay:        %v\n", rep.PotentialReplay)
 	if len(rep.ReplayedPages) > 0 {
-		fmt.Printf("  replayed pages (ext):    %d\n", len(rep.ReplayedPages))
+		say("  replayed pages (ext):    %d\n", len(rep.ReplayedPages))
 		for _, pg := range rep.ReplayedPages {
-			fmt.Printf("    - page at %#x\n", uint64(pg))
+			say("    - page at %#x\n", uint64(pg))
 		}
 	}
-	fmt.Println()
 	switch {
 	case rep.Clean():
-		fmt.Println("verdict: CLEAN - tree rebuilt, system resumes with all data intact")
+		out.Verdict = "clean"
+		say("\nverdict: CLEAN - tree rebuilt, system resumes with all data intact\n")
 	case rep.Located():
-		fmt.Println("verdict: ATTACK LOCATED - only the listed blocks are discarded; the rest of NVM survives")
+		out.Verdict = "located"
+		say("\nverdict: ATTACK LOCATED - only the listed blocks are discarded; the rest of NVM survives\n")
 	default:
-		fmt.Println("verdict: ATTACK DETECTED but not locatable - all NVM data must be dropped")
+		out.Verdict = "detected"
+		say("\nverdict: ATTACK DETECTED but not locatable - all NVM data must be dropped\n")
 	}
-	return nil
+	return out, nil
 }
 
 // writeBackTail builds an op sequence that stores into victim n times,

@@ -11,6 +11,8 @@
 //	ccnvm-torture -json                             # machine-readable summary
 //	ccnvm-torture -repro 'design=ccnvm,workload=hot,seed=3,ops=160,crash=80,attack=spoof,n=4,m=0'
 //	ccnvm-torture -break skip-counter-replay        # prove the oracles bite
+//	ccnvm-torture -reboots 4                        # crash recovery itself, re-enter, check convergence
+//	ccnvm-torture -reboots 4 -reboot-every 2,3      # choose the strike strides
 //	ccnvm-torture -oracles                          # list the invariants
 package main
 
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -31,21 +34,23 @@ import (
 
 func main() {
 	var (
-		designs    = flag.String("designs", "all", `comma-separated designs, "all", or "paper"`)
-		workloads  = flag.String("workloads", "", "comma-separated workloads (default: all)")
-		attacks    = flag.String("attacks", "", `comma-separated attacks incl. "none" (default: all)`)
-		seeds      = flag.Int("seeds", 4, "trace seeds per combination")
-		ops        = flag.Int("ops", 240, "trace length per cell")
-		crashPts   = flag.Int("crashpoints", 3, "crash points per trace")
-		faultSeeds = flag.Int("faultseeds", 0, "media-fault seeds per design/workload, cycled through the fault profiles (0 = no fault cells)")
-		budget     = flag.Int("budget", 0, "max cells, evenly sampled (0 = run all)")
-		parallel   = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
-		timeout    = flag.Duration("timeout", 0, "stop dispatching new cells after this duration and report partial results (0 = none)")
-		jsonOut    = flag.Bool("json", false, "emit the summary as JSON")
-		repro      = flag.String("repro", "", "replay one cell spec and exit")
-		breakMode  = flag.String("break", "", "sabotage recovery (modes: "+strings.Join(torture.BrokenModes(), ", ")+")")
-		oracles    = flag.Bool("oracles", false, "list the oracles and exit")
-		verbose    = flag.Bool("v", false, "print progress")
+		designs     = flag.String("designs", "all", `comma-separated designs, "all", or "paper"`)
+		workloads   = flag.String("workloads", "", "comma-separated workloads (default: all)")
+		attacks     = flag.String("attacks", "", `comma-separated attacks incl. "none" (default: all)`)
+		seeds       = flag.Int("seeds", 4, "trace seeds per combination")
+		ops         = flag.Int("ops", 240, "trace length per cell")
+		crashPts    = flag.Int("crashpoints", 3, "crash points per trace")
+		faultSeeds  = flag.Int("faultseeds", 0, "media-fault seeds per design/workload, cycled through the fault profiles (0 = no fault cells)")
+		reboots     = flag.Int("reboots", 0, "reboot-loop cells: interrupt recovery this many times per cell (0 = no reboot cells)")
+		rebootEvery = flag.String("reboot-every", "", "comma-separated strike strides for reboot cells (default 2,3,5)")
+		budget      = flag.Int("budget", 0, "max cells, evenly sampled (0 = run all)")
+		parallel    = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, "stop dispatching new cells after this duration and report partial results (0 = none)")
+		jsonOut     = flag.Bool("json", false, "emit the summary as JSON")
+		repro       = flag.String("repro", "", "replay one cell spec and exit")
+		breakMode   = flag.String("break", "", "sabotage recovery (modes: "+strings.Join(torture.BrokenModes(), ", ")+")")
+		oracles     = flag.Bool("oracles", false, "list the oracles and exit")
+		verbose     = flag.Bool("v", false, "print progress")
 	)
 	flag.Parse()
 
@@ -87,15 +92,21 @@ func main() {
 			fatal(design.UnknownError(d))
 		}
 	}
+	strides, err := parseStrides(*rebootEvery)
+	if err != nil {
+		fatal(err)
+	}
 	opts := torture.MatrixOpts{
-		Designs:    designList,
-		Workloads:  splitList(*workloads, nil, nil),
-		Attacks:    splitList(*attacks, nil, nil),
-		Seeds:      *seeds,
-		Ops:        *ops,
-		CrashPts:   *crashPts,
-		FaultSeeds: *faultSeeds,
-		Budget:     *budget,
+		Designs:     designList,
+		Workloads:   splitList(*workloads, nil, nil),
+		Attacks:     splitList(*attacks, nil, nil),
+		Seeds:       *seeds,
+		Ops:         *ops,
+		CrashPts:    *crashPts,
+		FaultSeeds:  *faultSeeds,
+		Reboots:     *reboots,
+		RebootEvery: strides,
+		Budget:      *budget,
 	}
 	cells := torture.EnumerateCells(opts)
 	if !*jsonOut {
@@ -165,6 +176,24 @@ func splitList(s string, def []string, aliases map[string][]string) []string {
 		}
 	}
 	return out
+}
+
+// parseStrides parses the -reboot-every list; empty lets MatrixOpts
+// fill its default.
+func parseStrides(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, x := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(x))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -reboot-every stride %q (want positive integers)", x)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -33,6 +33,12 @@ func init() {
 			TreePersisted:   true,
 			TamperLocation:  LocateNothing,
 			Replay:          ReplayUndetectable,
+			// Recovery's own writes go through the shared journaled
+			// Apply, so even the unrecoverable baseline re-enters
+			// cleanly: what it failed to verify once it fails to verify
+			// identically after any number of reboot loops.
+			ReentrantRecovery: true,
+			RebootStride:      3,
 		},
 	})
 	Register(Descriptor{
@@ -53,6 +59,8 @@ func init() {
 			ZeroRetryRecovery: true,
 			TamperLocation:    LocateLine,
 			Replay:            ReplayRootCompare,
+			ReentrantRecovery: true,
+			RebootStride:      3,
 		},
 	})
 	Register(Descriptor{
@@ -67,10 +75,12 @@ func init() {
 			// Osiris bounds counter staleness but does not persist its
 			// tree: step 1 is skipped, and replay is detect-only via the
 			// rebuilt-root comparison.
-			CrashConsistent: true,
-			TreePersisted:   false,
-			TamperLocation:  LocateLine,
-			Replay:          ReplayRootCompare,
+			CrashConsistent:   true,
+			TreePersisted:     false,
+			TamperLocation:    LocateLine,
+			Replay:            ReplayRootCompare,
+			ReentrantRecovery: true,
+			RebootStride:      3,
 		},
 	})
 	Register(Descriptor{
@@ -84,11 +94,13 @@ func init() {
 		Caps: Capabilities{
 			// cc-NVM without deferred spreading: epoch-atomic persistence
 			// but no Nwb window evidence — replay is root-compare only.
-			CrashConsistent: true,
-			TreePersisted:   true,
-			EpochAtomic:     true,
-			TamperLocation:  LocateLine,
-			Replay:          ReplayRootCompare,
+			CrashConsistent:   true,
+			TreePersisted:     true,
+			EpochAtomic:       true,
+			TamperLocation:    LocateLine,
+			Replay:            ReplayRootCompare,
+			ReentrantRecovery: true,
+			RebootStride:      3,
 		},
 	})
 	Register(Descriptor{
@@ -103,11 +115,13 @@ func init() {
 			// The paper's design: epoch-atomic persistence plus the Nwb
 			// register, so the deferred-spreading replay window is
 			// detected (though not located) by Nretry-vs-Nwb.
-			CrashConsistent: true,
-			TreePersisted:   true,
-			EpochAtomic:     true,
-			TamperLocation:  LocateLine,
-			Replay:          ReplayNwbWindow,
+			CrashConsistent:   true,
+			TreePersisted:     true,
+			EpochAtomic:       true,
+			TamperLocation:    LocateLine,
+			Replay:            ReplayNwbWindow,
+			ReentrantRecovery: true,
+			RebootStride:      3,
 		},
 	})
 	Register(Descriptor{
@@ -120,11 +134,13 @@ func init() {
 		Caps: Capabilities{
 			// §4.4 extension: per-counter-line update registers pin a
 			// window replay to its 4 KiB page.
-			CrashConsistent: true,
-			TreePersisted:   true,
-			EpochAtomic:     true,
-			TamperLocation:  LocateLine,
-			Replay:          ReplayPerLinePage,
+			CrashConsistent:   true,
+			TreePersisted:     true,
+			EpochAtomic:       true,
+			TamperLocation:    LocateLine,
+			Replay:            ReplayPerLinePage,
+			ReentrantRecovery: true,
+			RebootStride:      3,
 		},
 	})
 	Register(Descriptor{
@@ -139,10 +155,12 @@ func init() {
 			// recovered without retries (but blocks still count as
 			// recovered, so no ZeroRetryRecovery claim); replay of a whole
 			// self-consistent line is detect-only via root compare.
-			CrashConsistent: true,
-			TreePersisted:   true,
-			TamperLocation:  LocateLine,
-			Replay:          ReplayRootCompare,
+			CrashConsistent:   true,
+			TreePersisted:     true,
+			TamperLocation:    LocateLine,
+			Replay:            ReplayRootCompare,
+			ReentrantRecovery: true,
+			RebootStride:      3,
 		},
 	})
 }

@@ -122,6 +122,21 @@ type Capabilities struct {
 
 	// Replay: how the post-crash replay window is detected (step 3).
 	Replay ReplayDetection
+
+	// ReentrantRecovery: the design's recovery journals its own NVM
+	// writes, so a power failure during recovery resumes from the
+	// persisted journal instead of restarting blind, and repeated
+	// reboot-crash-reboot loops converge to the single-shot result.
+	ReentrantRecovery bool
+
+	// RebootStride bounds re-entrant recovery's convergence: across any
+	// RebootStride consecutive interrupted recovery passes (each struck
+	// at its k-th persisted write, k >= 2), the remaining write plan
+	// shrinks by at least one entry — so the total reboots needed to
+	// converge are at most RebootStride times the initial plan size,
+	// plus the stride itself for the journal bootstrap. Zero when
+	// ReentrantRecovery is false.
+	RebootStride int
 }
 
 // Descriptor is one registered design.
@@ -268,6 +283,10 @@ func ForImage(name string) Descriptor {
 			TreePersisted:  true,
 			TamperLocation: LocateLine,
 			Replay:         ReplayUndetectable,
+			// Unregistered images still go through the journaled Apply,
+			// so the re-entrancy contract holds for them too.
+			ReentrantRecovery: true,
+			RebootStride:      3,
 		},
 	}
 }

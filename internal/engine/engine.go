@@ -129,6 +129,37 @@ type CrashImage struct {
 	// the torture oracles and diagnostics only; recovery must never read
 	// anything beyond Suspects from it.
 	MediaLog *nvm.FaultLog
+
+	// RecoveryJournal is the persisted recovery journal: a small
+	// reserved region (real hardware would dedicate a few metadata
+	// lines) recovery's Apply writes through the same word-granularity
+	// persistence rules as everything else, so an interrupted recovery
+	// resumes from it instead of restarting blind. Nil until recovery
+	// first writes it; the recovery package owns the encoding.
+	RecoveryJournal []byte
+}
+
+// Clone deep-copies the crash image so recovery experiments can run on
+// a copy — the reboot-loop torture compares an interrupted recovery
+// against a single-shot golden recovery of the same image. MediaLog is
+// shared: it is the harness's read-only ground truth.
+func (ci *CrashImage) Clone() *CrashImage {
+	cp := *ci
+	cp.Image = ci.Image.Clone()
+	cp.TCB = ci.TCB.CloneExt()
+	if ci.Sideband != nil {
+		cp.Sideband = make(map[mem.Addr]byte, len(ci.Sideband))
+		for a, b := range ci.Sideband {
+			cp.Sideband[a] = b
+		}
+	}
+	if ci.Suspects != nil {
+		cp.Suspects = append([]mem.Addr(nil), ci.Suspects...)
+	}
+	if ci.RecoveryJournal != nil {
+		cp.RecoveryJournal = append([]byte(nil), ci.RecoveryJournal...)
+	}
+	return &cp
 }
 
 // SecStats accumulates engine-level events.

@@ -131,6 +131,16 @@ type Report struct {
 	// locatable beyond the suspect set — but attributable to the crash,
 	// not to an attacker.
 	CrashLossWindow bool
+
+	// Resumed reports that the image carried an active recovery journal:
+	// a previous Apply pass was interrupted mid-write, and this recovery
+	// resumed it — verdicts restored from the journal, the pending write
+	// read from its journaled copy — instead of restarting blind.
+	Resumed bool
+
+	// res caches the step-2 counter walk so Apply reuses it instead of
+	// walking the image a second time.
+	res *counterResult
 }
 
 // Clean reports whether no attack was detected: the image decrypts,
@@ -169,13 +179,62 @@ type Recovered struct {
 
 // Recover dispatches a crash image to the recovery procedure its
 // design's registry descriptor declares. Images of unregistered designs
-// get the conservative generic procedure (design.ForImage).
+// get the conservative generic procedure (design.ForImage). An image
+// whose recovery journal is active — power failed during a previous
+// Apply — resumes that pass instead of recovering from scratch.
 func Recover(img *engine.CrashImage) *Report {
+	if rec, ok := loadJournal(img); ok && rec.Active {
+		return resumeRecover(img, rec)
+	}
 	d := design.ForImage(img.Design)
 	if d.Strategy == design.RecoverInlinePacked {
 		return recoverInlinePackedImage(img)
 	}
 	return recoverGenericImage(img, d)
+}
+
+// resumeRecover rebuilds a Report for an image whose recovery was
+// interrupted mid-Apply. Steps 1 and 3 are not re-run: their verdicts
+// were established on the pre-Apply image and persisted in the journal
+// header — re-deriving them from half-applied state would be wrong (a
+// partially rebuilt tree matches neither root). The step-2 walk is
+// recomputed with the journaled pending write overlaid, so the counter
+// lines Apply already persisted verify at retry zero and the pass's
+// remaining write plan falls out of the walk; the media sections are
+// recomputed because Apply's completed writes legitimately heal stuck
+// metadata lines.
+func resumeRecover(img *engine.CrashImage, rec journalRecord) *Report {
+	r := &Report{Design: img.Design, Resumed: true}
+	cry := seccrypto.MustEngine(img.Keys)
+	var pend *pendingWrite
+	if rec.PendingValid {
+		pend = &pendingWrite{addr: rec.PendingAddr, line: rec.PendingLine}
+	}
+	d := design.ForImage(img.Design)
+	var res counterResult
+	if d.Strategy == design.RecoverInlinePacked {
+		res = recoverInlineCounters(img, cry, pend)
+	} else {
+		res = recoverCounters(img, cry, pend)
+	}
+	r.res = &res
+
+	r.ConsistentRoot = rec.ConsistentRoot
+	r.Nwb = rec.Nwb
+	r.Nretry = rec.Nretry
+	r.RecoveredBlocks = rec.Blocks
+	r.RecoveredLines = rec.Lines
+	r.PotentialReplay = rec.PotentialReplay
+	r.CrashLossWindow = rec.CrashLossWindow
+	r.RebuiltRoot = rec.Root
+
+	// Apply is only legal on a clean (or scrubbed) report, so a resumed
+	// walk finds no tampering; keep the recomputed classification anyway
+	// rather than asserting it away.
+	r.Tampered = res.tampered
+	r.LostBlocks = res.lost
+	finishMediaReport(r, img, suspectSet(img), res.implicated)
+	return r
 }
 
 // recoverGenericImage runs the four-step counter-retry process, with
@@ -218,7 +277,8 @@ func recoverGenericImage(img *engine.CrashImage, d design.Descriptor) *Report {
 	}
 
 	// Step 2: recover stalled counters via data HMAC retries.
-	res := recoverCounters(img, cry)
+	res := recoverCounters(img, cry, nil)
+	r.res = &res
 	r.Nretry = res.nretry
 	r.RecoveredBlocks = res.blocks
 	r.Tampered = res.tampered
@@ -417,38 +477,236 @@ func suspectRetries(perLine map[mem.Addr]uint64, pagesSus map[mem.Addr]bool) uin
 // Apply writes the recovered counters and the rebuilt tree into the
 // image and returns the TCB state a rebooted controller starts from.
 // Call it only when the report is Clean (or after discarding located
-// tampered blocks).
-func Apply(img *engine.CrashImage, _ *Report) Recovered {
+// tampered blocks). The report must come from Recover on this image —
+// Apply reuses its counter walk instead of walking the image again; a
+// nil report makes Apply run Recover itself.
+func Apply(img *engine.CrashImage, rep *Report) Recovered {
+	rec, _ := ApplyInterrupted(img, rep, nil)
+	return rec
+}
+
+// pendingWrite is a journaled counter-line write whose in-place persist
+// may not have completed; the journal record holds the authoritative
+// content.
+type pendingWrite struct {
+	addr mem.Addr
+	line mem.Line
+}
+
+// readLine reads a line through the resume overlay: the journaled
+// pending write shadows its possibly-torn in-place copy.
+func readLine(img *engine.CrashImage, pend *pendingWrite, a mem.Addr) (mem.Line, bool) {
+	if pend != nil && pend.addr == a {
+		return pend.line, true
+	}
+	return img.Image.Read(a)
+}
+
+// planned is one line write of an Apply pass. Counter lines are
+// journaled (a jPend record precedes the in-place write) because their
+// content is the product of the retry walk and would be unrecoverable
+// from a torn line; tree nodes and reverts are written bare — they are
+// recomputed from the counters on every pass.
+type planned struct {
+	addr mem.Addr
+	line mem.Line
+	jrnl bool
+}
+
+// ApplyInterrupted is Apply with a power-failure seam: every persisted
+// write — in-place lines and journal records alike — goes through a
+// counting writer, and the write itr.After names is struck (torn under
+// itr.Faults, dropped whole without) exactly as the device would strike
+// a WPQ entry. It returns done=false when the interrupt fired; the
+// caller re-enters recovery, which resumes from the journal. A nil itr
+// (or itr.After 0) runs the pass to completion.
+//
+// The pass is idempotent and convergent: the write plan is filtered to
+// lines whose current content differs from the target, so every
+// completed write shrinks the next pass's plan, and the journaled
+// pending write is re-issued without a fresh journal record when it
+// matches the journal's current pending entry — rewriting it would
+// re-arm the same strike point each reboot and livelock at stride two.
+func ApplyInterrupted(img *engine.CrashImage, rep *Report, itr *Interrupt) (Recovered, bool) {
 	cry := seccrypto.MustEngine(img.Keys)
 	lay := img.Image.Layout
 	tree := bmt.New(lay, cry)
 
-	// Re-run counter recovery to obtain the lines (Recover is pure).
-	res := recoverCounters(img, cry)
-	for ca, cl := range res.lines {
-		img.Image.Write(ca, cl.Encode())
+	loaded, haveJournal := loadJournal(img)
+	active := haveJournal && loaded.Active
+	var pend *pendingWrite
+	if active && loaded.PendingValid {
+		pend = &pendingWrite{addr: loaded.PendingAddr, line: loaded.PendingLine}
 	}
+
+	if rep == nil {
+		rep = Recover(img)
+	}
+	res := rep.res
+	if res == nil {
+		var walk counterResult
+		if design.ForImage(img.Design).Strategy == design.RecoverInlinePacked {
+			walk = recoverInlineCounters(img, cry, pend)
+		} else {
+			walk = recoverCounters(img, cry, pend)
+		}
+		res = &walk
+	}
+
+	// Rebuild from the recovered counters plus the journaled pending
+	// line: its in-place copy may be torn, the journal copy is whole.
+	overlay := encodeLines(res.lines)
 	counterAddrs := collectCounterAddrs(lay, img.Image.Store, res.lines)
-	nodes, root := tree.Rebuild(imageReader{img.Image}, counterAddrs)
-	for a, n := range nodes {
-		img.Image.Write(a, n)
+	if pend != nil {
+		if _, dup := overlay[pend.addr]; !dup {
+			overlay[pend.addr] = pend.line
+			found := false
+			for _, ca := range counterAddrs {
+				if ca == pend.addr {
+					found = true
+					break
+				}
+			}
+			if !found {
+				counterAddrs = append(counterAddrs, pend.addr)
+			}
+		}
 	}
-	// The rebuild defines the entire tree. A stored node it did not
-	// cover has no surviving counter line under it — the partial ADR
-	// drain dropped the leaves an earlier epoch's node update assumed —
-	// and its stale links would contradict the rebuilt root; revert it
-	// to the level default the rebuild used. Faultless images never
-	// carry uncovered nodes, so this is a no-op there.
+	nodes, root := tree.Rebuild(overlayReader{base: imageReader{img.Image}, lines: overlay}, counterAddrs)
+
+	// The write plan, in deterministic order (striking the k-th write
+	// must replay identically): the pending counter line first so an
+	// interrupted write completes before new ground is journaled, the
+	// remaining counter lines, the rebuilt tree nodes, then stored tree
+	// nodes the rebuild did not cover, reverted to the level default —
+	// a stored node with no surviving counter line under it carries
+	// stale links that would contradict the rebuilt root. Lines already
+	// holding their target content are skipped (a stuck line reads as
+	// absent, so it is always rewritten, healing it as any write does);
+	// the skip keeps every pass's plan a subset of the previous one.
+	var plan []planned
+	add := func(a mem.Addr, l mem.Line, jrnl bool) {
+		if cur, ok := img.Image.Read(a); ok && cur == l {
+			return
+		}
+		plan = append(plan, planned{addr: a, line: l, jrnl: jrnl})
+	}
+	if pend != nil {
+		if _, dup := res.lines[pend.addr]; !dup {
+			add(pend.addr, pend.line, true)
+		}
+	}
+	for _, ca := range sortedLineKeys(res.lines) {
+		cl := res.lines[ca]
+		add(ca, cl.Encode(), true)
+	}
+	for _, a := range sortedNodeKeys(nodes) {
+		add(a, nodes[a], false)
+	}
 	for _, a := range img.Image.Store.Addrs() {
 		if lay.RegionOf(a) != mem.RegionTree {
 			continue
 		}
-		if _, ok := nodes[a]; !ok {
+		if _, covered := nodes[a]; !covered {
 			lv, _ := lay.NodeAt(a)
-			img.Image.Write(a, tree.DefaultNode(lv))
+			add(a, tree.DefaultNode(lv), false)
 		}
 	}
-	return Recovered{TCB: engine.TCB{RootNew: root, RootOld: root, Nwb: 0}}
+	if itr != nil {
+		itr.Plan = len(plan)
+	}
+
+	ensureJournal(img)
+	w := journalWriter{img: img, itr: itr}
+	seq := uint64(0)
+	if haveJournal {
+		seq = loaded.Seq
+	}
+	hdr := journalRecord{
+		Active:          true,
+		Root:            root,
+		ConsistentRoot:  rep.ConsistentRoot,
+		PotentialReplay: rep.PotentialReplay,
+		CrashLossWindow: rep.CrashLossWindow,
+		Nwb:             rep.Nwb,
+		Nretry:          rep.Nretry,
+		Blocks:          rep.RecoveredBlocks,
+		Lines:           rep.RecoveredLines,
+	}
+
+	// jBegin — unless this pass resumes one whose journal already
+	// carries the same header.
+	if !(active && sameHeader(loaded, hdr)) {
+		seq++
+		rec := hdr
+		rec.Seq = seq
+		if !w.writeSlot(rec) {
+			return Recovered{}, false
+		}
+	}
+
+	pendUsed := false
+	for _, it := range plan {
+		if it.jrnl {
+			if pend != nil && !pendUsed && it.addr == pend.addr && it.line == pend.line {
+				// Already journaled; go straight to the in-place write.
+				pendUsed = true
+			} else {
+				seq++
+				rec := hdr
+				rec.Seq = seq
+				rec.PendingValid = true
+				rec.PendingAddr = it.addr
+				rec.PendingLine = it.line
+				if !w.writeSlot(rec) {
+					return Recovered{}, false
+				}
+			}
+		}
+		if !w.writeLine(it.addr, it.line) {
+			return Recovered{}, false
+		}
+	}
+
+	// jCommit: the commit is the TCB root-register update — atomic, as
+	// the paper's ROOTold/ROOTnew drain protocol makes register updates —
+	// and the journal's inactive record persists with it. It still counts
+	// as a persisted write (an interrupt can strike the window between
+	// the last line write and the commit), but a strike leaves the
+	// journal active and the registers untouched: the next boot resumes
+	// an empty plan and re-commits. A commit record can therefore never
+	// tear into a valid-but-inactive state over stale registers.
+	seq++
+	rec := hdr
+	rec.Seq = seq
+	rec.Active = false
+	if w.strike() {
+		return Recovered{}, false
+	}
+	buf := encodeSlot(rec)
+	copy(img.RecoveryJournal[int(rec.Seq%2)*journalSlotLen:], buf[:])
+	img.TCB = engine.TCB{RootNew: root, RootOld: root, Nwb: 0}
+	return Recovered{TCB: img.TCB}, true
+}
+
+// sortedLineKeys and sortedNodeKeys order map iteration: the plan (and
+// therefore which write an interrupt strikes) must be deterministic.
+func sortedLineKeys(m map[mem.Addr]seccrypto.CounterLine) []mem.Addr {
+	out := make([]mem.Addr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sortAddrs(out)
+	return out
+}
+
+func sortedNodeKeys(m map[mem.Addr]mem.Line) []mem.Addr {
+	out := make([]mem.Addr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sortAddrs(out)
+	return out
 }
 
 // counterResult is the outcome of the step-2 counter recovery walk.
@@ -467,8 +725,10 @@ type counterResult struct {
 // fault model, blocks whose lines are stuck are lost outright, and
 // blocks whose HMAC never matches are classified lost rather than
 // tampered when the failure is covered by a suspect line — torn data,
-// counter or HMAC content left by the partial ADR drain.
-func recoverCounters(img *engine.CrashImage, cry *seccrypto.Engine) counterResult {
+// counter or HMAC content left by the partial ADR drain. pend, set when
+// resuming an interrupted Apply, shadows the one counter line whose
+// in-place write may be torn with its journaled copy.
+func recoverCounters(img *engine.CrashImage, cry *seccrypto.Engine, pend *pendingWrite) counterResult {
 	lay := img.Image.Layout
 	res := counterResult{
 		lines:      map[mem.Addr]seccrypto.CounterLine{},
@@ -491,7 +751,7 @@ func recoverCounters(img *engine.CrashImage, cry *seccrypto.Engine) counterResul
 		stored := storedHMAC(img, cry, a)
 		cl, ok := res.lines[ca]
 		if !ok {
-			raw, _ := img.Image.Read(ca)
+			raw, _ := readLine(img, pend, ca)
 			cl = seccrypto.DecodeCounterLine(raw)
 		}
 		slot := lay.CounterSlotOf(a)
@@ -676,15 +936,56 @@ func recoverInlinePackedImage(img *engine.CrashImage) *Report {
 	lay := img.Image.Layout
 	tree := bmt.New(lay, cry)
 	sus := suspectSet(img)
-	stuck := img.Image.Stuck
-	implicated := map[mem.Addr]bool{}
 
-	lines := map[mem.Addr]seccrypto.CounterLine{}
+	res := recoverInlineCounters(img, cry, nil)
+	r.res = &res
+	r.Tampered = res.tampered
+	r.LostBlocks = res.lost
+	r.RecoveredBlocks = res.blocks
+	r.RecoveredLines = len(res.lines)
+
+	// Same pessimism as the generic path: an unserviced WPQ entry may
+	// have dropped whole without leaving verifiable damage.
+	if img.MediaFaults && len(img.Suspects) > 0 {
+		r.CrashLossWindow = true
+	}
+
+	overlay := overlayReader{base: imageReader{img.Image}, lines: encodeLines(res.lines)}
+	counterAddrs := collectCounterAddrs(lay, img.Image.Store, res.lines)
+	_, rebuilt := tree.Rebuild(overlay, counterAddrs)
+	r.RebuiltRoot = rebuilt
+	if rebuilt != img.TCB.RootNew && len(r.Tampered) == 0 {
+		if img.MediaFaults && (len(sus) > 0 || len(r.LostBlocks) > 0) {
+			r.CrashLossWindow = true
+		} else {
+			r.PotentialReplay = true
+		}
+	}
+	finishMediaReport(r, img, sus, res.implicated)
+	return r
+}
+
+// recoverInlineCounters is the inline-packed design's step-2 walk:
+// packed lines are self-describing (counter and HMAC unpack from the
+// line itself, no retries), raw-fallback blocks verify conventionally
+// at their stored counter. The reconstructed counter lines land in
+// res.lines so Apply persists them and the tree rebuild covers them,
+// exactly like the generic walk's retried lines. pend is the resume
+// overlay, as in recoverCounters.
+func recoverInlineCounters(img *engine.CrashImage, cry *seccrypto.Engine, pend *pendingWrite) counterResult {
+	lay := img.Image.Layout
+	res := counterResult{
+		lines:      map[mem.Addr]seccrypto.CounterLine{},
+		perLine:    map[mem.Addr]uint64{},
+		implicated: map[mem.Addr]bool{},
+	}
+	sus := suspectSet(img)
+	stuck := img.Image.Stuck
 	lineOf := func(ca mem.Addr) seccrypto.CounterLine {
-		if cl, ok := lines[ca]; ok {
+		if cl, ok := res.lines[ca]; ok {
 			return cl
 		}
-		raw, _ := img.Image.Read(ca)
+		raw, _ := readLine(img, pend, ca)
 		return seccrypto.DecodeCounterLine(raw)
 	}
 	for _, a := range dataWalkAddrs(img, sus) {
@@ -695,31 +996,31 @@ func recoverInlinePackedImage(img *engine.CrashImage) *Report {
 			// Packed lines are self-describing; only the data line itself
 			// can lose them (the counter line is reconstructed inline).
 			if img.MediaFaults && stuck[a] {
-				r.LostBlocks = append(r.LostBlocks, LostBlock{Addr: a, Line: a, Cause: "stuck-data"})
-				implicated[a] = true
+				res.lost = append(res.lost, LostBlock{Addr: a, Line: a, Cause: "stuck-data"})
+				res.implicated[a] = true
 				continue
 			}
 			_, ctr, ok := engine.UnpackArsenalLine(cry, a, line)
 			if !ok {
 				if img.MediaFaults && sus[a] {
-					r.LostBlocks = append(r.LostBlocks, LostBlock{Addr: a, Line: a, Cause: "torn-data"})
-					implicated[a] = true
+					res.lost = append(res.lost, LostBlock{Addr: a, Line: a, Cause: "torn-data"})
+					res.implicated[a] = true
 					continue
 				}
-				r.Tampered = append(r.Tampered, TamperedBlock{Addr: a})
+				res.tampered = append(res.tampered, TamperedBlock{Addr: a})
 				continue
 			}
 			cl := lineOf(ca)
 			cl.Major = ctr >> seccrypto.MinorBits
 			cl.Minors[slot] = uint8(ctr & seccrypto.MinorMax)
-			lines[ca] = cl
-			r.RecoveredBlocks++
+			res.lines[ca] = cl
+			res.blocks++
 		} else {
 			ha, _ := lay.HMACLineOf(a)
 			if img.MediaFaults {
 				if cause, bad := stuckCause(stuck, a, ca, ha); cause != "" {
-					r.LostBlocks = append(r.LostBlocks, LostBlock{Addr: a, Line: bad, Cause: cause})
-					implicated[bad] = true
+					res.lost = append(res.lost, LostBlock{Addr: a, Line: bad, Cause: cause})
+					res.implicated[bad] = true
 					continue
 				}
 			}
@@ -736,37 +1037,17 @@ func recoverInlinePackedImage(img *engine.CrashImage) *Report {
 							bad, cause = ha, "torn-hmac"
 						}
 					}
-					r.LostBlocks = append(r.LostBlocks, LostBlock{Addr: a, Line: bad, Cause: cause})
+					res.lost = append(res.lost, LostBlock{Addr: a, Line: bad, Cause: cause})
 					for _, s := range []mem.Addr{a, ca, ha} {
 						if sus[s] {
-							implicated[s] = true
+							res.implicated[s] = true
 						}
 					}
 					continue
 				}
-				r.Tampered = append(r.Tampered, TamperedBlock{Addr: a, StoredCounter: base})
+				res.tampered = append(res.tampered, TamperedBlock{Addr: a, StoredCounter: base})
 			}
 		}
 	}
-	r.RecoveredLines = len(lines)
-
-	// Same pessimism as the generic path: an unserviced WPQ entry may
-	// have dropped whole without leaving verifiable damage.
-	if img.MediaFaults && len(img.Suspects) > 0 {
-		r.CrashLossWindow = true
-	}
-
-	overlay := overlayReader{base: imageReader{img.Image}, lines: encodeLines(lines)}
-	counterAddrs := collectCounterAddrs(lay, img.Image.Store, lines)
-	_, rebuilt := tree.Rebuild(overlay, counterAddrs)
-	r.RebuiltRoot = rebuilt
-	if rebuilt != img.TCB.RootNew && len(r.Tampered) == 0 {
-		if img.MediaFaults && (len(sus) > 0 || len(r.LostBlocks) > 0) {
-			r.CrashLossWindow = true
-		} else {
-			r.PotentialReplay = true
-		}
-	}
-	finishMediaReport(r, img, sus, implicated)
-	return r
+	return res
 }

@@ -14,7 +14,7 @@ import (
 // harness can run, used to prove the oracles have teeth: each mode must
 // be caught by at least one oracle on an otherwise healthy matrix.
 func BrokenModes() []string {
-	return []string{"skip-counter-replay", "ignore-tampered", "skip-root-check", "accept-torn"}
+	return []string{"skip-counter-replay", "ignore-tampered", "skip-root-check", "accept-torn", "accept-divergent"}
 }
 
 // BrokenRunner returns a runner whose recovery is sabotaged in the named
@@ -101,6 +101,29 @@ func BrokenRunner(mode string) (*Runner, error) {
 				rep.MediaErrors = nil
 				rep.CrashLossWindow = false
 				return rep
+			},
+		}, nil
+	case "accept-divergent":
+		// Re-entrancy is sabotaged: a resumed Apply pass declares victory
+		// without writing its remaining plan. It "finishes" recovery on a
+		// scratch clone and copies back only the committed registers and
+		// the deactivated journal, accepting the half-applied store as
+		// converged. The report stays honest and the journal commits, so
+		// only the reboot-convergence oracle — final state vs the
+		// single-shot golden — can tell.
+		return &Runner{
+			ApplyInterrupted: func(img *engine.CrashImage, rep *recovery.Report, itr *recovery.Interrupt) (recovery.Recovered, bool) {
+				if !recovery.JournalActive(img) {
+					return recovery.ApplyInterrupted(img, rep, itr)
+				}
+				clone := img.Clone()
+				rec, ok := recovery.ApplyInterrupted(clone, nil, nil)
+				if !ok {
+					return rec, false
+				}
+				img.RecoveryJournal = clone.RecoveryJournal
+				img.TCB = clone.TCB
+				return rec, true
 			},
 		}, nil
 	}

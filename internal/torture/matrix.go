@@ -24,6 +24,14 @@ type MatrixOpts struct {
 	// Zero (the default) adds no fault cells, keeping the faultless
 	// matrix byte-identical to its historical shape.
 	FaultSeeds int
+
+	// Reboots appends reboot-loop cells: for every design, workload and
+	// stride in RebootEvery, one faultless cell and one fault-profile
+	// cell whose recovery is interrupted at every stride-th persisted
+	// write up to Reboots times before the final uninterrupted pass.
+	// Zero (the default) adds no reboot cells.
+	Reboots     int
+	RebootEvery []int // strike strides cycled per reboot cell; default {2, 3, 5}
 }
 
 // FaultProfiles are the media-fault shapes the matrix cycles fault cells
@@ -62,6 +70,9 @@ func (o MatrixOpts) withDefaults() MatrixOpts {
 	}
 	if len(o.Ns) == 0 {
 		o.Ns = []uint64{4, 16}
+	}
+	if o.Reboots > 0 && len(o.RebootEvery) == 0 {
+		o.RebootEvery = []int{2, 3, 5}
 	}
 	return o
 }
@@ -116,6 +127,40 @@ func EnumerateCells(o MatrixOpts) []Cell {
 						WeakPct:   p.WeakPct,
 						Stuck:     p.Stuck,
 					}.normalized())
+				}
+			}
+		}
+	}
+	// Reboot-loop cells ride last: clean crashes whose recovery is
+	// interrupted and re-entered, half on the idealized device and half
+	// under a fault profile, so re-entrancy is exercised both ways.
+	if o.Reboots > 0 {
+		profiles := FaultProfiles()
+		for _, d := range o.Designs {
+			for wi, w := range o.Workloads {
+				for ri, stride := range o.RebootEvery {
+					base := Cell{
+						Design:      d,
+						Workload:    w,
+						Ops:         o.Ops,
+						CrashAt:     o.Ops * 2 / 3,
+						Attack:      "none",
+						N:           o.Ns[ri%len(o.Ns)],
+						RebootEvery: stride,
+						Reboots:     o.Reboots,
+					}
+					faultless := base
+					faultless.Seed = int64(ri % o.Seeds)
+					cells = append(cells, faultless.normalized())
+					faulty := base
+					faulty.Seed = int64((ri + 1) % o.Seeds)
+					p := profiles[(wi+ri)%len(profiles)]
+					faulty.FaultSeed = int64(wi+ri)*7919 + 1
+					faulty.Torn = p.Torn
+					faulty.ADRBudget = p.ADRBudget
+					faulty.WeakPct = p.WeakPct
+					faulty.Stuck = p.Stuck
+					cells = append(cells, faulty.normalized())
 				}
 			}
 		}

@@ -49,7 +49,21 @@ type Context struct {
 	// Recovered is the TCB state Apply produced, once applyRecovery ran.
 	Recovered *recovery.Recovered
 
+	// Reboot-loop evidence, populated only when the cell's reboot axis
+	// ran (Reboots > 0 and the first recovery was clean). FirstRep is the
+	// pre-reboot report; the Golden* trio is the crash image cloned and
+	// recovered single-shot through the same runner seams; RebootPlans
+	// records each interrupted pass's plan size and FinalPlan the
+	// uninterrupted pass's (-1 when the loop converged early).
+	FirstRep    *recovery.Report
+	GoldenImg   *engine.CrashImage
+	GoldenRep   *recovery.Report
+	GoldenRec   *recovery.Recovered
+	RebootPlans []int
+	FinalPlan   int
+
 	applied    bool
+	rebootRan  bool
 	goldenDivs []string
 	goldenRun  bool
 }
@@ -103,6 +117,18 @@ func (c *Context) golden() []string {
 // persistent state.
 func (c *Context) attackInPlay() bool {
 	return c.Cell.Attack != "none" && c.AttackChanged
+}
+
+// baseRep is the report the single-shot oracles judge. When the reboot
+// axis ran, that is the first, pre-reboot report: reboot passes
+// legitimately heal stuck lines and shrink the loss evidence as they
+// re-apply, and the final (resumed) report's own invariants are owned
+// by the reboot oracles, which hold it against the single-shot golden.
+func (c *Context) baseRep() *recovery.Report {
+	if c.rebootRan {
+		return c.FirstRep
+	}
+	return c.Rep
 }
 
 // Oracle is one invariant checked against every cell. Check returns ""
@@ -181,6 +207,29 @@ var oracleList = []Oracle{
 			"weak line, so none survives the maintenance window.",
 		Check: checkReadErrorBoundedRetry,
 	},
+	{
+		Name: "reboot-convergence",
+		Doc: "A recovery interrupted at every k-th persisted write and re-entered " +
+			"across reboots converges to the exact state a single uninterrupted " +
+			"recovery produces: store content, stuck-line set and committed root " +
+			"registers are all bit-identical to the single-shot golden clone.",
+		Check: checkRebootConvergence,
+	},
+	{
+		Name: "reboot-no-new-loss",
+		Doc: "Interrupted recovery never makes the verdict worse: the final report " +
+			"loses or flags no block the single-shot report did not, and a clean " +
+			"single-shot recovery stays clean through any number of reboots.",
+		Check: checkRebootNoNewLoss,
+	},
+	{
+		Name: "reboot-bounded",
+		Doc: "Designs declaring re-entrant recovery converge within their declared " +
+			"reboot budget: write plans shrink monotonically across passes, no plan " +
+			"size repeats longer than the capability's stride, and the converged " +
+			"image carries no active recovery journal.",
+		Check: checkRebootBounded,
+	},
 }
 
 func checkRuntimeReads(c *Context) string {
@@ -200,17 +249,18 @@ func checkCleanRecovery(c *Context) string {
 	if c.caps().TamperOnCrash {
 		return "" // legitimately unrecoverable; golden-state still guards its clean cases
 	}
-	if !c.Rep.Clean() {
+	rep := c.baseRep()
+	if !rep.Clean() {
 		// This holds on fault cells too: pure media damage must be
 		// classified as crash loss (LostBlocks / CrashLossWindow), never
 		// as tampering — the loss-vs-attack distinguishability claim.
 		return fmt.Sprintf("clean crash flagged: mismatches=%d tampered=%d replayedPages=%d potentialReplay=%v (Nwb=%d Nretry=%d)",
-			len(c.Rep.TreeMismatches), len(c.Rep.Tampered), len(c.Rep.ReplayedPages),
-			c.Rep.PotentialReplay, c.Rep.Nwb, c.Rep.Nretry)
+			len(rep.TreeMismatches), len(rep.Tampered), len(rep.ReplayedPages),
+			rep.PotentialReplay, rep.Nwb, rep.Nretry)
 	}
-	if !c.Faulty() && c.caps().ZeroRetryRecovery && (c.Rep.Nretry != 0 || c.Rep.RecoveredBlocks != 0) {
+	if !c.Faulty() && c.caps().ZeroRetryRecovery && (rep.Nretry != 0 || rep.RecoveredBlocks != 0) {
 		return fmt.Sprintf("design persists the full path per write-back yet recovery needed %d retries over %d blocks",
-			c.Rep.Nretry, c.Rep.RecoveredBlocks)
+			rep.Nretry, rep.RecoveredBlocks)
 	}
 	return ""
 }
@@ -302,7 +352,7 @@ func checkEpochAtomicity(c *Context) string {
 		// torn-write-detected oracle owns fault cells.
 		return ""
 	}
-	rep := c.Rep
+	rep := c.baseRep()
 	treeAttacked := c.attackInPlay() &&
 		(c.Cell.Attack == "counter-replay" || c.Cell.Attack == "tree-spoof")
 	if !treeAttacked && rep.ConsistentRoot != "old" && rep.ConsistentRoot != "new" {
@@ -329,7 +379,7 @@ func checkGoldenState(c *Context) string {
 		// to the versioned contract instead.
 		return ""
 	}
-	if !c.Rep.Clean() {
+	if !c.baseRep().Clean() {
 		return "" // a flagged image is not claimed to be serviceable
 	}
 	if c.caps().TamperOnCrash && c.attackInPlay() {
@@ -349,10 +399,10 @@ func checkGoldenState(c *Context) string {
 // non-arsenal designs it applies recovery first.
 func (c *Context) goldenVersions() (stale []mem.Addr, divs []string) {
 	excluded := map[mem.Addr]bool{}
-	for _, lb := range c.Rep.LostBlocks {
+	for _, lb := range c.baseRep().LostBlocks {
 		excluded[lb.Addr] = true
 	}
-	for _, tb := range c.Rep.Tampered {
+	for _, tb := range c.baseRep().Tampered {
 		excluded[tb.Addr] = true
 	}
 	if c.inlinePacked() {
@@ -370,7 +420,7 @@ func checkTornWriteDetected(c *Context) string {
 	if !c.Faulty() || c.attackInPlay() {
 		return ""
 	}
-	rep := c.Rep
+	rep := c.baseRep()
 	stale, divs := c.goldenVersions()
 	if len(divs) > 0 {
 		return "recovered image silently accepts content the trace never wrote: " + divs[0]
@@ -435,6 +485,7 @@ func checkADRBudget(c *Context) string {
 	if !c.Faulty() || c.Media == nil {
 		return ""
 	}
+	rep := c.baseRep()
 	if c.Cell.ADRBudget > 0 && c.Media.Flushed > c.Cell.ADRBudget {
 		return fmt.Sprintf("ADR flushed %d entries over a budget of %d", c.Media.Flushed, c.Cell.ADRBudget)
 	}
@@ -455,11 +506,11 @@ func checkADRBudget(c *Context) string {
 	// the other oracles' business — w/o CC legitimately flags its own
 	// staleness as tamper.)
 	if !c.attackInPlay() && len(c.Media.Events) == 0 && len(c.Img.Suspects) == 0 &&
-		(len(c.Rep.LostBlocks) > 0 || len(c.Rep.MediaErrors) > 0 || c.Rep.CrashLossWindow) {
+		(len(rep.LostBlocks) > 0 || len(rep.MediaErrors) > 0 || rep.CrashLossWindow) {
 		return fmt.Sprintf("crash damaged nothing yet recovery reports media loss (lost=%d mediaErrs=%d window=%v)",
-			len(c.Rep.LostBlocks), len(c.Rep.MediaErrors), c.Rep.CrashLossWindow)
+			len(rep.LostBlocks), len(rep.MediaErrors), rep.CrashLossWindow)
 	}
-	if len(c.Img.Suspects) > 0 && c.Rep.Lossless() {
+	if len(c.Img.Suspects) > 0 && rep.Lossless() {
 		// An unserviced WPQ entry may have dropped a write whole, leaving
 		// stale self-consistent bytes no check can flag: recovery must
 		// report the loss window pessimistically, never claim lossless.
@@ -484,6 +535,149 @@ func checkReadErrorBoundedRetry(c *Context) string {
 		return fmt.Sprintf("%d weak lines survived the scrub pass", c.PostScrubWeak)
 	}
 	return ""
+}
+
+// checkRebootConvergence is the reboot tentpole oracle: the image the
+// interrupted loop converged to must be bit-identical to the golden
+// clone recovered in one uninterrupted shot — store content, stuck-line
+// set and the committed root registers.
+func checkRebootConvergence(c *Context) string {
+	if !c.rebootRan {
+		return ""
+	}
+	got, want := c.Img.Image, c.GoldenImg.Image
+	if !got.Store.Equal(want.Store) {
+		for _, a := range want.Store.Addrs() {
+			wl, _ := want.Store.Read(a)
+			if gl, _ := got.Store.Read(a); gl != wl {
+				return fmt.Sprintf("store diverges from single-shot recovery at %#x after %d interrupted passes",
+					uint64(a), len(c.RebootPlans))
+			}
+		}
+		for _, a := range got.Store.Addrs() {
+			gl, _ := got.Store.Read(a)
+			if wl, _ := want.Store.Read(a); gl != wl {
+				return fmt.Sprintf("store diverges from single-shot recovery at %#x after %d interrupted passes",
+					uint64(a), len(c.RebootPlans))
+			}
+		}
+	}
+	if len(got.Stuck) != len(want.Stuck) {
+		return fmt.Sprintf("stuck-line set diverges from single-shot recovery (%d lines vs %d)",
+			len(got.Stuck), len(want.Stuck))
+	}
+	for a := range want.Stuck {
+		if !got.Stuck[a] {
+			return fmt.Sprintf("line %#x stuck after single-shot recovery but not after the reboot loop", uint64(a))
+		}
+	}
+	gt, wt := c.Recovered.TCB, c.GoldenRec.TCB
+	if gt.RootNew != wt.RootNew || gt.RootOld != wt.RootOld || gt.Nwb != wt.Nwb {
+		return fmt.Sprintf("committed TCB registers diverge from single-shot recovery (Nwb %d vs %d)",
+			gt.Nwb, wt.Nwb)
+	}
+	return ""
+}
+
+// checkRebootNoNewLoss asserts interruption never worsens the verdict:
+// re-entered recovery reports no loss, tamper or pessimism the
+// single-shot recovery of the same image did not.
+func checkRebootNoNewLoss(c *Context) string {
+	if !c.rebootRan {
+		return ""
+	}
+	g, f := c.GoldenRep, c.Rep
+	if g.Clean() && !f.Clean() {
+		return fmt.Sprintf("single-shot recovery is clean but the resumed report flags: mismatches=%d tampered=%d replayedPages=%d potentialReplay=%v",
+			len(f.TreeMismatches), len(f.Tampered), len(f.ReplayedPages), f.PotentialReplay)
+	}
+	if extra := missingFrom(lostAddrs(f), lostAddrs(g)); len(extra) > 0 {
+		return fmt.Sprintf("reboots turned block %#x into crash loss (single-shot recovery kept it)", uint64(extra[0]))
+	}
+	if extra := missingFrom(tamperedAddrs(f), tamperedAddrs(g)); len(extra) > 0 {
+		return fmt.Sprintf("reboots turned block %#x into a tamper verdict (single-shot recovery kept it)", uint64(extra[0]))
+	}
+	if f.CrashLossWindow && !g.CrashLossWindow {
+		return "reboots introduced a crash-loss window the single-shot recovery did not report"
+	}
+	if f.PotentialReplay && !g.PotentialReplay {
+		return "reboots introduced a replay verdict the single-shot recovery did not report"
+	}
+	return ""
+}
+
+// checkRebootBounded asserts re-entrant designs converge within their
+// declared budget: every pass's write plan is no larger than its
+// predecessor's, no plan size repeats across more interrupted passes
+// than the capability's stride allows, and the converged image carries
+// no active journal.
+func checkRebootBounded(c *Context) string {
+	if !c.rebootRan || !c.caps().ReentrantRecovery {
+		return ""
+	}
+	plans := append([]int{}, c.RebootPlans...)
+	if c.FinalPlan >= 0 {
+		plans = append(plans, c.FinalPlan)
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i] > plans[i-1] {
+			return fmt.Sprintf("recovery write plan grew across reboots: pass %d planned %d lines after %d",
+				i+1, plans[i], plans[i-1])
+		}
+	}
+	if stride := c.caps().RebootStride; c.Cell.RebootEvery >= 2 && stride > 0 {
+		// Striking the first write of every pass (RebootEvery == 1) makes
+		// zero progress by construction, so the stride bound only binds
+		// when each pass can persist at least one record.
+		run := 1
+		for i := 1; i < len(c.RebootPlans); i++ {
+			if c.RebootPlans[i] != c.RebootPlans[i-1] {
+				run = 1
+				continue
+			}
+			if run++; run > stride {
+				return fmt.Sprintf("plan size %d repeated across %d interrupted passes (declared stride %d): recovery is not progressing",
+					c.RebootPlans[i], run, stride)
+			}
+		}
+	}
+	if recovery.JournalActive(c.Img) {
+		return "converged recovery left an active journal behind"
+	}
+	return ""
+}
+
+// lostAddrs and tamperedAddrs flatten a report's loss evidence for the
+// subset checks; missingFrom returns the members of sub absent from
+// super.
+func lostAddrs(rep *recovery.Report) []mem.Addr {
+	out := make([]mem.Addr, 0, len(rep.LostBlocks))
+	for _, lb := range rep.LostBlocks {
+		out = append(out, lb.Addr)
+	}
+	return out
+}
+
+func tamperedAddrs(rep *recovery.Report) []mem.Addr {
+	out := make([]mem.Addr, 0, len(rep.Tampered))
+	for _, tb := range rep.Tampered {
+		out = append(out, tb.Addr)
+	}
+	return out
+}
+
+func missingFrom(sub, super []mem.Addr) []mem.Addr {
+	in := make(map[mem.Addr]bool, len(super))
+	for _, a := range super {
+		in[a] = true
+	}
+	var out []mem.Addr
+	for _, a := range sub {
+		if !in[a] {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func tamperedContains(rep *recovery.Report, a mem.Addr) bool {

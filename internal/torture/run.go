@@ -27,12 +27,13 @@ func (f *Failure) Error() string {
 	return fmt.Sprintf("oracle %s: %s (cell %s)", f.Oracle, f.Detail, f.Cell.String())
 }
 
-// Runner executes torture cells. The Recover and Apply seams default to
-// the real recovery implementation; tests substitute deliberately broken
-// ones to prove the oracles catch them.
+// Runner executes torture cells. The Recover, Apply and ApplyInterrupted
+// seams default to the real recovery implementation; tests substitute
+// deliberately broken ones to prove the oracles catch them.
 type Runner struct {
-	Recover func(*engine.CrashImage) *recovery.Report
-	Apply   func(*engine.CrashImage, *recovery.Report) recovery.Recovered
+	Recover          func(*engine.CrashImage) *recovery.Report
+	Apply            func(*engine.CrashImage, *recovery.Report) recovery.Recovered
+	ApplyInterrupted func(*engine.CrashImage, *recovery.Report, *recovery.Interrupt) (recovery.Recovered, bool)
 }
 
 // DefaultRunner runs cells against the real recovery path.
@@ -50,6 +51,13 @@ func (r *Runner) applyFn() func(*engine.CrashImage, *recovery.Report) recovery.R
 		return r.Apply
 	}
 	return recovery.Apply
+}
+
+func (r *Runner) applyInterruptedFn() func(*engine.CrashImage, *recovery.Report, *recovery.Interrupt) (recovery.Recovered, bool) {
+	if r.ApplyInterrupted != nil {
+		return r.ApplyInterrupted
+	}
+	return recovery.ApplyInterrupted
 }
 
 // pattern derives a block's store content from its address and the op
@@ -135,12 +143,65 @@ func (r *Runner) RunCell(c Cell) (fail *Failure) {
 		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
 	}
 	ctx.Rep = r.recoverFn()(ctx.Img)
+	if fail := r.runRebootLoop(ctx); fail != nil {
+		return fail
+	}
 
 	for _, o := range Oracles() {
 		if detail := o.Check(ctx); detail != "" {
 			return &Failure{Cell: c, Oracle: o.Name, Detail: detail}
 		}
 	}
+	return nil
+}
+
+// runRebootLoop executes the cell's reboot axis: after a clean first
+// recovery, run Apply with an interrupt striking the RebootEvery-th
+// persisted recovery write, re-enter recovery on the half-applied
+// image, and repeat, finishing with one uninterrupted pass. Before the
+// first strike it clones the crash image and recovers the clone
+// single-shot through the same runner seams — the convergence oracle's
+// golden final state. Cells whose first recovery is not clean skip the
+// loop: their Apply semantics stay owned by the single-shot oracles
+// (this also exempts w/o CC, whose crash images always flag tamper).
+func (r *Runner) runRebootLoop(ctx *Context) *Failure {
+	c := ctx.Cell
+	if c.Reboots <= 0 || !ctx.Rep.Clean() {
+		return nil
+	}
+	ctx.FirstRep = ctx.Rep
+	ctx.GoldenImg = ctx.Img.Clone()
+	ctx.GoldenRep = r.recoverFn()(ctx.GoldenImg)
+	grec := r.applyFn()(ctx.GoldenImg, ctx.GoldenRep)
+	ctx.GoldenRec = &grec
+	ctx.FinalPlan = -1
+	rep := ctx.Rep
+	done := false
+	for pass := 1; pass <= c.Reboots && !done; pass++ {
+		itr := &recovery.Interrupt{After: c.RebootEvery, Faults: c.faultModel(), Seq: uint64(pass)}
+		rec, ok := r.applyInterruptedFn()(ctx.Img, rep, itr)
+		ctx.RebootPlans = append(ctx.RebootPlans, itr.Plan)
+		if ok {
+			// The pass finished before its strike point: converged early.
+			ctx.Recovered = &rec
+			done = true
+		} else {
+			rep = r.recoverFn()(ctx.Img)
+		}
+	}
+	if !done {
+		itr := &recovery.Interrupt{Seq: uint64(c.Reboots + 1)}
+		rec, ok := r.applyInterruptedFn()(ctx.Img, rep, itr)
+		ctx.FinalPlan = itr.Plan
+		if !ok {
+			return &Failure{Cell: c, Oracle: "reboot-bounded",
+				Detail: "uninterrupted final recovery pass failed to commit"}
+		}
+		ctx.Recovered = &rec
+	}
+	ctx.Rep = rep
+	ctx.applied = true
+	ctx.rebootRan = true
 	return nil
 }
 

@@ -7,14 +7,16 @@ package torture
 // sound reduction. The search spends at most budget cell executions and
 // returns the smallest still-failing cell plus the number of runs used.
 //
-// Four phases, each kept only if the cell still fails the same oracle:
+// Five phases, each kept only if the cell still fails the same oracle:
 //  1. drop the attack (a failure that survives as a clean crash is a
 //     strictly simpler repro, whatever oracle it then trips);
 //  2. reduce the fault dimensions: first all of them at once (a
 //     faultless repro is strictly simpler, whatever oracle it trips),
 //     then one dimension at a time, then the fault seed to 1;
-//  3. bisect CrashAt downward, then walk it down linearly;
-//  4. trim Ops to CrashAt so the repro generates no dead trace tail.
+//  3. reduce the reboot axis: drop it entirely, then halve the reboot
+//     count toward one and walk the strike stride down toward 2;
+//  4. bisect CrashAt downward, then walk it down linearly;
+//  5. trim Ops to CrashAt so the repro generates no dead trace tail.
 func Shrink(r *Runner, f Failure, budget int) (Failure, int) {
 	if budget <= 0 {
 		budget = 64
@@ -83,7 +85,37 @@ func Shrink(r *Runner, f Failure, budget int) (Failure, int) {
 		}
 	}
 
-	// Phase 3: bisect the crash point down, then creep linearly.
+	// Phase 3: reduce the reboot axis. A cell that fails without reboots
+	// is strictly simpler, whatever oracle it trips; otherwise fewer
+	// passes and a smaller stride mean fewer recovery re-entries to read
+	// through. The stride floor is 2 (Validate forbids stride 1 with
+	// multiple reboots), reachable only once the count is down to 1.
+	if best.Cell.Reboots > 0 {
+		c := best.Cell
+		c.Reboots, c.RebootEvery = 0, 0
+		try(c, false)
+	}
+	for runs < budget && best.Cell.Reboots > 1 {
+		c := best.Cell
+		c.Reboots = best.Cell.Reboots / 2
+		if !try(c, true) {
+			break
+		}
+	}
+	for runs < budget && best.Cell.Reboots > 0 && best.Cell.RebootEvery > 2 {
+		c := best.Cell
+		c.RebootEvery = best.Cell.RebootEvery - 1
+		if !try(c, true) {
+			break
+		}
+	}
+	if best.Cell.Reboots == 1 && best.Cell.RebootEvery == 2 {
+		c := best.Cell
+		c.RebootEvery = 1
+		try(c, true)
+	}
+
+	// Phase 4: bisect the crash point down, then creep linearly.
 	for runs < budget && best.Cell.CrashAt > 1 {
 		c := best.Cell
 		c.CrashAt = best.Cell.CrashAt / 2
@@ -97,7 +129,7 @@ func Shrink(r *Runner, f Failure, budget int) (Failure, int) {
 		}
 	}
 
-	// Phase 4: drop the trace tail past the crash.
+	// Phase 5: drop the trace tail past the crash.
 	if best.Cell.Ops > best.Cell.CrashAt {
 		c := best.Cell
 		c.Ops = c.CrashAt

@@ -64,6 +64,15 @@ type Cell struct {
 	ADRBudget int   `json:"adr_budget,omitempty"` // ADR flushes only this many WPQ entries whole
 	WeakPct   int   `json:"weak_pct,omitempty"`   // percent of written lines with transient read errors
 	Stuck     int   `json:"stuck,omitempty"`      // lines stuck-at failed at the crash
+
+	// Reboot-loop dimensions: after the first recovery reports clean,
+	// re-run Apply up to Reboots times, striking the RebootEvery-th
+	// persisted recovery write of each pass (torn under the cell's fault
+	// model, dropped whole without one) and re-entering recovery, then
+	// finish with an uninterrupted pass. Zero Reboots reproduces the
+	// single-shot harness bit-for-bit.
+	RebootEvery int `json:"reboot_every,omitempty"` // strike the k-th recovery write of each pass
+	Reboots     int `json:"reboots,omitempty"`      // interrupted recovery passes before the final one
 }
 
 // Faulty reports whether any media-fault dimension is active.
@@ -129,30 +138,52 @@ func (c Cell) Validate() error {
 	if c.Stuck < 0 || c.Stuck > 64 {
 		return fmt.Errorf("torture: stuck-line count %d out of range [0,64]", c.Stuck)
 	}
+	if c.Reboots < 0 || c.Reboots > 64 {
+		return fmt.Errorf("torture: reboot count %d out of range [0,64]", c.Reboots)
+	}
+	if c.RebootEvery < 0 || c.RebootEvery > 1<<16 {
+		return fmt.Errorf("torture: reboot stride %d out of range", c.RebootEvery)
+	}
+	if c.Reboots > 0 && c.RebootEvery < 1 {
+		return fmt.Errorf("torture: reboots=%d needs a strike stride (revery >= 1)", c.Reboots)
+	}
+	if c.RebootEvery > 0 && c.Reboots == 0 {
+		return fmt.Errorf("torture: revery=%d without reboots", c.RebootEvery)
+	}
+	if c.RebootEvery == 1 && c.Reboots > 1 {
+		// Striking every pass's FIRST recovery write kills the journal
+		// bootstrap record itself each time: no pass can persist any
+		// progress, so repeated reboots cannot converge by construction.
+		// A single such reboot (Reboots=1) is still a valid probe — the
+		// final uninterrupted pass completes it.
+		return fmt.Errorf("torture: revery=1 with %d reboots cannot converge (every pass loses its first write)", c.Reboots)
+	}
 	return nil
 }
 
-// String renders the cell as the key=value spec Repro embeds. Fault
-// dimensions are appended only when active, so faultless cells keep
-// their historical spec (and repro lines) unchanged.
+// String renders the cell as the key=value spec Repro embeds. Fault and
+// reboot dimensions are appended only when active, so historical cells
+// keep their spec (and repro lines) unchanged.
 func (c Cell) String() string {
 	s := fmt.Sprintf("design=%s,workload=%s,seed=%d,ops=%d,crash=%d,attack=%s,n=%d,m=%d",
 		c.Design, c.Workload, c.Seed, c.Ops, c.CrashAt, c.Attack, c.N, c.M)
-	if !c.Faulty() {
-		return s
+	if c.Faulty() {
+		s += fmt.Sprintf(",fseed=%d", c.FaultSeed)
+		if c.Torn {
+			s += ",torn=1"
+		}
+		if c.ADRBudget > 0 {
+			s += fmt.Sprintf(",adr=%d", c.ADRBudget)
+		}
+		if c.WeakPct > 0 {
+			s += fmt.Sprintf(",weak=%d", c.WeakPct)
+		}
+		if c.Stuck > 0 {
+			s += fmt.Sprintf(",stuck=%d", c.Stuck)
+		}
 	}
-	s += fmt.Sprintf(",fseed=%d", c.FaultSeed)
-	if c.Torn {
-		s += ",torn=1"
-	}
-	if c.ADRBudget > 0 {
-		s += fmt.Sprintf(",adr=%d", c.ADRBudget)
-	}
-	if c.WeakPct > 0 {
-		s += fmt.Sprintf(",weak=%d", c.WeakPct)
-	}
-	if c.Stuck > 0 {
-		s += fmt.Sprintf(",stuck=%d", c.Stuck)
+	if c.Reboots > 0 {
+		s += fmt.Sprintf(",revery=%d,reboots=%d", c.RebootEvery, c.Reboots)
 	}
 	return s
 }
@@ -201,6 +232,10 @@ func ParseCell(spec string) (Cell, error) {
 			c.WeakPct, err = strconv.Atoi(v)
 		case "stuck":
 			c.Stuck, err = strconv.Atoi(v)
+		case "revery":
+			c.RebootEvery, err = strconv.Atoi(v)
+		case "reboots":
+			c.Reboots, err = strconv.Atoi(v)
 		default:
 			return Cell{}, fmt.Errorf("torture: unknown cell field %q", k)
 		}
