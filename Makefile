@@ -3,7 +3,16 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race fuzz-short vuln lint-designs torture torture-faults torture-reboots torture-long ci bench profile clean
+.PHONY: all tier1 vet race fuzz-short vuln lint-designs torture torture-faults torture-reboots torture-long ci bench bench-check profile clean
+
+# Performance-ledger knobs. BENCH_PR numbers the pinned ledger file
+# (BENCH_$(BENCH_PR).json); BENCH_OPS sizes the pinning run, and
+# BENCH_CHECK_OPS the cheaper gate run that ci executes. Set
+# BENCH_SKIP=1 to skip the gate on underpowered or heavily shared
+# runners.
+BENCH_PR ?= 6
+BENCH_OPS ?= 120000
+BENCH_CHECK_OPS ?= 20000
 
 all: tier1
 
@@ -81,15 +90,40 @@ torture-long:
 	$(GO) test ./internal/torture/ -torture.long -timeout 30m -v
 
 # ci is what a merge must pass.
-ci: tier1 vet lint-designs race fuzz-short vuln torture-reboots
+ci: tier1 vet lint-designs race fuzz-short vuln torture-reboots bench-check
 
+# bench pins the performance ledger: the Go benchmarks stream into a
+# benchstat-friendly raw file (compare two with
+# `benchstat BENCH_old.txt BENCH_new.txt`) and ccnvm-bench measures and
+# writes the schema-versioned JSON ledger. Both files are committed with
+# the PR that changed performance.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ . | tee BENCH_$(BENCH_PR).txt
+	$(GO) run ./cmd/ccnvm-bench -ledger BENCH_$(BENCH_PR).json -ops $(BENCH_OPS)
 
-# profile captures CPU and heap profiles of a serial Figure 5 run;
-# inspect with `go tool pprof cpu.out`.
+# bench-check is the regression gate: a fresh (cheaper) measurement is
+# compared against the newest committed BENCH_*.json and the build fails
+# on >15% throughput regression. BENCH_SKIP=1 skips it.
+bench-check:
+	@if [ "$$BENCH_SKIP" = "1" ]; then \
+		echo "bench-check: skipped (BENCH_SKIP=1)"; \
+	else \
+		$(GO) run ./cmd/ccnvm-bench -check . -ops $(BENCH_CHECK_OPS); \
+	fi
+
+# profile captures CPU and heap profiles of a Figure 5 run; inspect with
+# `go tool pprof cpu.out`. PROFILE_PARALLEL sets the machine-level
+# concurrency and PROFILE_WORKERS the per-machine pipeline width, so
+# serial and parallel configurations can both be profiled without
+# editing this file:
+#
+#	make profile                                   # serial baseline
+#	make profile PROFILE_PARALLEL=4                # 4 concurrent machines
+#	make profile PROFILE_WORKERS=4                 # sharded BMT pipeline
+PROFILE_PARALLEL ?= 1
+PROFILE_WORKERS ?= 0
 profile:
-	$(GO) run ./cmd/ccnvm-bench -fig 5 -parallel 1 -cpuprofile cpu.out -memprofile mem.out
+	$(GO) run ./cmd/ccnvm-bench -fig 5 -parallel $(PROFILE_PARALLEL) -workers $(PROFILE_WORKERS) -cpuprofile cpu.out -memprofile mem.out
 
 clean:
 	rm -f cpu.out mem.out

@@ -12,6 +12,8 @@
 //	ccnvm-bench -summary            # headline claims only
 //	ccnvm-bench -fig 5 -json        # machine-readable output
 //	ccnvm-bench -fig 5 -cpuprofile cpu.out -parallel 1
+//	ccnvm-bench -ledger BENCH_6.json          # measure + pin the perf ledger
+//	ccnvm-bench -check . -ops 20000           # regression-gate vs newest BENCH_*.json
 package main
 
 import (
@@ -23,12 +25,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"strings"
 	"time"
 
 	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/experiments"
+	"ccnvm/internal/perf"
 )
 
 // output is the machine-readable (-json) form of a bench run: the
@@ -70,8 +74,16 @@ func main() {
 	warmup := flag.Int("warmup", 0, "warm-up operations excluded from statistics")
 	seed := flag.Int64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
+	workers := flag.Int("workers", 0, "per-machine parallel-pipeline width (subtree-sharded BMT/drain workers; 0 or 1 = serial, results identical)")
 	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
+	ledgerPath := flag.String("ledger", "", "measure the performance ledger and pin it to this file (e.g. BENCH_6.json), then exit")
+	checkDir := flag.String("check", "", "measure a fresh ledger and regression-gate it against the newest BENCH_*.json in this directory, then exit")
 	flag.Parse()
+
+	if *ledgerPath != "" || *checkDir != "" {
+		runLedger(*ledgerPath, *checkDir, *ops, *seed, *benchList)
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -85,7 +97,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	o := experiments.Options{Ops: *ops, Warmup: *warmup, Seed: *seed, Parallelism: *parallel}
+	o := experiments.Options{Ops: *ops, Warmup: *warmup, Seed: *seed, Parallelism: *parallel, Workers: *workers}
 	if *benchList != "" {
 		o.Benchmarks = strings.Split(*benchList, ",")
 	}
@@ -197,6 +209,69 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runLedger is the perf-ledger mode behind -ledger and -check: it runs
+// the sequential design x benchmark measurement plus the parallel tree
+// kernel (see internal/perf), then either pins the result to a file or
+// gates it against the newest committed BENCH_*.json.
+func runLedger(ledgerPath, checkDir string, ops int, seed int64, benchList string) {
+	opts := perf.MeasureOptions{Ops: ops, Seed: seed}
+	if benchList != "" {
+		opts.Benchmarks = strings.Split(benchList, ",")
+	}
+	l, err := perf.Measure(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(ledgerSummary(l))
+	if ledgerPath != "" {
+		if err := l.Save(ledgerPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pinned ledger -> %s\n", ledgerPath)
+	}
+	if checkDir != "" {
+		newest, err := perf.Newest(checkDir)
+		if err != nil {
+			fatal(err)
+		}
+		pinned, err := perf.Load(newest)
+		if err != nil {
+			fatal(err)
+		}
+		if err := perf.Compare(pinned, l); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("regression gate passed vs %s (tolerance %d%%)\n",
+			newest, int(perf.Tolerance*100))
+	}
+}
+
+// ledgerSummary renders the measurement for humans; the JSON file is
+// the canonical record.
+func ledgerSummary(l *perf.Ledger) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf ledger: %s, %d cpu(s), %d ops x %d benchmark(s), seed %d\n",
+		l.GoVersion, l.CPUs, l.Ops, len(l.Benchmarks), l.Seed)
+	fmt.Fprintf(&b, "  overall: %.0f sim-ops/sec over %.2fs (%.1f allocs/op, memo hit %.3f)\n",
+		l.OpsPerSec, l.WallSeconds, l.AllocsPerOp, l.Memo.Overall)
+	for _, d := range sortedDesigns(l) {
+		fmt.Fprintf(&b, "  %-12s %9.0f ops/sec\n", d, l.Designs[d].OpsPerSec)
+	}
+	for _, p := range l.Parallel {
+		fmt.Fprintf(&b, "  tree kernel workers=%d: %.3fs (%.2fx)\n", p.Workers, p.WallSeconds, p.Speedup)
+	}
+	return b.String()
+}
+
+func sortedDesigns(l *perf.Ledger) []string {
+	out := make([]string, 0, len(l.Designs))
+	for d := range l.Designs {
+		out = append(out, d)
+	}
+	slices.Sort(out)
+	return out
 }
 
 // cellOps counts the simulated memory operations behind a Fig5 matrix,

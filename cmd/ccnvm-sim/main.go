@@ -49,12 +49,13 @@ func main() {
 	scrubOps := flag.Int("scrub-ops", 0, "trace ops between scrub passes under a fault model (0 = default)")
 	traceFile := flag.String("trace", "", "replay a recorded trace file instead of a generated workload")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations when multiple designs are given")
+	workers := flag.Int("workers", 0, "per-machine parallel-pipeline width (subtree-sharded BMT/drain workers; 0 or 1 = serial, results identical)")
 	asJSON := flag.Bool("json", false, "emit the result as JSON (an array when multiple designs are given)")
 	flag.Parse()
 
 	cfg := sim.Config{
 		Capacity: *capacity,
-		Params:   engine.Params{UpdateLimit: *n, QueueEntries: *m},
+		Params:   engine.Params{UpdateLimit: *n, QueueEntries: *m, Workers: *workers},
 		ScrubOps: *scrubOps,
 	}
 	// Any non-zero fault axis installs the media fault model; with all
@@ -99,16 +100,16 @@ func main() {
 
 	results := make([]sim.Result, len(designs))
 	errs := make([]error, len(designs))
-	workers := *parallel
-	if workers < 1 {
-		workers = 1
+	conc := *parallel
+	if conc < 1 {
+		conc = 1
 	}
-	if workers > len(designs) {
-		workers = len(designs)
+	if conc > len(designs) {
+		conc = len(designs)
 	}
 	var wg sync.WaitGroup
 	in := make(chan int)
-	for w := 0; w < workers; w++ {
+	for w := 0; w < conc; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

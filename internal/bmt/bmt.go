@@ -37,6 +37,7 @@ type Tree struct {
 	lay      *mem.Layout
 	cry      *seccrypto.Engine
 	defaults []mem.Line // default node content per level; [0] is the zero counter line
+	workers  []*Tree    // lazily forked per-worker clones for the parallel paths (shard.go)
 }
 
 // New builds the tree helper and precomputes the per-level default

@@ -1,0 +1,365 @@
+// Subtree-sharded parallel scheduling for the Merkle tree.
+//
+// The tree's top in-NVM level has at most four nodes (the TCB root
+// node's children), and every counter line or internal node below it
+// descends from exactly one of them. Partitioning work by that
+// top-level subtree therefore yields conflict-free shards: no two
+// shards ever touch the same node, and only the TCB root — recomputed
+// in the deterministic merge step — is shared. This is the
+// update-scheduling observation of Freij et al., "Streamlining
+// Integrity Tree Updates for Secure Persistent Non-Volatile Memory":
+// non-conflicting tree updates may proceed concurrently once same-node
+// updates are coalesced, and the subtree partition makes the
+// no-conflict property structural instead of discovered.
+//
+// Every parallel entry point is bit-identical to its serial
+// counterpart: workers receive a deterministic shard assignment,
+// produce shard-local results, and a single merge pass folds them in
+// fixed shard order. Each worker's crypto engine is a Fork of the
+// tree's — memo tables never change answers, so forked engines are
+// exact.
+package bmt
+
+import (
+	"sync"
+
+	"ccnvm/internal/mem"
+	"ccnvm/internal/seccrypto"
+)
+
+// Shards returns the number of top-level subtrees: the populated node
+// count of the top in-NVM level, at most mem.HMACsPerLine. This is the
+// maximum useful worker count for intra-tree parallelism.
+func (t *Tree) Shards() int {
+	return int(t.lay.LevelNodes(t.lay.TopLevel()))
+}
+
+// ShardOf returns the top-level-subtree shard owning tree position
+// (level, idx): the index of its ancestor at the top in-NVM level. The
+// tree is HMACsPerLine-ary, so each level up divides the index by the
+// arity.
+func (t *Tree) ShardOf(level int, idx uint64) int {
+	for ; level < t.lay.TopLevel(); level++ {
+		idx /= mem.HMACsPerLine
+	}
+	return int(idx)
+}
+
+// forks returns n forked trees of t, lazily created and retained on t
+// so repeated parallel calls (one per drain) reuse warmed memo tables.
+// Like the Tree itself, the fork list is grown only by the owning
+// goroutine; the forks are then used concurrently, one per worker.
+func (t *Tree) forks(n int) []*Tree {
+	for len(t.workers) < n {
+		t.workers = append(t.workers, &Tree{lay: t.lay, cry: t.cry.Fork(), defaults: t.defaults})
+	}
+	return t.workers[:n]
+}
+
+// runShards executes fn(shard, worker) for every shard index in
+// [0, shards) on at most workers goroutines, worker w taking shards
+// w, w+workers, ... — a deterministic assignment, so any state keyed by
+// shard or worker is schedule-independent. With workers <= 1 it runs
+// inline.
+func runShards(shards, workers int, fn func(shard, worker int)) {
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s, 0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := w; s < shards; s += workers {
+				fn(s, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// VerifyAllParallel is VerifyAll across a bounded worker pool. The
+// address list is partitioned by top-level subtree, each worker checks
+// its shards' entries with a forked crypto engine (the Reader is only
+// read, never written), and the merge pass replays the per-address
+// verdicts in the original traversal order — the returned mismatch
+// slice is byte-for-byte the serial result, including its first-report
+// dedup order. workers <= 1 delegates to the serial walk.
+func (t *Tree) VerifyAllParallel(r Reader, root mem.Line, addrs []mem.Addr, workers int) []Mismatch {
+	shards := t.Shards()
+	if workers <= 1 || shards <= 1 || len(addrs) < 2 {
+		return t.VerifyAll(r, root, addrs)
+	}
+	// Partition address-list indices by shard. Addresses outside the
+	// counter and tree regions are skipped by the serial walk too; the
+	// checks themselves are pure reads, so the partition only decides
+	// which worker performs each one.
+	byShard := make([][]int, shards)
+	for i, a := range addrs {
+		var s int
+		switch t.lay.RegionOf(a) {
+		case mem.RegionCounter:
+			s = t.ShardOf(0, t.lay.CounterLineIndex(a))
+		case mem.RegionTree:
+			s = t.ShardOf(t.lay.NodeAt(a))
+		default:
+			continue
+		}
+		byShard[s] = append(byShard[s], i)
+	}
+	// Workers produce per-address candidate reports; each is a pure
+	// function of (r, root, addr), so the shard split cannot change it.
+	cands := make([][]Mismatch, len(addrs))
+	forks := t.forks(min(workers, shards))
+	runShards(shards, workers, func(shard, worker int) {
+		wt := forks[worker]
+		for _, i := range byShard[shard] {
+			cands[i] = wt.verifyOne(r, root, addrs[i])
+		}
+	})
+	// Merge: replay in original order with the serial dedup rule.
+	var bad []Mismatch
+	seen := make(map[mem.Addr]bool)
+	for _, cs := range cands {
+		for _, m := range cs {
+			if !seen[m.Addr] {
+				seen[m.Addr] = true
+				bad = append(bad, m)
+			}
+		}
+	}
+	return bad
+}
+
+// verifyOne returns the (pre-dedup) mismatch reports the serial
+// VerifyAll walk would emit for one address, in emission order.
+func (t *Tree) verifyOne(r Reader, root mem.Line, a mem.Addr) []Mismatch {
+	var level int
+	var idx uint64
+	switch t.lay.RegionOf(a) {
+	case mem.RegionCounter:
+		level, idx = 0, t.lay.CounterLineIndex(a)
+	case mem.RegionTree:
+		level, idx = t.lay.NodeAt(a)
+	default:
+		return nil
+	}
+	var out []Mismatch
+	content := t.NodeContent(r, level, idx)
+	// Upward link.
+	var parent mem.Line
+	var slot int
+	if level == t.lay.TopLevel() {
+		parent, slot = root, int(idx)
+	} else {
+		pl, pi, s := t.lay.ParentOf(level, idx)
+		parent, slot = t.NodeContent(r, pl, pi), s
+	}
+	if !t.VerifyChild(parent, slot, content) {
+		out = append(out, Mismatch{Level: level, Index: idx, Addr: a})
+	}
+	// Downward links for internal nodes.
+	if level >= 1 {
+		for s := 0; s < mem.HMACsPerLine; s++ {
+			cl, ci := t.lay.ChildOf(level, idx, s)
+			child := t.NodeContent(r, cl, ci)
+			if !t.VerifyChild(content, s, child) {
+				var ca mem.Addr
+				if cl == 0 {
+					ca = t.lay.CounterLineAddr(ci)
+				} else {
+					ca = t.lay.NodeAddr(cl, ci)
+				}
+				out = append(out, Mismatch{Level: cl, Index: ci, Addr: ca})
+			}
+		}
+	}
+	return out
+}
+
+// RebuildParallel is Rebuild across a bounded worker pool: counter
+// addresses are partitioned by top-level subtree, each worker rebuilds
+// its subtrees bottom-up exactly like the serial level loop (subtrees
+// never share internal nodes, so worker node maps are disjoint), and
+// the merge unions the maps and assembles the root exactly as the
+// serial pass does. The returned node map and root are bit-identical
+// to Rebuild's. workers <= 1 delegates to the serial pass.
+func (t *Tree) RebuildParallel(r Reader, counterAddrs []mem.Addr, workers int) (map[mem.Addr]mem.Line, mem.Line) {
+	shards := t.Shards()
+	if workers <= 1 || t.lay.TopLevel() == 0 || shards <= 1 || len(counterAddrs) < 2 {
+		return t.Rebuild(r, counterAddrs)
+	}
+	byShard := make([][]uint64, shards)
+	for _, a := range counterAddrs {
+		if t.lay.RegionOf(a) == mem.RegionCounter {
+			idx := t.lay.CounterLineIndex(a)
+			s := t.ShardOf(0, idx)
+			byShard[s] = append(byShard[s], idx)
+		}
+	}
+	outs := make([]map[mem.Addr]mem.Line, shards)
+	forks := t.forks(min(workers, shards))
+	runShards(shards, workers, func(shard, worker int) {
+		if len(byShard[shard]) == 0 {
+			return
+		}
+		outs[shard] = forks[worker].rebuildSubtree(r, byShard[shard])
+	})
+	// Merge: shard node maps are disjoint by construction, so the union
+	// is order-independent.
+	nodes := make(map[mem.Addr]mem.Line)
+	for _, out := range outs {
+		for a, n := range out {
+			nodes[a] = n
+		}
+	}
+	// Assemble the root from the (possibly rebuilt) top level, exactly
+	// as the serial pass does: rebuilt nodes from the union, defaults
+	// elsewhere. Internal levels never read r.
+	var root mem.Line
+	top := t.lay.TopLevel()
+	for s := 0; s < mem.HMACsPerLine; s++ {
+		child := t.defaults[top]
+		if uint64(s) < t.lay.LevelNodes(top) {
+			if n, ok := nodes[t.lay.NodeAddr(top, uint64(s))]; ok {
+				child = n
+			}
+		}
+		seccrypto.PutHMAC(&root, s, t.cry.NodeHMAC(child))
+	}
+	return nodes, root
+}
+
+// SpreadDeferred performs the drainer's deferred spreading (cc-NVM
+// §4.3): starting from the dirty counter leaves (index -> new content),
+// it recomputes every affected internal node exactly once, bottom-up,
+// coalescing same-node updates. lookup supplies the pre-drain content
+// of an internal node the first time a level touches it; with
+// workers > 1 it is called from worker goroutines and must be safe for
+// concurrent reads.
+//
+// It returns the recomputed internal nodes keyed by NVM address, the
+// per-level affected counts (counts[l] nodes were hashed at level l,
+// for l in 0..TopLevel; the last entry is the top-level set folded into
+// the root) for the caller's HMAC-unit timing model, and the top-level
+// nodes (index -> content) for the root fold. The three results are
+// bit-identical for any workers value: shards are disjoint subtrees, so
+// per-shard node maps and top sets union without conflict and per-level
+// counts sum in shard order.
+func (t *Tree) SpreadDeferred(leaves map[uint64]mem.Line, lookup func(mem.Addr) mem.Line, workers int) (map[mem.Addr]mem.Line, []int, map[uint64]mem.Line) {
+	shards := t.Shards()
+	if workers <= 1 || t.lay.TopLevel() == 0 || shards <= 1 || len(leaves) < 2 {
+		return t.spreadSubtree(leaves, lookup)
+	}
+	byShard := make([]map[uint64]mem.Line, shards)
+	for idx, child := range leaves {
+		s := t.ShardOf(0, idx)
+		if byShard[s] == nil {
+			byShard[s] = make(map[uint64]mem.Line)
+		}
+		byShard[s][idx] = child
+	}
+	type spreadOut struct {
+		nodes  map[mem.Addr]mem.Line
+		counts []int
+		top    map[uint64]mem.Line
+	}
+	outs := make([]spreadOut, shards)
+	forks := t.forks(min(workers, shards))
+	runShards(shards, workers, func(shard, worker int) {
+		if byShard[shard] == nil {
+			return
+		}
+		o := &outs[shard]
+		o.nodes, o.counts, o.top = forks[worker].spreadSubtree(byShard[shard], lookup)
+	})
+	nodes := make(map[mem.Addr]mem.Line)
+	counts := make([]int, t.lay.TopLevel()+1)
+	top := make(map[uint64]mem.Line)
+	for _, o := range outs {
+		for a, n := range o.nodes {
+			nodes[a] = n
+		}
+		for l, n := range o.counts {
+			counts[l] += n
+		}
+		for idx, n := range o.top {
+			top[idx] = n
+		}
+	}
+	return nodes, counts, top
+}
+
+// spreadSubtree is the serial deferred-spreading level loop over one
+// set of dirty leaves (the whole tree, or one shard's subtree — all
+// nodes it touches are ancestors of its leaves).
+func (t *Tree) spreadSubtree(leaves map[uint64]mem.Line, lookup func(mem.Addr) mem.Line) (map[mem.Addr]mem.Line, []int, map[uint64]mem.Line) {
+	nodes := make(map[mem.Addr]mem.Line)
+	counts := make([]int, t.lay.TopLevel()+1)
+	affected := leaves
+	for level := 0; level < t.lay.TopLevel(); level++ {
+		parents := make(map[uint64]mem.Line)
+		for idx, child := range affected {
+			_, pi, slot := t.lay.ParentOf(level, idx)
+			node, started := parents[pi]
+			if !started {
+				node = lookup(t.lay.NodeAddr(level+1, pi))
+			}
+			t.SetParentSlot(&node, slot, child)
+			parents[pi] = node
+		}
+		counts[level] = len(affected)
+		for pi, node := range parents {
+			nodes[t.lay.NodeAddr(level+1, pi)] = node
+		}
+		affected = parents
+	}
+	counts[t.lay.TopLevel()] = len(affected)
+	return nodes, counts, affected
+}
+
+// rebuildSubtree runs the serial Rebuild level loop over one shard's
+// leaf indices, returning the rebuilt internal nodes keyed by NVM
+// address. All leaves share a top-level ancestor, so every node the
+// loop writes lies inside that subtree.
+func (t *Tree) rebuildSubtree(r Reader, leaves []uint64) map[mem.Addr]mem.Line {
+	nodes := make(map[mem.Addr]mem.Line)
+	affected := make(map[uint64]bool, len(leaves))
+	for _, idx := range leaves {
+		affected[idx] = true
+	}
+	content := func(level int, idx uint64) mem.Line {
+		if level == 0 {
+			return t.NodeContent(r, 0, idx)
+		}
+		if n, ok := nodes[t.lay.NodeAddr(level, idx)]; ok {
+			return n
+		}
+		return t.defaults[level]
+	}
+	for level := 0; level < t.lay.TopLevel(); level++ {
+		parents := make(map[uint64]bool)
+		for idx := range affected {
+			_, pi, _ := t.lay.ParentOf(level, idx)
+			parents[pi] = true
+		}
+		for pi := range parents {
+			node := t.defaults[level+1]
+			for s := 0; s < mem.HMACsPerLine; s++ {
+				_, ci := t.lay.ChildOf(level+1, pi, s)
+				if affected[ci] {
+					t.SetParentSlot(&node, s, content(level, ci))
+				}
+			}
+			nodes[t.lay.NodeAddr(level+1, pi)] = node
+		}
+		affected = parents
+	}
+	return nodes
+}

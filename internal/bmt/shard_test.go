@@ -1,0 +1,130 @@
+package bmt
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"ccnvm/internal/mem"
+	"ccnvm/internal/seccrypto"
+)
+
+// populate writes a spread of counter lines across all top-level
+// subtrees plus a couple of corruptions, returning the consistent root
+// computed before the corruption so VerifyAll has real mismatches to
+// report.
+func populate(t *testing.T, tr *Tree, st *mem.Store, seed int64, corrupt int) mem.Line {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	leaves := tr.Layout().LevelNodes(0)
+	for i := 0; i < 200; i++ {
+		writeCounter(tr, st, rng.Uint64()%leaves, 1+rng.Intn(3))
+	}
+	// Dense run inside one subtree to exercise coalescing.
+	for i := uint64(0); i < 32; i++ {
+		writeCounter(tr, st, i, 1)
+	}
+	root := persistTree(tr, st)
+	addrs := st.Addrs()
+	for i := 0; i < corrupt; i++ {
+		a := addrs[rng.Intn(len(addrs))]
+		l, _ := st.Read(a)
+		l[rng.Intn(mem.LineSize)] ^= 0xFF
+		st.Write(a, l)
+	}
+	return root
+}
+
+func TestVerifyAllParallelBitIdentical(t *testing.T) {
+	for _, corrupt := range []int{0, 1, 7} {
+		tr, st := tree(t, 64<<20)
+		root := populate(t, tr, st, int64(corrupt)*977+1, corrupt)
+		addrs := st.Addrs()
+		want := tr.VerifyAll(st, root, addrs)
+		for _, workers := range []int{2, 4, runtime.NumCPU(), 9} {
+			got := tr.VerifyAllParallel(st, root, addrs, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("corrupt=%d workers=%d: parallel verify diverged:\n got %v\nwant %v",
+					corrupt, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestRebuildParallelBitIdentical(t *testing.T) {
+	tr, st := tree(t, 64<<20)
+	populate(t, tr, st, 42, 0)
+	var counters []mem.Addr
+	for _, a := range st.Addrs() {
+		if tr.Layout().RegionOf(a) == mem.RegionCounter {
+			counters = append(counters, a)
+		}
+	}
+	wantNodes, wantRoot := tr.Rebuild(st, counters)
+	for _, workers := range []int{2, 4, runtime.NumCPU(), 9} {
+		gotNodes, gotRoot := tr.RebuildParallel(st, counters, workers)
+		if gotRoot != wantRoot {
+			t.Fatalf("workers=%d: parallel rebuild root differs", workers)
+		}
+		if len(gotNodes) != len(wantNodes) {
+			t.Fatalf("workers=%d: node count %d != %d", workers, len(gotNodes), len(wantNodes))
+		}
+		for a, n := range wantNodes {
+			if gotNodes[a] != n {
+				t.Fatalf("workers=%d: node %#x differs", workers, uint64(a))
+			}
+		}
+	}
+}
+
+// TestShardOfPartition checks that ShardOf is consistent with the
+// parent walk: a node and its parent always land in the same shard,
+// and top-level nodes are their own shard index.
+func TestShardOfPartition(t *testing.T) {
+	tr, _ := tree(t, 64<<20)
+	lay := tr.Layout()
+	if tr.Shards() != lay.RootChildren() {
+		t.Fatalf("Shards() = %d, want RootChildren() = %d", tr.Shards(), lay.RootChildren())
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		level := rng.Intn(lay.TopLevel() + 1)
+		idx := rng.Uint64() % lay.LevelNodes(level)
+		s := tr.ShardOf(level, idx)
+		if level == lay.TopLevel() {
+			if s != int(idx) {
+				t.Fatalf("top-level node %d in shard %d", idx, s)
+			}
+			continue
+		}
+		pl, pi, _ := lay.ParentOf(level, idx)
+		if ps := tr.ShardOf(pl, pi); ps != s {
+			t.Fatalf("node (%d,%d) shard %d but parent (%d,%d) shard %d", level, idx, s, pl, pi, ps)
+		}
+	}
+}
+
+// TestForkBitIdentical checks the crypto-engine Fork contract the
+// worker pool relies on: forked engines return identical HMACs and
+// pads for identical inputs.
+func TestForkBitIdentical(t *testing.T) {
+	e := seccrypto.MustEngine(seccrypto.DefaultKeys())
+	f := e.Fork()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		var l mem.Line
+		rng.Read(l[:])
+		a := mem.Addr(rng.Uint64())
+		c := 1 + rng.Uint64()%1000
+		if e.NodeHMAC(l) != f.NodeHMAC(l) {
+			t.Fatal("forked NodeHMAC diverged")
+		}
+		if e.DataHMAC(a, c, l) != f.DataHMAC(a, c, l) {
+			t.Fatal("forked DataHMAC diverged")
+		}
+		if e.Encrypt(a, c, l) != f.Encrypt(a, c, l) {
+			t.Fatal("forked Encrypt diverged")
+		}
+	}
+}

@@ -278,47 +278,40 @@ func (c *CCNVM) drain(now int64, cause DrainCause) int64 {
 		// once, bottom-up, from the dirty counter lines. Within a level
 		// every child hash is independent, so the HMAC unit pipelines
 		// them (one issue slot each); levels serialize on each other,
-		// which is the residual cascade a drain cannot avoid.
-		levelTime := func(n int) {
+		// which is the residual cascade a drain cannot avoid. With
+		// Workers > 1 the recomputation fans out by top-level subtree
+		// (bmt.SpreadDeferred); the per-level counts driving the timing
+		// model are partition-independent, so modeled time, HMACOps and
+		// every recomputed node are identical to the serial walk.
+		leaves := make(map[uint64]mem.Line)
+		for _, a := range tracked {
+			if c.Lay.RegionOf(a) == mem.RegionCounter {
+				leaves[c.Lay.CounterLineIndex(a)] = content[a]
+			}
+		}
+		// The lookup reads only pre-drain state (the initial content
+		// snapshot, caches, NVM), never other workers' output: a parent is
+		// always recomputed by the same shard as its children.
+		nodes, counts, top := c.Tree.SpreadDeferred(leaves, func(pa mem.Addr) mem.Line {
+			if l, ok := content[pa]; ok {
+				return l
+			}
+			return c.metaContent(pa)
+		}, c.P.Workers)
+		for pa, node := range nodes {
+			content[pa] = node
+		}
+		for _, n := range counts {
 			if n == 0 {
-				return
+				continue
 			}
 			c.StatsRef().HMACOps += uint64(n)
 			t += c.P.HMACCycles + int64(n-1)*c.P.HMACIssueCycles
 		}
-		affected := make(map[uint64]mem.Line) // idx -> content at current level
-		for _, a := range tracked {
-			if c.Lay.RegionOf(a) == mem.RegionCounter {
-				affected[c.Lay.CounterLineIndex(a)] = content[a]
-			}
-		}
-		for level := 0; level < c.Lay.TopLevel(); level++ {
-			parents := make(map[uint64]mem.Line)
-			for idx, child := range affected {
-				_, pi, slot := c.Lay.ParentOf(level, idx)
-				pa := c.Lay.NodeAddr(level+1, pi)
-				node, started := parents[pi]
-				if !started {
-					node = c.metaContent(pa)
-					if l, ok := content[pa]; ok {
-						node = l
-					}
-				}
-				c.Tree.SetParentSlot(&node, slot, child)
-				parents[pi] = node
-			}
-			levelTime(len(affected))
-			for pi, node := range parents {
-				pa := c.Lay.NodeAddr(level+1, pi)
-				content[pa] = node
-			}
-			affected = parents
-		}
 		// Fold the recomputed top level into ROOTnew.
-		for idx, node := range affected {
+		for idx, node := range top {
 			c.Tree.SetParentSlot(&c.TCB.RootNew, int(idx), node)
 		}
-		levelTime(len(affected))
 	}
 
 	// Atomic draining: start signal, epoch-held WPQ entries, end signal.
@@ -329,7 +322,7 @@ func (c *CCNVM) drain(now int64, cause DrainCause) int64 {
 		panic(err)
 	}
 	for _, a := range tracked {
-		t = max64(t, c.Ctrl.Write(t, a, content[a]))
+		t = max(t, c.Ctrl.Write(t, a, content[a]))
 	}
 	if _, err := c.Ctrl.EndEpochDrain(t); err != nil {
 		panic(err)
@@ -381,10 +374,3 @@ func (c *CCNVM) Crash() *engine.CrashImage {
 }
 
 var _ engine.Engine = (*CCNVM)(nil)
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

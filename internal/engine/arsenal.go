@@ -224,7 +224,7 @@ func (a *Arsenal) WriteBack(now int64, addr mem.Addr, pt mem.Line) int64 {
 		a.tags[addr] = TagRaw
 		tOrder := tPath + a.Ctrl.Device().Timing().WriteCycles
 		done = a.WriteDataBlock(tOrder, tOrder, addr, pt, ctr)
-		done = max64(done, a.Ctrl.Write(done, ca, cl.Encode()))
+		done = max(done, a.Ctrl.Write(done, ca, cl.Encode()))
 	}
 	a.dropEvicts()
 	a.ReleaseWBSlot(slot, done)
@@ -301,14 +301,14 @@ func (a *Arsenal) reencryptPagePacked(now int64, addr mem.Addr, old, cl seccrypt
 			}
 			seccrypto.PutHMAC(&hl, hslot, a.Cry.DataHMAC(da, cl.Counter(s), ct))
 			t = a.Ctrl.Write(tr, da, ct)
-			t = max64(t, a.Ctrl.Write(t, ha, hl))
+			t = max(t, a.Ctrl.Write(t, ha, hl))
 		}
 	}
 	// Bulk crypto charge: unpack+repack per present block.
 	t += a.P.AESCycles + int64(mem.BlocksPerPage)*a.P.HMACCycles/4
 	// The region copy of the counter line must follow so raw blocks (and
 	// recovery) see the new major.
-	t = max64(t, a.Ctrl.Write(t, a.Lay.CounterLineOf(addr), cl.Encode()))
+	t = max(t, a.Ctrl.Write(t, a.Lay.CounterLineOf(addr), cl.Encode()))
 	return t
 }
 

@@ -93,6 +93,24 @@ func (b *Base) InitBase(lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Cont
 			}
 		}
 	})
+	if p.Workers > 1 {
+		// Let the controller service epoch-drain batches on the worker
+		// pool, partitioned by the same top-level-subtree shard the tree
+		// pipeline uses. The controller refuses the split (keeping the
+		// single global FIFO) when a fault model is active, since
+		// crash-time tear composition replays held entries in global
+		// write order.
+		b.Ctrl.ConfigureDrainSharding(b.Tree.Shards(), func(a mem.Addr) int {
+			switch lay.RegionOf(a) {
+			case mem.RegionCounter:
+				return b.Tree.ShardOf(0, lay.CounterLineIndex(a))
+			case mem.RegionTree:
+				return b.Tree.ShardOf(lay.NodeAt(a))
+			default:
+				return 0
+			}
+		}, p.Workers)
+	}
 	// An empty NVM implies the default tree; both root registers start
 	// at the default root node so verification works from cycle zero.
 	b.TCB.RootNew = b.Tree.RootNode(emptyReader{})
@@ -440,8 +458,8 @@ func (b *Base) readBlockChecked(now int64, addr mem.Addr) (mem.Line, int64, bool
 	okAuth := b.Cry.DataHMAC(addr, ctr, ct) == stored
 
 	tOTP := b.AESOp(tCtr)
-	tVer := b.HMACOp(max64(max64(tData, tCtr), tH), 1)
-	done := max64(max64(tData, tOTP), tVer)
+	tVer := b.HMACOp(max(max(tData, tCtr), tH), 1)
+	done := max(max(tData, tOTP), tVer)
 	pt := b.Cry.Decrypt(addr, ctr, ct)
 	if !okAuth {
 		b.stats.IntegrityViolations++
@@ -462,11 +480,11 @@ func (b *Base) WriteDataBlock(now, ctrAvail int64, addr mem.Addr, pt mem.Line, c
 	tEnc := b.AESOp(ctrAvail)
 	hline, hslot, tH := b.readHMACLineBypass(now, addr)
 	seccrypto.PutHMAC(&hline, hslot, b.Cry.DataHMAC(addr, ctr, ct))
-	tMac := b.HMACOp(max64(tEnc, tH), 1)
+	tMac := b.HMACOp(max(tEnc, tH), 1)
 	ha, _ := b.Lay.HMACLineOf(addr)
 	t1 := b.Ctrl.Write(tMac, addr, ct)
 	t2 := b.Ctrl.Write(tMac, ha, hline)
-	return max64(t1, t2)
+	return max(t1, t2)
 }
 
 // BumpResult reports a counter bump.
@@ -612,6 +630,7 @@ func (b *Base) MakeCrashImage(design string) *CrashImage {
 		TCB:         b.TCB.CloneExt(),
 		Keys:        b.Keys,
 		UpdateLimit: b.P.UpdateLimit,
+		Workers:     b.P.Workers,
 		Design:      design,
 	}
 	if b.Ctrl.Device().FaultModel() != nil {
@@ -622,11 +641,4 @@ func (b *Base) MakeCrashImage(design string) *CrashImage {
 		}
 	}
 	return img
-}
-
-func max64(a, c int64) int64 {
-	if a > c {
-		return a
-	}
-	return c
 }

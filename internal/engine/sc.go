@@ -57,7 +57,7 @@ func (s *SC) WriteBack(now int64, addr mem.Addr, pt mem.Line) int64 {
 	// Data may enter the WPQ only after the root is updated and the
 	// commit record is durable.
 	done := s.WriteDataBlock(tOrder, tOrder, addr, pt, r.Counter)
-	done = max64(done, s.persistPath(tOrder, leaf))
+	done = max(done, s.persistPath(tOrder, leaf))
 	s.handleEvicts(accept)
 	s.ReleaseWBSlot(slot, done)
 	return accept
@@ -70,7 +70,7 @@ func (s *SC) persistPath(now int64, leaf uint64) int64 {
 	t := now
 	write := func(a mem.Addr) {
 		if content, ok := s.Meta.Peek(a); ok && s.Meta.IsDirty(a) {
-			t = max64(t, s.Ctrl.Write(t, a, content))
+			t = max(t, s.Ctrl.Write(t, a, content))
 			s.Meta.Clean(a)
 		}
 	}

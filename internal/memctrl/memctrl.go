@@ -20,6 +20,7 @@ package memctrl
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"ccnvm/internal/mem"
 	"ccnvm/internal/nvm"
@@ -122,9 +123,18 @@ type Controller struct {
 
 	backlog    float64 // WPQ occupancy being drained (lines)
 	backlogUpd int64   // cycle of the last backlog update
-	held       []heldEntry
 	inDrain    bool
 	stats      Stats
+
+	// Held epoch entries, as per-shard queues. The default is one queue;
+	// ConfigureDrainSharding splits the epoch batch by independent
+	// subtree so the end-of-drain servicing can fan out. An address maps
+	// to exactly one shard, so forwarding scans only its queue and sees
+	// the same first-match entry the single global FIFO would.
+	held         [][]heldEntry
+	heldCount    int
+	drainShardOf func(mem.Addr) int // nil when unsharded
+	drainWorkers int
 
 	// Fault-model state (empty on the idealized device).
 	pending  []pendingWrite // accepted writes not yet serviced, FIFO
@@ -140,7 +150,71 @@ func New(cfg Config, dev *nvm.Device) *Controller {
 		cfg:       cfg,
 		dev:       dev,
 		readBanks: make([]int64, cfg.Banks),
+		held:      make([][]heldEntry, 1),
 	}
+}
+
+// ConfigureDrainSharding splits the held epoch queue into shards
+// independent batches keyed by shardOf (the engine supplies its
+// subtree partition) and lets EndEpochDrain service them on up to
+// workers goroutines. The commit point stays atomic — the end signal
+// lands before any servicing — and the WPQ-wedge and ADR-budget
+// invariants are unchanged because acceptance accounting still runs on
+// the caller's thread against the shared occupancy.
+//
+// Sharding is refused (the single global FIFO is kept) when the device
+// carries a fault model: crash-time tear composition replays the held
+// queue in global write order, which a sharded layout would not
+// preserve.
+func (c *Controller) ConfigureDrainSharding(shards int, shardOf func(mem.Addr) int, workers int) {
+	if c.heldCount != 0 || c.inDrain {
+		panic("memctrl: ConfigureDrainSharding inside a draining window")
+	}
+	if shards <= 1 || shardOf == nil || c.dev.FaultModel() != nil {
+		c.held = make([][]heldEntry, 1)
+		c.drainShardOf = nil
+		c.drainWorkers = 1
+		return
+	}
+	c.held = make([][]heldEntry, shards)
+	c.drainShardOf = shardOf
+	c.drainWorkers = max(workers, 1)
+}
+
+// heldQueue returns the shard queue owning address a.
+func (c *Controller) heldQueue(a mem.Addr) *[]heldEntry {
+	if c.drainShardOf == nil {
+		return &c.held[0]
+	}
+	return &c.held[c.drainShardOf(a)]
+}
+
+// allHeld flattens the shard queues in shard order. Crash-fault
+// injection replays it as the global held FIFO, which is exact because
+// sharding is disabled whenever a fault model is present.
+func (c *Controller) allHeld() []heldEntry {
+	if len(c.held) == 1 {
+		return c.held[0]
+	}
+	out := make([]heldEntry, 0, c.heldCount)
+	for _, q := range c.held {
+		out = append(out, q...)
+	}
+	return out
+}
+
+// heldForward looks a up among the held epoch entries (first match in
+// acceptance order, as the WPQ would forward).
+func (c *Controller) heldForward(a mem.Addr) (mem.Line, bool) {
+	if c.heldCount == 0 {
+		return mem.Line{}, false
+	}
+	for _, h := range *c.heldQueue(a) {
+		if h.addr == a {
+			return h.line, true
+		}
+	}
+	return mem.Line{}, false
 }
 
 // drainRate is the aggregate write bandwidth in lines per cycle.
@@ -208,11 +282,9 @@ func (c *Controller) bankOf(a mem.Addr) int {
 func (c *Controller) Read(now int64, a mem.Addr) (mem.Line, bool, int64) {
 	a = mem.Align(a)
 	c.stats.Reads++
-	for _, h := range c.held {
-		if h.addr == a {
-			// Forward from the WPQ; no bank access needed.
-			return h.line, true, now
-		}
+	if l, ok := c.heldForward(a); ok {
+		// Forward from the WPQ; no bank access needed.
+		return l, true, now
 	}
 	// Read-queue bound: a new read needs a free entry; entries retire at
 	// their completion times.
@@ -235,7 +307,7 @@ func (c *Controller) Read(now int64, a mem.Addr) (mem.Line, bool, int64) {
 		}
 	}
 	b := c.bankOf(a)
-	start := max64(now, c.readBanks[b])
+	start := max(now, c.readBanks[b])
 	done := start + c.dev.Timing().ReadCycles
 	l, ok := c.dev.Read(a)
 	done += c.retryPenalty(a)
@@ -286,12 +358,12 @@ func (c *Controller) Write(now int64, a mem.Addr, l mem.Line) int64 {
 	a = mem.Align(a)
 	c.stats.Writes++
 	c.advance(now)
-	if occ := c.backlog + float64(len(c.held)); occ+1 > float64(c.cfg.WriteQueue) {
+	if occ := c.backlog + float64(c.heldCount); occ+1 > float64(c.cfg.WriteQueue) {
 		// Block until enough backlog drains for one slot. If every slot
 		// is a held epoch entry the protocol is broken: the drainer must
 		// bound its batch by the WPQ size.
 		if c.backlog <= 0 {
-			c.fail(fmt.Errorf("%w (%d held)", ErrWPQWedged, len(c.held)))
+			c.fail(fmt.Errorf("%w (%d held)", ErrWPQWedged, c.heldCount))
 			return now
 		}
 		need := occ + 1 - float64(c.cfg.WriteQueue)
@@ -303,7 +375,9 @@ func (c *Controller) Write(now int64, a mem.Addr, l mem.Line) int64 {
 	}
 	if c.inDrain {
 		c.stats.EpochWrites++
-		c.held = append(c.held, heldEntry{a, l})
+		q := c.heldQueue(a)
+		*q = append(*q, heldEntry{a, l})
+		c.heldCount++
 		return now
 	}
 	c.devWrite(a, l) // durable at acceptance (ADR)
@@ -341,10 +415,8 @@ func (c *Controller) devWrite(a mem.Addr, l mem.Line) {
 func (c *Controller) ReadBypass(now int64, a mem.Addr) (mem.Line, bool, int64) {
 	a = mem.Align(a)
 	c.stats.Reads++
-	for _, h := range c.held {
-		if h.addr == a {
-			return h.line, true, now
-		}
+	if l, ok := c.heldForward(a); ok {
+		return l, true, now
 	}
 	l, ok := c.dev.Read(a)
 	return l, ok, now + c.dev.Timing().ReadCycles + c.retryPenalty(a)
@@ -354,7 +426,7 @@ func (c *Controller) ReadBypass(now int64, a mem.Addr) (mem.Line, bool, int64) {
 func (c *Controller) InDrain() bool { return c.inDrain }
 
 // HeldEntries reports how many epoch writes are currently held.
-func (c *Controller) HeldEntries() int { return len(c.held) }
+func (c *Controller) HeldEntries() int { return c.heldCount }
 
 // BeginEpochDrain opens the atomic-draining window: subsequent writes
 // are tagged as epoch metadata and held in the WPQ. Nesting windows is a
@@ -372,17 +444,49 @@ func (c *Controller) BeginEpochDrain() error {
 // durable and is scheduled on the banks. It returns the cycle at which
 // the last entry's NVM write completes (background time; producers need
 // not wait for it), or ErrNoDrain when no window is open.
+//
+// The commit point is atomic and single: clearing inDrain is the end
+// signal, after which the batch is durable as a whole. Servicing the
+// entries — the device/store bookkeeping — happens after that point
+// and, when drain sharding is configured, fans the independent subtree
+// batches out across the worker pool; shard queues hold disjoint
+// address sets, so the fan-out cannot change the final image, the wear
+// accounting, or the returned completion time.
 func (c *Controller) EndEpochDrain(now int64) (int64, error) {
 	if !c.inDrain {
 		c.fail(ErrNoDrain)
 		return now, ErrNoDrain
 	}
-	c.inDrain = false
+	c.inDrain = false // the atomic commit point: the epoch is now durable
 	c.advance(now)
-	for _, h := range c.held {
-		c.devWrite(h.addr, h.line)
+	if c.drainWorkers > 1 && c.heldCount > 1 && !c.trackPending() {
+		// Flatten the shard queues in shard order and service the whole
+		// batch through the device's parallel path. Accounting stays
+		// serial inside WriteBatch; only store inserts fan out.
+		addrs := make([]mem.Addr, 0, c.heldCount)
+		lines := make([]mem.Line, 0, c.heldCount)
+		for _, q := range c.held {
+			for _, h := range q {
+				addrs = append(addrs, h.addr)
+				lines = append(lines, h.line)
+			}
+		}
+		errs := c.dev.WriteBatch(addrs, lines, c.drainWorkers)
+		for _, err := range errs {
+			c.fail(err)
+		}
+		c.backlog += float64(len(addrs) - len(errs))
+	} else {
+		for _, q := range c.held {
+			for _, h := range q {
+				c.devWrite(h.addr, h.line)
+			}
+		}
 	}
-	c.held = c.held[:0]
+	for i := range c.held {
+		c.held[i] = c.held[i][:0]
+	}
+	c.heldCount = 0
 	return now + int64(c.backlog/c.drainRate()), nil
 }
 
@@ -438,8 +542,11 @@ func (c *Controller) Crash() {
 	if c.dev.FaultModel().Enabled() {
 		c.crashFaults()
 	}
-	c.stats.DroppedOnCrash += uint64(len(c.held))
-	c.held = c.held[:0]
+	c.stats.DroppedOnCrash += uint64(c.heldCount)
+	for i := range c.held {
+		c.held[i] = c.held[i][:0]
+	}
+	c.heldCount = 0
 	c.pending = nil
 	c.inDrain = false
 	c.backlog = 0
@@ -486,13 +593,14 @@ func (c *Controller) crashFaults() {
 			log.Suspects = append(log.Suspects, p.addr)
 		}
 	}
-	for _, h := range c.held {
+	held := c.allHeld()
+	for _, h := range held {
 		if !seen[h.addr] {
 			seen[h.addr] = true
 			log.Suspects = append(log.Suspects, h.addr)
 		}
 	}
-	sortAddrs(log.Suspects)
+	slices.Sort(log.Suspects)
 
 	perAddr := map[mem.Addr][]pendingWrite{}
 	var order []mem.Addr
@@ -538,7 +646,7 @@ func (c *Controller) crashFaults() {
 	// drops them whole (the atomic-draining guarantee); with torn writes
 	// enabled, words of them may have leaked to the media.
 	if fm.TornWrites {
-		for i, h := range c.held {
+		for i, h := range held {
 			mask := fm.TearMask(h.addr, c.wseq+uint64(i)+1)
 			if mask == 0 || mask == 0xff {
 				// 0xff would be a fully persisted held entry — the end
@@ -571,19 +679,4 @@ func (c *Controller) TakeFaultLog() *nvm.FaultLog {
 	log := c.faultLog
 	c.faultLog = nil
 	return log
-}
-
-func sortAddrs(a []mem.Addr) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

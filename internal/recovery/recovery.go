@@ -23,6 +23,7 @@ package recovery
 
 import (
 	"fmt"
+	"slices"
 
 	"ccnvm/internal/bmt"
 	"ccnvm/internal/design"
@@ -255,9 +256,9 @@ func recoverGenericImage(img *engine.CrashImage, d design.Descriptor) *Report {
 	if d.Caps.TreePersisted {
 		addrs := img.Image.Store.Addrs()
 		rd := imageReader{img.Image}
-		if bad := tree.VerifyAll(rd, img.TCB.RootOld, addrs); len(bad) == 0 {
+		if bad := tree.VerifyAllParallel(rd, img.TCB.RootOld, addrs, img.Workers); len(bad) == 0 {
 			r.ConsistentRoot = "old"
-		} else if bad2 := tree.VerifyAll(rd, img.TCB.RootNew, addrs); len(bad2) == 0 {
+		} else if bad2 := tree.VerifyAllParallel(rd, img.TCB.RootNew, addrs, img.Workers); len(bad2) == 0 {
 			// Crash between the end signal and the ROOTold update: ADR
 			// completed the drain, so the tree matches ROOTnew.
 			r.ConsistentRoot = "new"
@@ -349,14 +350,14 @@ func recoverGenericImage(img *engine.CrashImage, d design.Descriptor) *Report {
 					r.ReplayedPages = append(r.ReplayedPages, mem.Addr(page))
 				}
 			}
-			sortAddrs(r.ReplayedPages)
+			slices.Sort(r.ReplayedPages)
 		}
 	}
 
 	// Step 4: rebuild the Merkle tree from the recovered counters.
 	overlay := overlayReader{base: imageReader{img.Image}, lines: encodeLines(res.lines)}
 	counterAddrs := collectCounterAddrs(lay, img.Image.Store, res.lines)
-	_, rebuilt := tree.Rebuild(overlay, counterAddrs)
+	_, rebuilt := tree.RebuildParallel(overlay, counterAddrs, img.Workers)
 	r.RebuiltRoot = rebuilt
 
 	// Root-compare designs validate the rebuilt root against ROOTnew: a
@@ -389,13 +390,13 @@ func finishMediaReport(r *Report, img *engine.CrashImage, sus, implicated map[me
 	for a := range img.Image.Stuck {
 		r.MediaErrors = append(r.MediaErrors, a)
 	}
-	sortAddrs(r.MediaErrors)
+	slices.Sort(r.MediaErrors)
 	for _, s := range img.Suspects {
 		if !implicated[s] && !img.Image.Stuck[s] {
 			r.HealedLines = append(r.HealedLines, s)
 		}
 	}
-	sortAddrs(r.HealedLines)
+	slices.Sort(r.HealedLines)
 }
 
 // suspectSet is the union of the controller's WPQ manifest and the
@@ -572,7 +573,7 @@ func ApplyInterrupted(img *engine.CrashImage, rep *Report, itr *Interrupt) (Reco
 			}
 		}
 	}
-	nodes, root := tree.Rebuild(overlayReader{base: imageReader{img.Image}, lines: overlay}, counterAddrs)
+	nodes, root := tree.RebuildParallel(overlayReader{base: imageReader{img.Image}, lines: overlay}, counterAddrs, img.Workers)
 
 	// The write plan, in deterministic order (striking the k-th write
 	// must replay identically): the pending counter line first so an
@@ -696,7 +697,7 @@ func sortedLineKeys(m map[mem.Addr]seccrypto.CounterLine) []mem.Addr {
 	for a := range m {
 		out = append(out, a)
 	}
-	sortAddrs(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -705,7 +706,7 @@ func sortedNodeKeys(m map[mem.Addr]mem.Line) []mem.Addr {
 	for a := range m {
 		out = append(out, a)
 	}
-	sortAddrs(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -827,7 +828,7 @@ func dataWalkAddrs(img *engine.CrashImage, sus map[mem.Addr]bool) []mem.Addr {
 		}
 	}
 	if extra {
-		sortAddrs(out)
+		slices.Sort(out)
 	}
 	return out
 }
@@ -880,14 +881,6 @@ func collectCounterAddrs(lay *mem.Layout, st *mem.Store, recovered map[mem.Addr]
 		}
 	}
 	return out
-}
-
-func sortAddrs(a []mem.Addr) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }
 
 // imageReader adapts an nvm.Image to bmt.Reader: reads go through the
@@ -952,7 +945,7 @@ func recoverInlinePackedImage(img *engine.CrashImage) *Report {
 
 	overlay := overlayReader{base: imageReader{img.Image}, lines: encodeLines(res.lines)}
 	counterAddrs := collectCounterAddrs(lay, img.Image.Store, res.lines)
-	_, rebuilt := tree.Rebuild(overlay, counterAddrs)
+	_, rebuilt := tree.RebuildParallel(overlay, counterAddrs, img.Workers)
 	r.RebuiltRoot = rebuilt
 	if rebuilt != img.TCB.RootNew && len(r.Tampered) == 0 {
 		if img.MediaFaults && (len(sus) > 0 || len(r.LostBlocks) > 0) {

@@ -8,8 +8,10 @@
 package sim
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"runtime/pprof"
 
 	"ccnvm/internal/cache"
 	"ccnvm/internal/core"
@@ -51,6 +53,11 @@ type Config struct {
 	MemCfg  memctrl.Config
 	MetaCfg metacache.Config
 	Keys    *seccrypto.Keys
+
+	// Workers is a convenience alias for Params.Workers (the engine's
+	// parallel-pipeline width); a nonzero value overrides it. 0 or 1 is
+	// the serial engine. Results are bit-identical for any value.
+	Workers int
 
 	// CheckReads verifies every memory-level read against a shadow copy
 	// of what the core last stored — an end-to-end check of the whole
@@ -99,6 +106,9 @@ func (c *Config) fill() error {
 	}
 	if c.ScrubOps == 0 {
 		c.ScrubOps = 100000
+	}
+	if c.Workers != 0 {
+		c.Params.Workers = c.Workers
 	}
 	if c.Keys == nil {
 		k := seccrypto.DefaultKeys()
@@ -462,6 +472,12 @@ func RunBenchmark(design, benchmark string, n int, seed int64, cfg Config) (Resu
 }
 
 // RunBenchmarkWarm is RunBenchmark with an explicit warm-up window.
+//
+// The run is wrapped in pprof labels (design, workload, phase), so a
+// CPU profile captured around a sweep attributes every sample to the
+// cell that produced it — `go tool pprof -tagfocus design=ccnvm` or
+// `-tagshow phase` slice the profile without re-running anything. See
+// DESIGN.md, "Simulator performance".
 func RunBenchmarkWarm(design, benchmark string, n, warmup int, seed int64, cfg Config) (Result, error) {
 	p, err := trace.ProfileByName(benchmark)
 	if err != nil {
@@ -476,9 +492,17 @@ func RunBenchmarkWarm(design, benchmark string, n, warmup int, seed int64, cfg C
 	if err != nil {
 		return Result{}, err
 	}
+	var res Result
+	labels := pprof.Labels("design", design, "workload", benchmark, "phase", "measure")
 	if warmup > 0 {
-		m.Run(benchmark, trace.Collect(g, warmup))
-		m.MarkWarm()
+		pprof.Do(context.Background(), pprof.Labels("design", design, "workload", benchmark, "phase", "warmup"),
+			func(context.Context) {
+				m.Run(benchmark, trace.Collect(g, warmup))
+				m.MarkWarm()
+			})
 	}
-	return m.Run(benchmark, trace.Collect(g, n)), nil
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		res = m.Run(benchmark, trace.Collect(g, n))
+	})
+	return res, nil
 }

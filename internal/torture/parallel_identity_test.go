@@ -1,0 +1,42 @@
+package torture
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelWorkersBitIdentical drives one torture seed per design —
+// trace to a crash, attack injection, recovery — at Workers=1 and at
+// parallel widths, and demands the full cell digest (persisted-image
+// hash, TCB roots, every recovery-report field) match byte for byte.
+// Together with the Fig5 sweep in internal/sim this is the pipeline's
+// bit-identity contract: parallelism may only change host wall time,
+// never a simulated byte. The media-fault cell additionally pins the
+// refusal path — drain sharding must disable itself under a fault
+// model (tear composition needs the global write order) while the
+// sharded tree verify/rebuild stays parallel.
+func TestParallelWorkersBitIdentical(t *testing.T) {
+	widths := []int{2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, d := range DesignNames() {
+		cells := []Cell{
+			{Design: d, Workload: "hot", Seed: 11, Ops: 200, CrashAt: 120, Attack: "counter-replay", N: 4},
+			{Design: d, Workload: "mixed", Seed: 11, Ops: 200, CrashAt: 133, Attack: "none",
+				FaultSeed: 5, Torn: true, ADRBudget: 4},
+		}
+		for _, c := range cells {
+			serial := cellDigestWorkers(t, c, 1)
+			if zero := cellDigestWorkers(t, c, 0); zero != serial {
+				t.Errorf("%s: Workers=0 and Workers=1 diverged:\n %s\n %s", c.String(), zero, serial)
+			}
+			for _, w := range widths {
+				if got := cellDigestWorkers(t, c, w); got != serial {
+					t.Errorf("%s: Workers=%d diverged from serial:\n got %s\nwant %s",
+						c.String(), w, got, serial)
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package torture
 
 import (
 	"fmt"
+	"slices"
 
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
@@ -96,7 +97,7 @@ func (r *Reference) Written() []mem.Addr {
 	for a := range r.plain {
 		out = append(out, a)
 	}
-	sortAddrs(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -137,7 +138,7 @@ func (r *Reference) VerifyImage(img *engine.CrashImage) []string {
 	for ca := range r.counters {
 		cas = append(cas, ca)
 	}
-	sortAddrs(cas)
+	slices.Sort(cas)
 	for _, ca := range cas {
 		cl := r.counters[ca]
 		raw, _ := img.Image.Read(ca)

@@ -3,6 +3,7 @@ package torture
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"ccnvm/internal/attack"
 	"ccnvm/internal/engine"
@@ -291,7 +292,7 @@ func injectAttack(c Cell, img *engine.CrashImage, snap *nvm.Image, snapWrites ma
 		if len(nodes) == 0 {
 			return nil, false, nil
 		}
-		sortAddrs(nodes)
+		slices.Sort(nodes)
 		na := nodes[rng.Intn(len(nodes))]
 		_, idx := lay.NodeAt(na)
 		if err := attack.SpoofTreeNode(img, 1, idx); err != nil {

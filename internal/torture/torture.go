@@ -15,7 +15,6 @@ package torture
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -277,8 +276,4 @@ func contains(list []string, s string) bool {
 		}
 	}
 	return false
-}
-
-func sortAddrs(a []mem.Addr) {
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
 }
