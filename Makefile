@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race fuzz-short vuln lint-designs torture torture-faults torture-reboots torture-long ci bench bench-check profile clean
+.PHONY: all tier1 vet race fuzz-short vuln lint-designs torture torture-faults torture-reboots torture-guided torture-long campaign campaign-short ci bench bench-check profile clean
 
 # Performance-ledger knobs. BENCH_PR numbers the pinned ledger file
 # (BENCH_$(BENCH_PR).json); BENCH_OPS sizes the pinning run, and
@@ -39,6 +39,7 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzCell -fuzztime=20s ./internal/torture/
 	$(GO) test -fuzz=FuzzFaultCell -fuzztime=20s ./internal/torture/
 	$(GO) test -fuzz=FuzzRebootCell -fuzztime=20s ./internal/torture/
+	$(GO) test -fuzz=FuzzPorderEvents -fuzztime=15s ./internal/porder/
 
 # vuln scans the module against the Go vulnerability database. Skipped
 # with a notice when govulncheck is not installed (it needs network
@@ -86,11 +87,34 @@ torture-faults:
 torture-reboots:
 	$(GO) run ./cmd/ccnvm-torture -seeds 2 -designs all -attacks none -faultseeds 2 -reboots 4
 
+# torture-guided replaces evenly spaced crash points with the
+# ordering-aware enumeration (one point per distinct persist-ordering
+# edge cut) and prints the edge-coverage table against evenly spaced
+# points of equal budget.
+torture-guided:
+	$(GO) run ./cmd/ccnvm-torture -guided -seeds 4 -designs all
+
 torture-long:
 	$(GO) test ./internal/torture/ -torture.long -timeout 30m -v
 
+# campaign regenerates the committed durability report: the fixed-seed
+# guided campaign with every behavior class, its exemplar repro and exit
+# code, the ordering-sabotage self-test, and the edge-coverage table.
+campaign:
+	$(GO) run ./cmd/ccnvm-torture -campaign docs/status/durability_report.md
+
+# campaign-short re-runs the campaign into a scratch directory and
+# asserts the committed report (and its JSON artifact) is byte-identical
+# — the report is generated, never hand-edited, and ci keeps it honest.
+campaign-short:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/ccnvm-torture -campaign $$tmp/durability_report.md >/dev/null && \
+	cmp docs/status/durability_report.md $$tmp/durability_report.md && \
+	cmp docs/status/durability_report.json $$tmp/durability_report.json && \
+	rm -rf $$tmp && echo "campaign-short: report reproduces byte-identically"
+
 # ci is what a merge must pass.
-ci: tier1 vet lint-designs race fuzz-short vuln torture-reboots bench-check
+ci: tier1 vet lint-designs race fuzz-short vuln torture-reboots campaign-short bench-check
 
 # bench pins the performance ledger: the Go benchmarks stream into a
 # benchstat-friendly raw file (compare two with

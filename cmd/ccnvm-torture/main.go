@@ -13,6 +13,8 @@
 //	ccnvm-torture -break skip-counter-replay        # prove the oracles bite
 //	ccnvm-torture -reboots 4                        # crash recovery itself, re-enter, check convergence
 //	ccnvm-torture -reboots 4 -reboot-every 2,3      # choose the strike strides
+//	ccnvm-torture -guided                           # ordering-aware crash points + edge-coverage table
+//	ccnvm-torture -campaign docs/status/durability_report.md  # regenerate the durability report
 //	ccnvm-torture -oracles                          # list the invariants
 package main
 
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -43,7 +46,9 @@ func main() {
 		faultSeeds  = flag.Int("faultseeds", 0, "media-fault seeds per design/workload, cycled through the fault profiles (0 = no fault cells)")
 		reboots     = flag.Int("reboots", 0, "reboot-loop cells: interrupt recovery this many times per cell (0 = no reboot cells)")
 		rebootEvery = flag.String("reboot-every", "", "comma-separated strike strides for reboot cells (default 2,3,5)")
-		budget      = flag.Int("budget", 0, "max cells, evenly sampled (0 = run all)")
+		budget      = flag.Int("budget", 0, "max cells, evenly sampled after dropping refused cells (0 = run all)")
+		guided      = flag.Bool("guided", false, "ordering-aware crash points: profile each trace's persist-ordering graph and schedule one point per distinct edge cut; reports edge coverage vs evenly spaced points")
+		campaign    = flag.String("campaign", "", "run the fixed durability campaign and write the report to this markdown path (JSON artifact written beside it); other matrix flags are ignored")
 		parallel    = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "stop dispatching new cells after this duration and report partial results (0 = none)")
 		jsonOut     = flag.Bool("json", false, "emit the summary as JSON")
@@ -57,6 +62,13 @@ func main() {
 	if *oracles {
 		for _, o := range torture.Oracles() {
 			fmt.Printf("%-16s %s\n", o.Name, o.Doc)
+		}
+		return
+	}
+
+	if *campaign != "" {
+		if err := runCampaign(*campaign, *parallel); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -108,9 +120,22 @@ func main() {
 		RebootEvery: strides,
 		Budget:      *budget,
 	}
-	cells := torture.EnumerateCells(opts)
+	var cells []torture.Cell
+	var coverage []torture.CoverageStat
+	if *guided {
+		cells, coverage, err = torture.EnumerateGuidedCells(opts)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cells = torture.EnumerateCells(opts)
+	}
 	if !*jsonOut {
-		fmt.Printf("torture: running %d cells on %d designs...\n", len(cells), len(opts.Designs))
+		mode := ""
+		if *guided {
+			mode = " (guided crash points)"
+		}
+		fmt.Printf("torture: running %d cells on %d designs%s...\n", len(cells), len(opts.Designs), mode)
 	}
 	var progress func(done, total int, f *torture.Failure)
 	if *verbose && !*jsonOut {
@@ -140,6 +165,10 @@ func main() {
 
 	start := time.Now()
 	sum := torture.RunMatrix(ctx, runner, cells, *parallel, progress)
+	if *guided {
+		sum.Mode = "guided"
+		sum.Coverage = coverage
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -152,10 +181,41 @@ func main() {
 		for _, f := range sum.Failures {
 			fmt.Printf("  oracle %s: %s\n    repro: %s (shrunk in %d runs)\n", f.Oracle, f.Detail, f.Repro, f.ShrinkRuns)
 		}
+		if *guided {
+			fmt.Print(torture.DescribeCoverage(coverage))
+		}
 	}
 	if sum.Failed() || sum.Interrupted {
 		os.Exit(1)
 	}
+}
+
+// runCampaign executes the fixed durability campaign and writes the
+// markdown report to mdPath plus the JSON artifact beside it (same name,
+// .json extension). Both outputs are deterministic: `make campaign-short`
+// regenerates them and asserts byte-identity against the committed pair.
+func runCampaign(mdPath string, parallel int) error {
+	jsonPath := strings.TrimSuffix(mdPath, filepath.Ext(mdPath)) + ".json"
+	res, err := torture.RunCampaign(context.Background(), torture.DefaultCampaignOpts(), parallel)
+	if err != nil {
+		return err
+	}
+	md := res.RenderMarkdown(filepath.Base(jsonPath))
+	js, err := res.RenderJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(mdPath, md, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, js, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("campaign: %d cells -> %s, %s\n", res.Cells, mdPath, jsonPath)
+	if !res.Healthy() {
+		return fmt.Errorf("campaign unhealthy: oracle failures observed or the sabotage self-test regressed (see %s)", mdPath)
+	}
+	return nil
 }
 
 // splitList parses a comma-separated flag value; aliases map special

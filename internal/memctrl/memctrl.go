@@ -90,6 +90,68 @@ type Stats struct {
 	WriteErrors         uint64 // device writes rejected with a typed error
 }
 
+// EventKind tags one entry of the controller's persistence event
+// stream (see SetEventTap). The five kinds are exactly the durability
+// transitions the ADR/atomic-draining contract defines; everything a
+// persist-ordering analysis needs is derivable from them.
+type EventKind uint8
+
+const (
+	// EvWriteAccept: a non-epoch write was accepted into the WPQ and is
+	// durable from this point on (the ADR guarantee).
+	EvWriteAccept EventKind = iota
+	// EvEpochBegin: BeginEpochDrain opened an atomic-draining window.
+	EvEpochBegin
+	// EvEpochHold: a write inside the draining window was accepted but
+	// held — it is not durable until the end signal arrives.
+	EvEpochHold
+	// EvEpochCommit: EndEpochDrain delivered the end signal — the
+	// single atomic point after which the held batch is durable as a
+	// whole. The engine's TCB commit is ordered after this event.
+	EvEpochCommit
+	// EvADRFlush: one held entry was serviced to the media after its
+	// epoch's commit, emitted in shard order (deterministic even when
+	// drain sharding fans the servicing out).
+	EvADRFlush
+)
+
+// String names the event kind for diagnostics and golden files.
+func (k EventKind) String() string {
+	switch k {
+	case EvWriteAccept:
+		return "write-accept"
+	case EvEpochBegin:
+		return "epoch-begin"
+	case EvEpochHold:
+		return "epoch-hold"
+	case EvEpochCommit:
+		return "epoch-commit"
+	case EvADRFlush:
+		return "adr-flush"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one persistence-ordering event. Addr is meaningful for
+// write-accept/hold/flush events and zero for the begin/commit signals.
+type Event struct {
+	Kind EventKind
+	Addr mem.Addr
+}
+
+// SetEventTap installs fn as the persistence event tap: it is called
+// synchronously, in program order, at every durability transition the
+// controller performs. Purely observational — installing a tap cannot
+// change timing, content, or crash behavior. nil removes the tap.
+func (c *Controller) SetEventTap(fn func(Event)) { c.tap = fn }
+
+// emit forwards one event to the tap, if any.
+func (c *Controller) emit(k EventKind, a mem.Addr) {
+	if c.tap != nil {
+		c.tap(Event{Kind: k, Addr: a})
+	}
+}
+
 type heldEntry struct {
 	addr mem.Addr
 	line mem.Line
@@ -141,6 +203,17 @@ type Controller struct {
 	wseq     uint64         // monotonic write sequence for tear decisions
 	faultLog *nvm.FaultLog  // built by Crash when a fault model is active
 	err      error          // first device/protocol error (sticky)
+
+	// Persistence event tap (SetEventTap); nil when nothing listens.
+	tap func(Event)
+
+	// Reorder-persist sabotage state (SabotageReorderPersist): a
+	// deliberate single-shot ADR-ordering defect the torture harness
+	// arms to prove guided crash enumeration has teeth.
+	sabAfter   int        // arm after this many epoch commits; 0 = off
+	sabCommits int        // epoch commits delivered so far
+	sabVictim  *heldEntry // the parked non-epoch write; nil when none
+	sabDone    bool       // the defect already fired; behavior nominal
 }
 
 // New builds a controller over dev.
@@ -206,6 +279,11 @@ func (c *Controller) allHeld() []heldEntry {
 // heldForward looks a up among the held epoch entries (first match in
 // acceptance order, as the WPQ would forward).
 func (c *Controller) heldForward(a mem.Addr) (mem.Line, bool) {
+	if c.sabVictim != nil && c.sabVictim.addr == a {
+		// The parked reorder-persist victim still occupies the WPQ and
+		// forwards like any entry; only its durability is sabotaged.
+		return c.sabVictim.line, true
+	}
 	if c.heldCount == 0 {
 		return mem.Line{}, false
 	}
@@ -375,13 +453,54 @@ func (c *Controller) Write(now int64, a mem.Addr, l mem.Line) int64 {
 	}
 	if c.inDrain {
 		c.stats.EpochWrites++
+		c.emit(EvEpochHold, a)
 		q := c.heldQueue(a)
 		*q = append(*q, heldEntry{a, l})
 		c.heldCount++
 		return now
 	}
+	c.emit(EvWriteAccept, a)
+	if c.sabParks() {
+		// Reorder-persist sabotage: the victim write is accepted (and
+		// forwarded to readers) but NOT written through — it loses the
+		// ADR guarantee and persists only at the next epoch commit.
+		// Later writes to the victim line coalesce into the parked slot.
+		if c.sabVictim == nil {
+			c.sabVictim = &heldEntry{a, l}
+			return now
+		}
+		if c.sabVictim.addr == a {
+			c.sabVictim.line = l
+			return now
+		}
+	}
 	c.devWrite(a, l) // durable at acceptance (ADR)
 	return now
+}
+
+// sabParks reports whether the reorder-persist defect is armed and
+// still hunting (or holding) its victim.
+func (c *Controller) sabParks() bool {
+	return c.sabAfter > 0 && !c.sabDone && c.sabCommits >= c.sabAfter
+}
+
+// SabotageReorderPersist arms a deliberate persist-ordering defect used
+// by the torture harness's guided-mode self-test: the first non-epoch
+// write accepted after the afterCommits-th epoch commit silently loses
+// its ADR durability guarantee. The write still occupies the WPQ and
+// forwards to readers, but it reaches the media only at the NEXT epoch
+// commit; a crash before that commit drops it entirely. The defect is
+// invisible to any crash point outside the victim-write→next-commit
+// window — exactly one persist-ordering edge of the cell's graph — so
+// it discriminates guided from evenly spaced crash enumeration.
+// Single-shot: once the victim flushes or drops, behavior is nominal.
+// Panics when the device carries a fault model, whose crash composition
+// assumes nominal WPQ ordering.
+func (c *Controller) SabotageReorderPersist(afterCommits int) {
+	if c.dev.FaultModel() != nil {
+		panic("memctrl: SabotageReorderPersist is incompatible with a fault model")
+	}
+	c.sabAfter = afterCommits
 }
 
 // devWrite services one WPQ entry: the line becomes durable, the fluid
@@ -437,6 +556,7 @@ func (c *Controller) BeginEpochDrain() error {
 		return ErrNestedDrain
 	}
 	c.inDrain = true
+	c.emit(EvEpochBegin, 0)
 	return nil
 }
 
@@ -458,6 +578,7 @@ func (c *Controller) EndEpochDrain(now int64) (int64, error) {
 		return now, ErrNoDrain
 	}
 	c.inDrain = false // the atomic commit point: the epoch is now durable
+	c.emit(EvEpochCommit, 0)
 	c.advance(now)
 	if c.drainWorkers > 1 && c.heldCount > 1 && !c.trackPending() {
 		// Flatten the shard queues in shard order and service the whole
@@ -469,6 +590,7 @@ func (c *Controller) EndEpochDrain(now int64) (int64, error) {
 			for _, h := range q {
 				addrs = append(addrs, h.addr)
 				lines = append(lines, h.line)
+				c.emit(EvADRFlush, h.addr)
 			}
 		}
 		errs := c.dev.WriteBatch(addrs, lines, c.drainWorkers)
@@ -479,6 +601,7 @@ func (c *Controller) EndEpochDrain(now int64) (int64, error) {
 	} else {
 		for _, q := range c.held {
 			for _, h := range q {
+				c.emit(EvADRFlush, h.addr)
 				c.devWrite(h.addr, h.line)
 			}
 		}
@@ -487,6 +610,16 @@ func (c *Controller) EndEpochDrain(now int64) (int64, error) {
 		c.held[i] = c.held[i][:0]
 	}
 	c.heldCount = 0
+	if c.sabVictim != nil {
+		// The reorder-persist victim finally reaches the media: its
+		// durability was delayed past this commit instead of holding at
+		// acceptance, which is the injected ordering bug.
+		v := *c.sabVictim
+		c.sabVictim = nil
+		c.sabDone = true
+		c.devWrite(v.addr, v.line)
+	}
+	c.sabCommits++
 	return now + int64(c.backlog/c.drainRate()), nil
 }
 
@@ -543,6 +676,12 @@ func (c *Controller) Crash() {
 		c.crashFaults()
 	}
 	c.stats.DroppedOnCrash += uint64(c.heldCount)
+	if c.sabVictim != nil {
+		// The parked reorder-persist victim never reached the media: the
+		// injected defect loses it exactly as a real ordering bug would.
+		c.sabVictim = nil
+		c.sabDone = true
+	}
 	for i := range c.held {
 		c.held[i] = c.held[i][:0]
 	}

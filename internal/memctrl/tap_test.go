@@ -1,0 +1,158 @@
+package memctrl
+
+import (
+	"reflect"
+	"testing"
+
+	"ccnvm/internal/mem"
+	"ccnvm/internal/nvm"
+)
+
+// TestEventTapStream pins the tap's event taxonomy against a scripted
+// write/drain sequence: non-epoch accepts, the begin signal, held
+// entries, the commit point, and the post-commit ADR flushes in order.
+func TestEventTapStream(t *testing.T) {
+	c := ctrl(t, Config{})
+	var got []Event
+	c.SetEventTap(func(ev Event) { got = append(got, ev) })
+
+	c.Write(0, 0, line(1))
+	if err := c.BeginEpochDrain(); err != nil {
+		t.Fatal(err)
+	}
+	c.Write(0, 64, line(2))
+	c.Write(0, 128, line(3))
+	if _, err := c.EndEpochDrain(10); err != nil {
+		t.Fatal(err)
+	}
+	c.Write(20, 192, line(4))
+
+	want := []Event{
+		{EvWriteAccept, 0},
+		{EvEpochBegin, 0},
+		{EvEpochHold, 64},
+		{EvEpochHold, 128},
+		{EvEpochCommit, 0},
+		{EvADRFlush, 64},
+		{EvADRFlush, 128},
+		{EvWriteAccept, 192},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("event stream = %v, want %v", got, want)
+	}
+}
+
+// TestEventTapObservational proves installing a tap changes nothing:
+// timings, stats and device content match a tapless twin run.
+func TestEventTapObservational(t *testing.T) {
+	run := func(tap bool) (int64, Stats, mem.Line) {
+		c := ctrl(t, Config{Banks: 1})
+		if tap {
+			c.SetEventTap(func(Event) {})
+		}
+		now := c.Write(0, 0, line(9))
+		c.BeginEpochDrain()
+		c.Write(now, 64, line(8))
+		end, _ := c.EndEpochDrain(now + 5)
+		got, _ := c.Device().Peek(64)
+		return end, c.Stats(), got
+	}
+	e1, s1, l1 := run(false)
+	e2, s2, l2 := run(true)
+	if e1 != e2 || s1 != s2 || l1 != l2 {
+		t.Fatalf("tap changed behavior: (%d,%+v,%v) vs (%d,%+v,%v)", e1, s1, l1, e2, s2, l2)
+	}
+}
+
+// drainEpoch runs one empty-bodied epoch window so the sabotage commit
+// counter advances.
+func drainEpoch(t *testing.T, c *Controller, now int64) {
+	t.Helper()
+	if err := c.BeginEpochDrain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EndEpochDrain(now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSabotageReorderPersist exercises the injected ordering defect end
+// to end: the victim write is parked (absent from media, forwarded to
+// readers), persists at the next commit, and behavior is nominal after.
+func TestSabotageReorderPersist(t *testing.T) {
+	c := ctrl(t, Config{})
+	c.SabotageReorderPersist(1)
+
+	// Before the arming commit the defect is dormant.
+	c.Write(0, 0, line(1))
+	if _, ok := c.Device().Peek(0); !ok {
+		t.Fatal("pre-arm write must be durable at acceptance")
+	}
+	drainEpoch(t, c, 10)
+
+	// First non-epoch write after commit #1 is the victim: parked.
+	c.Write(20, 64, line(2))
+	if _, ok := c.Device().Peek(64); ok {
+		t.Fatal("victim write reached the media despite the sabotage")
+	}
+	if got, ok, _ := c.Read(20, 64); !ok || got != line(2) {
+		t.Fatal("parked victim must still forward to readers")
+	}
+	if got, ok, _ := c.ReadBypass(20, 64); !ok || got != line(2) {
+		t.Fatal("parked victim must forward on the bypass path too")
+	}
+
+	// A later write to the victim line coalesces into the parked slot;
+	// writes to other lines proceed normally.
+	c.Write(30, 64, line(3))
+	if _, ok := c.Device().Peek(64); ok {
+		t.Fatal("coalesced victim write must stay parked")
+	}
+	c.Write(30, 128, line(4))
+	if _, ok := c.Device().Peek(128); !ok {
+		t.Fatal("non-victim write must stay durable at acceptance")
+	}
+
+	// The next commit finally persists the (coalesced) victim.
+	drainEpoch(t, c, 40)
+	if got, ok := c.Device().Peek(64); !ok || got != line(3) {
+		t.Fatalf("victim not persisted at the next commit: %v, %v", got, ok)
+	}
+
+	// Single-shot: the defect never fires again.
+	c.Write(50, 192, line(5))
+	if _, ok := c.Device().Peek(192); !ok {
+		t.Fatal("post-defect write must be durable at acceptance")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("controller error: %v", err)
+	}
+}
+
+// TestSabotageReorderPersistDropsOnCrash: a crash inside the
+// victim-write→next-commit window loses the victim entirely.
+func TestSabotageReorderPersistDropsOnCrash(t *testing.T) {
+	c := ctrl(t, Config{})
+	c.SabotageReorderPersist(1)
+	drainEpoch(t, c, 10)
+	c.Write(20, 64, line(2))
+	c.Crash()
+	if _, ok := c.Device().Peek(64); ok {
+		t.Fatal("parked victim must be lost at a crash before the next commit")
+	}
+}
+
+// TestSabotageRefusesFaultModel: the defect is incompatible with the
+// media fault model and must refuse loudly rather than corrupt its
+// crash composition.
+func TestSabotageRefusesFaultModel(t *testing.T) {
+	dev := nvm.NewDevice(mem.MustLayout(64<<20), nvm.Timing{ReadCycles: 100, WriteCycles: 400})
+	dev.SetFaultModel(&nvm.FaultModel{Seed: 1, TornWrites: true})
+	c := New(Config{}, dev)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SabotageReorderPersist must panic under a fault model")
+		}
+	}()
+	c.SabotageReorderPersist(1)
+}

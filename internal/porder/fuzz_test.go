@@ -1,0 +1,138 @@
+package porder
+
+import (
+	"sort"
+	"testing"
+
+	"ccnvm/internal/mem"
+	"ccnvm/internal/memctrl"
+)
+
+// decodeEvents turns fuzz bytes into an event stream: each 3-byte group
+// is (kind, line, op-advance), so the fuzzer explores arbitrary kind
+// interleavings, address collisions and op clustering.
+func decodeEvents(data []byte) []Event {
+	var evs []Event
+	op := 0
+	for i := 0; i+2 < len(data) && len(evs) < 1024; i += 3 {
+		op += int(data[i+2] % 3)
+		evs = append(evs, Event{
+			Kind: memctrl.EventKind(data[i] % 5),
+			Addr: mem.Addr(data[i+1]%32) * mem.LineSize,
+			Op:   op,
+		})
+	}
+	return evs
+}
+
+// referenceEdges is the O(n^2) specification Build is checked against:
+// edge membership is decided per pair straight from the definitions,
+// with no incremental state.
+func referenceEdges(events []Event) []Edge {
+	durable := func(k memctrl.EventKind) bool {
+		return k == memctrl.EvWriteAccept || k == memctrl.EvADRFlush
+	}
+	var edges []Edge
+	for i, u := range events {
+		switch {
+		case durable(u.Kind):
+			// EdgeLine: the next durable event on the same line.
+			for j := i + 1; j < len(events); j++ {
+				v := events[j]
+				if durable(v.Kind) && v.Addr == u.Addr {
+					edges = append(edges, Edge{i, j, EdgeLine})
+					break
+				}
+			}
+		}
+		switch u.Kind {
+		case memctrl.EvWriteAccept, memctrl.EvEpochHold:
+			// EdgeEpoch / EdgeHold: the first commit after the event.
+			for j := i + 1; j < len(events); j++ {
+				if events[j].Kind == memctrl.EvEpochCommit {
+					k := EdgeEpoch
+					if u.Kind == memctrl.EvEpochHold {
+						k = EdgeHold
+					}
+					edges = append(edges, Edge{i, j, k})
+					break
+				}
+			}
+		case memctrl.EvEpochCommit:
+			// EdgeCommitChain: the next commit.
+			for j := i + 1; j < len(events); j++ {
+				if events[j].Kind == memctrl.EvEpochCommit {
+					edges = append(edges, Edge{i, j, EdgeCommitChain})
+					break
+				}
+			}
+		}
+	}
+	return edges
+}
+
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// FuzzPorderEvents feeds arbitrary event streams into the graph builder
+// and the point enumerator: no panics, every edge well-formed and
+// op-monotonic, the edge set identical to the O(n^2) reference, and a
+// generous budget covering every cuttable edge.
+func FuzzPorderEvents(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 1, 1, 0, 0, 2, 1, 1, 3, 0, 1, 4, 1, 0, 0, 1, 2})
+	f.Add([]byte{0, 5, 0, 0, 5, 1, 0, 5, 1, 3, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events := decodeEvents(data)
+		g := Build(events)
+
+		maxOp := 0
+		for _, e := range g.Edges {
+			if e.From < 0 || e.To >= len(events) || e.From >= e.To {
+				t.Fatalf("malformed edge %+v over %d events", e, len(events))
+			}
+			if events[e.From].Op > events[e.To].Op {
+				t.Fatalf("edge %+v runs backwards in op order", e)
+			}
+		}
+		for _, ev := range events {
+			if ev.Op > maxOp {
+				maxOp = ev.Op
+			}
+		}
+
+		got := append([]Edge(nil), g.Edges...)
+		want := referenceEdges(events)
+		sortEdges(got)
+		sortEdges(want)
+		if len(got) != len(want) {
+			t.Fatalf("Build found %d edges, reference %d\n got: %v\nwant: %v", len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("edge %d: Build %+v, reference %+v", i, got[i], want[i])
+			}
+		}
+
+		pts := g.EnumeratePoints(len(g.Edges)+1, maxOp+1)
+		for _, k := range pts {
+			if k < 1 || k > maxOp+1 {
+				t.Fatalf("point %d outside [1,%d]", k, maxOp+1)
+			}
+		}
+		if cut := g.CutSet(pts); len(cut) != g.CuttableCount() {
+			t.Fatalf("unbounded budget cut %d of %d cuttable edges (points %v)",
+				len(cut), g.CuttableCount(), pts)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package porder
+
+import (
+	"reflect"
+	"testing"
+
+	"ccnvm/internal/mem"
+	"ccnvm/internal/memctrl"
+)
+
+// ev builds one tagged event; addresses are line numbers for brevity.
+func ev(k memctrl.EventKind, lineNo, op int) Event {
+	return Event{Kind: k, Addr: mem.Addr(lineNo) * mem.LineSize, Op: op}
+}
+
+// TestBuildLineChains: successive durable versions of one line chain up,
+// across both ADR accepts and post-commit flushes; distinct lines do not
+// interfere.
+func TestBuildLineChains(t *testing.T) {
+	g := Build([]Event{
+		ev(memctrl.EvWriteAccept, 1, 0),
+		ev(memctrl.EvWriteAccept, 2, 1),
+		ev(memctrl.EvWriteAccept, 1, 2),
+		ev(memctrl.EvWriteAccept, 1, 3),
+	})
+	want := []Edge{
+		{0, 2, EdgeLine},
+		{2, 3, EdgeLine},
+	}
+	if !reflect.DeepEqual(g.Edges, want) {
+		t.Fatalf("edges = %v, want %v", g.Edges, want)
+	}
+}
+
+// TestBuildEpochWindow pins the edge set of one full draining window:
+// every pre-commit ADR write gets an epoch edge to the commit, every
+// held entry a hold edge, and the flushes join the line chains without
+// opening epoch edges of their own.
+func TestBuildEpochWindow(t *testing.T) {
+	g := Build([]Event{
+		ev(memctrl.EvWriteAccept, 1, 0), // 0: data write the epoch publishes
+		ev(memctrl.EvEpochBegin, 0, 1),  // 1
+		ev(memctrl.EvEpochHold, 8, 1),   // 2: metadata held in the window
+		ev(memctrl.EvEpochHold, 9, 1),   // 3
+		ev(memctrl.EvEpochCommit, 0, 1), // 4: the atomic commit point
+		ev(memctrl.EvADRFlush, 8, 1),    // 5: post-commit servicing
+		ev(memctrl.EvADRFlush, 9, 1),    // 6
+		ev(memctrl.EvWriteAccept, 8, 2), // 7: later ADR write to a flushed line
+	})
+	want := []Edge{
+		{0, 4, EdgeEpoch},
+		{2, 4, EdgeHold},
+		{3, 4, EdgeHold},
+		{5, 7, EdgeLine},
+	}
+	if !reflect.DeepEqual(g.Edges, want) {
+		t.Fatalf("edges = %v, want %v", g.Edges, want)
+	}
+}
+
+// TestBuildCommitChain: consecutive commits are ordered, and epoch
+// edges reset at each commit (a write belongs to the next commit only).
+func TestBuildCommitChain(t *testing.T) {
+	g := Build([]Event{
+		ev(memctrl.EvWriteAccept, 1, 0), // 0
+		ev(memctrl.EvEpochBegin, 0, 1),  // 1
+		ev(memctrl.EvEpochCommit, 0, 1), // 2
+		ev(memctrl.EvWriteAccept, 2, 2), // 3
+		ev(memctrl.EvEpochBegin, 0, 3),  // 4
+		ev(memctrl.EvEpochCommit, 0, 3), // 5
+	})
+	want := []Edge{
+		{0, 2, EdgeEpoch},
+		{3, 5, EdgeEpoch},
+		{2, 5, EdgeCommitChain},
+	}
+	if !reflect.DeepEqual(g.Edges, want) {
+		t.Fatalf("edges = %v, want %v", g.Edges, want)
+	}
+}
+
+// TestBuildHeldOrdering: a flush joining the chain of a line written
+// before the window, and a hold edge over multiple ops, keep their
+// op tags so the cut windows are correct.
+func TestBuildHeldOrdering(t *testing.T) {
+	g := Build([]Event{
+		ev(memctrl.EvWriteAccept, 5, 0), // 0
+		ev(memctrl.EvEpochBegin, 0, 2),  // 1
+		ev(memctrl.EvEpochHold, 5, 2),   // 2
+		ev(memctrl.EvEpochCommit, 0, 4), // 3
+		ev(memctrl.EvADRFlush, 5, 4),    // 4
+	})
+	want := []Edge{
+		{0, 3, EdgeEpoch},
+		{2, 3, EdgeHold},
+		{0, 4, EdgeLine},
+	}
+	if !reflect.DeepEqual(g.Edges, want) {
+		t.Fatalf("edges = %v, want %v", g.Edges, want)
+	}
+	// The hold edge spans ops (2,4]: crash points 3 and 4 cut it, 2 and
+	// 5 do not.
+	hold := g.Edges[1]
+	for k, want := range map[int]bool{2: false, 3: true, 4: true, 5: false} {
+		if got := g.Cuts(hold, k); got != want {
+			t.Fatalf("Cuts(hold, %d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestCuttable: an edge entirely inside one trace operation cannot be
+// cut by any op-granular crash point.
+func TestCuttable(t *testing.T) {
+	g := Build([]Event{
+		ev(memctrl.EvWriteAccept, 1, 3),
+		ev(memctrl.EvWriteAccept, 1, 3), // same op: uncuttable line edge
+		ev(memctrl.EvWriteAccept, 1, 7), // later op: cuttable
+	})
+	if len(g.Edges) != 2 {
+		t.Fatalf("edges = %v", g.Edges)
+	}
+	if g.Cuttable(g.Edges[0]) {
+		t.Fatal("same-op edge must be uncuttable")
+	}
+	if !g.Cuttable(g.Edges[1]) {
+		t.Fatal("cross-op edge must be cuttable")
+	}
+	if got := g.CuttableCount(); got != 1 {
+		t.Fatalf("CuttableCount = %d, want 1", got)
+	}
+}
+
+// TestEnumeratePoints: greedy selection covers every cuttable edge with
+// the minimum obvious picks, stops early when nothing new can be cut,
+// and is deterministic.
+func TestEnumeratePoints(t *testing.T) {
+	// Two disjoint windows: line 1 rewritten across ops 0->2, line 2
+	// across ops 5->9. One point cannot cut both.
+	g := Build([]Event{
+		ev(memctrl.EvWriteAccept, 1, 0),
+		ev(memctrl.EvWriteAccept, 1, 2),
+		ev(memctrl.EvWriteAccept, 2, 5),
+		ev(memctrl.EvWriteAccept, 2, 9),
+	})
+	pts := g.EnumeratePoints(8, 10)
+	if want := []int{1, 6}; !reflect.DeepEqual(pts, want) {
+		t.Fatalf("points = %v, want %v (one per window, smallest tie)", pts, want)
+	}
+	if cut := g.CutSet(pts); len(cut) != g.CuttableCount() {
+		t.Fatalf("cut %d of %d cuttable edges", len(cut), g.CuttableCount())
+	}
+	// A budget of one picks a single point; either window, deterministic.
+	if one := g.EnumeratePoints(1, 10); len(one) != 1 || one[0] != 1 {
+		t.Fatalf("budget-1 points = %v, want [1]", one)
+	}
+	if empty := Build(nil).EnumeratePoints(4, 10); empty != nil {
+		t.Fatalf("empty graph points = %v, want nil", empty)
+	}
+}
+
+// TestEvenPoints pins the historical random placement.
+func TestEvenPoints(t *testing.T) {
+	if got, want := EvenPoints(3, 240), []int{60, 120, 180}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("EvenPoints(3,240) = %v, want %v", got, want)
+	}
+	if got, want := EvenPoints(4, 4), []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("EvenPoints(4,4) = %v, want %v (deduped, floored at 1)", got, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"ccnvm/internal/bmt"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
+	"ccnvm/internal/memctrl"
 	"ccnvm/internal/recovery"
 	"ccnvm/internal/seccrypto"
 )
@@ -14,8 +15,14 @@ import (
 // harness can run, used to prove the oracles have teeth: each mode must
 // be caught by at least one oracle on an otherwise healthy matrix.
 func BrokenModes() []string {
-	return []string{"skip-counter-replay", "ignore-tampered", "skip-root-check", "accept-torn", "accept-divergent"}
+	return []string{"skip-counter-replay", "ignore-tampered", "skip-root-check", "accept-torn", "accept-divergent", "reorder-persist"}
 }
+
+// reorderAfterCommits is the reorder-persist defect's arming point: the
+// first non-epoch write after this many epoch commits is the victim.
+// Fixed so repro commands and the guided-mode self-test agree on the
+// injected bug's location.
+const reorderAfterCommits = 3
 
 // BrokenRunner returns a runner whose recovery is sabotaged in the named
 // way. The sabotage forges reports that claim success, so only the
@@ -124,6 +131,26 @@ func BrokenRunner(mode string) (*Runner, error) {
 				img.RecoveryJournal = clone.RecoveryJournal
 				img.TCB = clone.TCB
 				return rec, true
+			},
+		}, nil
+	case "reorder-persist":
+		// A controller-level ordering bug rather than a recovery one: the
+		// first non-epoch write after the third epoch commit loses its ADR
+		// durability guarantee and persists only at the NEXT commit (see
+		// memctrl.SabotageReorderPersist). Runtime reads still see the
+		// write (the WPQ forwards it), so the defect is observable only at
+		// a crash point inside the victim-write→commit window — exactly
+		// one persist-ordering edge of the cell's graph. Guided
+		// enumeration schedules a point per distinct edge cut and lands in
+		// the window; evenly spaced points at the same budget straddle it.
+		// Fault-model cells run unsabotaged: the knob is incompatible with
+		// crash-time tear composition and those cells are not the test.
+		return &Runner{
+			ArmController: func(c Cell, ctrl *memctrl.Controller) {
+				if c.Faulty() {
+					return
+				}
+				ctrl.SabotageReorderPersist(reorderAfterCommits)
 			},
 		}, nil
 	}

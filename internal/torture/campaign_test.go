@@ -1,0 +1,155 @@
+package torture
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyCampaignOpts is the fixed-seed slice the durability-report golden
+// test runs: small enough to finish in seconds, wide enough to populate
+// every non-sabotage behavior class (spoof for tampered-caught, a
+// counter rewind inside osiris's replay window for healed, media faults
+// for lost-but-detected).
+func tinyCampaignOpts() MatrixOpts {
+	return MatrixOpts{
+		Designs:    []string{"ccnvm", "osiris", "wocc"},
+		Workloads:  []string{"hot"},
+		Attacks:    []string{"none", "spoof", "counter-replay"},
+		Seeds:      1,
+		Ops:        120,
+		CrashPts:   2,
+		FaultSeeds: 2,
+	}
+}
+
+// TestCampaignClassesComplete: every campaign cell lands in exactly one
+// class, the census sums to the cell count, classes appear in fixed
+// order, and the slice populates the non-sabotage classes.
+func TestCampaignClassesComplete(t *testing.T) {
+	res, err := RunCampaign(context.Background(), tinyCampaignOpts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != len(Classes()) {
+		t.Fatalf("census has %d classes, want %d", len(res.Classes), len(Classes()))
+	}
+	total := 0
+	for i, cs := range res.Classes {
+		if cs.Class != Classes()[i] {
+			t.Fatalf("class %d is %s, want %s", i, cs.Class, Classes()[i])
+		}
+		total += cs.Cells
+		if cs.Cells > 0 && cs.Exemplar == nil {
+			t.Fatalf("class %s has %d cells but no exemplar", cs.Class, cs.Cells)
+		}
+		if cs.Exemplar != nil && !strings.Contains(cs.Exemplar.Repro, cs.Exemplar.Cell.String()) {
+			t.Fatalf("class %s exemplar repro %q does not replay its cell", cs.Class, cs.Exemplar.Repro)
+		}
+	}
+	if total != res.Cells {
+		t.Fatalf("census sums to %d cells, campaign ran %d", total, res.Cells)
+	}
+	for _, cl := range []Class{ClassClean, ClassHealed, ClassLostDetected, ClassTamperCaught} {
+		found := false
+		for _, cs := range res.Classes {
+			if cs.Class == cl && cs.Cells > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("class %s unobserved on a slice chosen to populate it", cl)
+		}
+	}
+	if !res.Healthy() {
+		t.Fatalf("campaign unhealthy: sabotage=%+v", res.Sabotage)
+	}
+}
+
+// TestCampaignExemplarExitCodes: an exemplar's advertised exit code is
+// the truth — class cells replay cleanly under the default runner, and
+// the sabotage repro fails under its break mode with the same oracle.
+func TestCampaignExemplarExitCodes(t *testing.T) {
+	res, err := RunCampaign(context.Background(), tinyCampaignOpts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := DefaultRunner()
+	for _, cs := range res.Classes {
+		if cs.Exemplar == nil || cs.Class == ClassOracleFailure {
+			continue
+		}
+		if f := r.RunCell(cs.Exemplar.Cell); f != nil {
+			t.Fatalf("class %s exemplar %s fails its own repro: %v", cs.Class, cs.Exemplar.Cell, f)
+		}
+	}
+	sab := res.Sabotage
+	if !sab.Caught || !sab.RandomMiss || sab.ExitCode != 1 {
+		t.Fatalf("sabotage section not as designed: %+v", sab)
+	}
+	spec := strings.TrimSuffix(strings.TrimPrefix(sab.Repro,
+		"go run ./cmd/ccnvm-torture -break reorder-persist -repro '"), "'")
+	cell, err := ParseCell(spec)
+	if err != nil {
+		t.Fatalf("sabotage repro %q does not parse: %v", sab.Repro, err)
+	}
+	br, err := BrokenRunner(sab.Mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := br.RunCell(cell)
+	if f == nil || f.Oracle != sab.Oracle {
+		t.Fatalf("sabotage repro does not reproduce oracle %s: %v", sab.Oracle, f)
+	}
+}
+
+// TestDurabilityReportGolden pins the generated report for the tiny
+// fixed-seed campaign: markdown and JSON artifact must regenerate
+// byte-identically. Regenerate after a deliberate change with
+//
+//	go test ./internal/torture/ -run TestDurabilityReportGolden -golden.update
+func TestDurabilityReportGolden(t *testing.T) {
+	res, err := RunCampaign(context.Background(), tinyCampaignOpts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := res.RenderMarkdown("durability.golden.json")
+	js, err := res.RenderJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, g := range []struct {
+		name string
+		got  []byte
+	}{
+		{"durability.golden.md", md},
+		{"durability.golden.json", js},
+	} {
+		golden := filepath.Join("testdata", g.name)
+		if *updateGolden {
+			if err := os.WriteFile(golden, g.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -golden.update)", err)
+		}
+		if !bytes.Equal(g.got, want) {
+			t.Errorf("%s drifted from the golden file:\ngot:\n%s", g.name, g.got)
+		}
+	}
+
+	// Regeneration determinism: a second run renders identical bytes.
+	res2, err := RunCampaign(context.Background(), tinyCampaignOpts(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(md, res2.RenderMarkdown("durability.golden.json")) {
+		t.Fatal("campaign markdown is not deterministic across runs")
+	}
+}

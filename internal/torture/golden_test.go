@@ -50,6 +50,18 @@ func TestJSONSummaryGolden(t *testing.T) {
 		},
 		Interrupted: true,
 		Skipped:     1,
+		// A guided run stamps its mode and the per-row edge-coverage
+		// table; both are omitempty so the historical random-matrix
+		// encoding above this point is unchanged.
+		Mode: "guided",
+		Coverage: []CoverageStat{
+			{
+				Design: "ccnvm", Workload: "hot", Traces: 2,
+				EdgesTotal: 310, EdgesCuttable: 290,
+				GuidedPoints: 4, GuidedCut: 212,
+				RandomPoints: 4, RandomCut: 118,
+			},
+		},
 	}
 
 	// Encode exactly as cmd/ccnvm-torture does.
@@ -82,7 +94,8 @@ func TestJSONSummaryGolden(t *testing.T) {
 	}
 	if back.Cells != sum.Cells || back.Skipped != sum.Skipped || !back.Interrupted ||
 		len(back.Failures) != len(sum.Failures) ||
-		back.Failures[1].Cell != sum.Failures[1].Cell {
+		back.Failures[1].Cell != sum.Failures[1].Cell ||
+		back.Mode != sum.Mode || len(back.Coverage) != 1 || back.Coverage[0] != sum.Coverage[0] {
 		t.Fatal("golden summary does not round-trip")
 	}
 }

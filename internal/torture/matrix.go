@@ -105,74 +105,110 @@ func EnumerateCells(o MatrixOpts) []Cell {
 			}
 		}
 	}
-	// Fault cells ride after the faultless matrix: clean crashes under
-	// deterministic media damage, cycled through the fault profiles.
-	if o.FaultSeeds > 0 {
-		profiles := FaultProfiles()
-		for _, d := range o.Designs {
-			for _, w := range o.Workloads {
-				for fs := 0; fs < o.FaultSeeds; fs++ {
-					p := profiles[fs%len(profiles)]
-					cells = append(cells, Cell{
-						Design:    d,
-						Workload:  w,
-						Seed:      int64(fs % o.Seeds),
-						Ops:       o.Ops,
-						CrashAt:   o.Ops * 2 / 3,
-						Attack:    "none",
-						N:         o.Ns[fs%len(o.Ns)],
-						FaultSeed: int64(fs)*7919 + 1,
-						Torn:      p.Torn,
-						ADRBudget: p.ADRBudget,
-						WeakPct:   p.WeakPct,
-						Stuck:     p.Stuck,
-					}.normalized())
-				}
+	cells = appendFaultCells(cells, o)
+	cells = appendRebootCells(cells, o)
+	return applyBudget(cells, o)
+}
+
+// appendFaultCells rides media-fault cells after the faultless matrix:
+// clean crashes under deterministic media damage, cycled through the
+// fault profiles.
+func appendFaultCells(cells []Cell, o MatrixOpts) []Cell {
+	if o.FaultSeeds <= 0 {
+		return cells
+	}
+	profiles := FaultProfiles()
+	for _, d := range o.Designs {
+		for _, w := range o.Workloads {
+			for fs := 0; fs < o.FaultSeeds; fs++ {
+				p := profiles[fs%len(profiles)]
+				cells = append(cells, Cell{
+					Design:    d,
+					Workload:  w,
+					Seed:      int64(fs % o.Seeds),
+					Ops:       o.Ops,
+					CrashAt:   o.Ops * 2 / 3,
+					Attack:    "none",
+					N:         o.Ns[fs%len(o.Ns)],
+					FaultSeed: int64(fs)*7919 + 1,
+					Torn:      p.Torn,
+					ADRBudget: p.ADRBudget,
+					WeakPct:   p.WeakPct,
+					Stuck:     p.Stuck,
+				}.normalized())
 			}
 		}
-	}
-	// Reboot-loop cells ride last: clean crashes whose recovery is
-	// interrupted and re-entered, half on the idealized device and half
-	// under a fault profile, so re-entrancy is exercised both ways.
-	if o.Reboots > 0 {
-		profiles := FaultProfiles()
-		for _, d := range o.Designs {
-			for wi, w := range o.Workloads {
-				for ri, stride := range o.RebootEvery {
-					base := Cell{
-						Design:      d,
-						Workload:    w,
-						Ops:         o.Ops,
-						CrashAt:     o.Ops * 2 / 3,
-						Attack:      "none",
-						N:           o.Ns[ri%len(o.Ns)],
-						RebootEvery: stride,
-						Reboots:     o.Reboots,
-					}
-					faultless := base
-					faultless.Seed = int64(ri % o.Seeds)
-					cells = append(cells, faultless.normalized())
-					faulty := base
-					faulty.Seed = int64((ri + 1) % o.Seeds)
-					p := profiles[(wi+ri)%len(profiles)]
-					faulty.FaultSeed = int64(wi+ri)*7919 + 1
-					faulty.Torn = p.Torn
-					faulty.ADRBudget = p.ADRBudget
-					faulty.WeakPct = p.WeakPct
-					faulty.Stuck = p.Stuck
-					cells = append(cells, faulty.normalized())
-				}
-			}
-		}
-	}
-	if o.Budget > 0 && len(cells) > o.Budget {
-		sampled := make([]Cell, o.Budget)
-		for i := range sampled {
-			sampled[i] = cells[i*len(cells)/o.Budget]
-		}
-		cells = sampled
 	}
 	return cells
+}
+
+// appendRebootCells rides reboot-loop cells last: clean crashes whose
+// recovery is interrupted and re-entered, half on the idealized device
+// and half under a fault profile, so re-entrancy is exercised both
+// ways.
+func appendRebootCells(cells []Cell, o MatrixOpts) []Cell {
+	if o.Reboots <= 0 {
+		return cells
+	}
+	profiles := FaultProfiles()
+	for _, d := range o.Designs {
+		for wi, w := range o.Workloads {
+			for ri, stride := range o.RebootEvery {
+				base := Cell{
+					Design:      d,
+					Workload:    w,
+					Ops:         o.Ops,
+					CrashAt:     o.Ops * 2 / 3,
+					Attack:      "none",
+					N:           o.Ns[ri%len(o.Ns)],
+					RebootEvery: stride,
+					Reboots:     o.Reboots,
+				}
+				faultless := base
+				faultless.Seed = int64(ri % o.Seeds)
+				cells = append(cells, faultless.normalized())
+				faulty := base
+				faulty.Seed = int64((ri + 1) % o.Seeds)
+				p := profiles[(wi+ri)%len(profiles)]
+				faulty.FaultSeed = int64(wi+ri)*7919 + 1
+				faulty.Torn = p.Torn
+				faulty.ADRBudget = p.ADRBudget
+				faulty.WeakPct = p.WeakPct
+				faulty.Stuck = p.Stuck
+				cells = append(cells, faulty.normalized())
+			}
+		}
+	}
+	return cells
+}
+
+// applyBudget samples the matrix down to the budget. A budgeted sweep
+// buys executed cells, so cells the harness would refuse or waste (see
+// Cell.RefusalReason) are dropped before sampling — they used to count
+// against the budget, which made guided and random sweeps at the same
+// budget execute different numbers of effective cells. Unbudgeted
+// enumeration keeps the full matrix, refusable cells included, so the
+// historical cell counts (and the axis-shape tests pinning them) are
+// unchanged.
+func applyBudget(cells []Cell, o MatrixOpts) []Cell {
+	if o.Budget <= 0 || len(cells) <= o.Budget {
+		return cells
+	}
+	runnable := make([]Cell, 0, len(cells))
+	for _, c := range cells {
+		if c.RefusalReason() == "" {
+			runnable = append(runnable, c)
+		}
+	}
+	cells = runnable
+	if len(cells) <= o.Budget {
+		return cells
+	}
+	sampled := make([]Cell, o.Budget)
+	for i := range sampled {
+		sampled[i] = cells[i*len(cells)/o.Budget]
+	}
+	return sampled
 }
 
 // MatrixFailure is one shrunk failure from a matrix run.
@@ -192,6 +228,15 @@ type Summary struct {
 	// partial summary still lists every failure seen before the cut.
 	Interrupted bool `json:"interrupted,omitempty"`
 	Skipped     int  `json:"skipped,omitempty"`
+
+	// Mode records how crash points were enumerated: "guided" when the
+	// ordering-aware enumeration chose them, empty for the historical
+	// evenly spaced matrix. Coverage is the per-design×workload
+	// edge-coverage table a guided enumeration produces (each row also
+	// scores the evenly spaced points of equal budget on the same
+	// graphs, so the two modes are directly comparable).
+	Mode     string         `json:"mode,omitempty"`
+	Coverage []CoverageStat `json:"edge_coverage,omitempty"`
 }
 
 // Failed reports whether any cell violated an oracle.

@@ -8,6 +8,7 @@ import (
 	"ccnvm/internal/attack"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
+	"ccnvm/internal/memctrl"
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/recovery"
 	"ccnvm/internal/seccrypto"
@@ -31,10 +32,14 @@ func (f *Failure) Error() string {
 // Runner executes torture cells. The Recover, Apply and ApplyInterrupted
 // seams default to the real recovery implementation; tests substitute
 // deliberately broken ones to prove the oracles catch them.
+// ArmController, when set, is invoked on every cell's freshly built
+// controller before the trace is driven — the seam the reorder-persist
+// sabotage uses to inject a pre-crash ordering defect.
 type Runner struct {
 	Recover          func(*engine.CrashImage) *recovery.Report
 	Apply            func(*engine.CrashImage, *recovery.Report) recovery.Recovered
 	ApplyInterrupted func(*engine.CrashImage, *recovery.Report, *recovery.Interrupt) (recovery.Recovered, bool)
+	ArmController    func(Cell, *memctrl.Controller)
 }
 
 // DefaultRunner runs cells against the real recovery path.
@@ -83,16 +88,28 @@ func (r *Runner) RunCell(c Cell) (fail *Failure) {
 			fail = &Failure{Cell: c, Oracle: "panic", Detail: fmt.Sprintf("cell panicked: %v", p)}
 		}
 	}()
+	_, fail = r.runCell(c)
+	return fail
+}
+
+// runCell is RunCell's body, returning the evidence context alongside
+// the first oracle violation so the durability campaign can classify
+// passing cells too. ctx is nil when setup failed before a trace was
+// driven. Callers own the panic conversion.
+func (r *Runner) runCell(c Cell) (*Context, *Failure) {
 	if err := c.Validate(); err != nil {
-		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
+		return nil, &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
 	}
 	ops, err := GenOps(c.Workload, c.Seed, c.Ops)
 	if err != nil {
-		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
+		return nil, &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
 	}
 	eng, ctrl, err := BuildEngine(c.Design, engine.Params{UpdateLimit: c.N, QueueEntries: c.M}, c.faultModel())
 	if err != nil {
-		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
+		return nil, &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
+	}
+	if r.ArmController != nil {
+		r.ArmController(c, ctrl)
 	}
 	ref := NewReference(mem.MustLayout(Capacity), seccrypto.DefaultKeys())
 	ctx := &Context{Cell: c, Ref: ref, Runner: r}
@@ -137,23 +154,23 @@ func (r *Runner) RunCell(c Cell) (fail *Failure) {
 	ctx.Media = ctx.Img.MediaLog
 	ctx.CtrlStats = ctrl.Stats()
 	if err := ctrl.Err(); err != nil {
-		return &Failure{Cell: c, Oracle: "device-fault", Detail: "controller recorded a device/protocol error: " + err.Error()}
+		return ctx, &Failure{Cell: c, Oracle: "device-fault", Detail: "controller recorded a device/protocol error: " + err.Error()}
 	}
 	ctx.Victims, ctx.AttackChanged, err = injectAttack(c, ctx.Img, snap, snapWrites, ref)
 	if err != nil {
-		return &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
+		return ctx, &Failure{Cell: c, Oracle: "cell-spec", Detail: err.Error()}
 	}
 	ctx.Rep = r.recoverFn()(ctx.Img)
 	if fail := r.runRebootLoop(ctx); fail != nil {
-		return fail
+		return ctx, fail
 	}
 
 	for _, o := range Oracles() {
 		if detail := o.Check(ctx); detail != "" {
-			return &Failure{Cell: c, Oracle: o.Name, Detail: detail}
+			return ctx, &Failure{Cell: c, Oracle: o.Name, Detail: detail}
 		}
 	}
-	return nil
+	return ctx, nil
 }
 
 // runRebootLoop executes the cell's reboot axis: after a clean first

@@ -160,6 +160,23 @@ func (c Cell) Validate() error {
 	return nil
 }
 
+// RefusalReason reports why the harness would refuse or waste this
+// cell, "" when it is fully runnable. Two kinds of cell burn budget
+// without exercising anything: specs Validate rejects outright, and
+// reboot-axis cells on designs whose recovery flags every crash as
+// tampered (TamperOnCrash) — their first recovery is never clean, so
+// runRebootLoop skips the entire axis the cell was enumerated for.
+// Budgeted sweeps exclude such cells before sampling (see applyBudget).
+func (c Cell) RefusalReason() string {
+	if err := c.Validate(); err != nil {
+		return err.Error()
+	}
+	if c.Reboots > 0 && design.MustLookup(c.Design).Caps.TamperOnCrash {
+		return "reboot loop refused: design flags tamper on every crash"
+	}
+	return ""
+}
+
 // String renders the cell as the key=value spec Repro embeds. Fault and
 // reboot dimensions are appended only when active, so historical cells
 // keep their spec (and repro lines) unchanged.
