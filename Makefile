@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race fuzz-short vuln lint-designs torture torture-faults torture-reboots torture-guided torture-long campaign campaign-short ci bench bench-check profile clean
+.PHONY: all tier1 vet race fuzz-short vuln lint-designs torture torture-faults torture-reboots torture-spares torture-guided torture-long campaign campaign-short ci bench bench-check profile clean
 
 # Performance-ledger knobs. BENCH_PR numbers the pinned ledger file
 # (BENCH_$(BENCH_PR).json); BENCH_OPS sizes the pinning run, and
@@ -39,6 +39,7 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzCell -fuzztime=20s ./internal/torture/
 	$(GO) test -fuzz=FuzzFaultCell -fuzztime=20s ./internal/torture/
 	$(GO) test -fuzz=FuzzRebootCell -fuzztime=20s ./internal/torture/
+	$(GO) test -fuzz=FuzzSpareCell -fuzztime=20s ./internal/torture/
 	$(GO) test -fuzz=FuzzPorderEvents -fuzztime=15s ./internal/porder/
 
 # vuln scans the module against the Go vulnerability database. Skipped
@@ -87,6 +88,14 @@ torture-faults:
 torture-reboots:
 	$(GO) run ./cmd/ccnvm-torture -seeds 2 -designs all -attacks none -faultseeds 2 -reboots 4
 
+# torture-spares sweeps the finite spare pool from healthy through
+# degraded to read-only: pool sizes from 3 down to a single line are
+# layered over the weak/stuck fault profiles, and every passing cell is
+# classified healed / lost-but-detected / read-only-refused by the
+# spare-accounting, remap-consistency and degradation oracles.
+torture-spares:
+	$(GO) run ./cmd/ccnvm-torture -seeds 2 -designs all -attacks none -spares 3
+
 # torture-guided replaces evenly spaced crash points with the
 # ordering-aware enumeration (one point per distinct persist-ordering
 # edge cut) and prints the edge-coverage table against evenly spaced
@@ -114,7 +123,7 @@ campaign-short:
 	rm -rf $$tmp && echo "campaign-short: report reproduces byte-identically"
 
 # ci is what a merge must pass.
-ci: tier1 vet lint-designs race fuzz-short vuln torture-reboots campaign-short bench-check
+ci: tier1 vet lint-designs race fuzz-short vuln torture-reboots torture-spares campaign-short bench-check
 
 # bench pins the performance ledger: the Go benchmarks stream into a
 # benchstat-friendly raw file (compare two with

@@ -26,6 +26,7 @@ import (
 
 	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
+	"ccnvm/internal/memctrl"
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/report"
 	"ccnvm/internal/sim"
@@ -46,6 +47,7 @@ func main() {
 	faultADR := flag.Int("fault-adr", 0, "ADR energy budget in WPQ entries at power failure (0 = unbounded)")
 	faultWeak := flag.Int("fault-weak", 0, "weak-line rate in percent: transient read errors healed by retry and scrubbing")
 	faultStuck := flag.Int("fault-stuck", 0, "lines stuck permanently at each power failure")
+	spares := flag.Int("spares", 0, "finite spare-line pool: arms remap accounting and graceful degradation to read-only (requires -fault-weak or -fault-stuck to consume spares)")
 	scrubOps := flag.Int("scrub-ops", 0, "trace ops between scrub passes under a fault model (0 = default)")
 	traceFile := flag.String("trace", "", "replay a recorded trace file instead of a generated workload")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations when multiple designs are given")
@@ -61,6 +63,9 @@ func main() {
 	// Any non-zero fault axis installs the media fault model; with all
 	// axes zero the simulator is the idealized device and its output is
 	// bit-identical to earlier releases.
+	if *spares > 0 && *faultWeak == 0 && *faultStuck == 0 {
+		fatal(fmt.Errorf("-spares %d without -fault-weak or -fault-stuck arms a pool nothing can consume", *spares))
+	}
 	if *faultTorn || *faultADR > 0 || *faultWeak > 0 || *faultStuck > 0 {
 		cfg.Faults = &nvm.FaultModel{
 			Seed:         *faultSeed,
@@ -68,6 +73,7 @@ func main() {
 			ADRBudget:    *faultADR,
 			WeakLineRate: float64(*faultWeak) / 100,
 			StuckLines:   *faultStuck,
+			SpareLines:   *spares,
 		}
 	}
 	designs, err := parseDesigns(*designFlag)
@@ -141,10 +147,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		return
+	} else {
+		for _, r := range results {
+			fmt.Print(Render(r, cfg.Faults != nil))
+		}
 	}
+	// A machine that ended the run read-only is a distinguished,
+	// scriptable outcome: every result was still produced and verified,
+	// but the media exhausted its spare pool along the way. Exit 3
+	// separates it from success (0) and hard errors (1).
 	for _, r := range results {
-		fmt.Print(Render(r, cfg.Faults != nil))
+		if r.Health == memctrl.HealthReadOnly.String() {
+			os.Exit(3)
+		}
 	}
 }
 
@@ -227,6 +242,19 @@ func Render(r sim.Result, faults bool) string {
 		t.AddRow("permanent read errors", fmt.Sprintf("%d", r.Ctrl.PermanentReadErrors))
 		t.AddRow("scrubbed lines", fmt.Sprintf("%d", r.Ctrl.ScrubbedLines))
 		t.AddRow("scrub remapped", fmt.Sprintf("%d", r.Ctrl.ScrubRemapped))
+	}
+	// The media-management section appears only when the run armed a
+	// finite spare pool, so faultless (and infinite-pool) output is
+	// byte-identical to earlier releases.
+	if r.Spares.Finite() {
+		t.AddRow("health", r.Health)
+		t.AddRow("spares used", fmt.Sprintf("%d/%d", r.Spares.Used, r.Spares.Total))
+		t.AddRow("remaps this boot", fmt.Sprintf("%d", r.Spares.Remaps))
+		t.AddRow("remaps refused", fmt.Sprintf("%d", r.Spares.Refused))
+		t.AddRow("retry-exhaustion remaps", fmt.Sprintf("%d", r.Ctrl.RetryRemapped))
+		t.AddRow("refused writes", fmt.Sprintf("%d", r.Ctrl.RefusedWrites))
+		t.AddRow("refused epochs", fmt.Sprintf("%d", r.Ctrl.RefusedEpochs))
+		t.AddRow("refused stores", fmt.Sprintf("%d", r.RefusedStores))
 	}
 	return t.String()
 }

@@ -13,6 +13,7 @@
 //	ccnvm-torture -break skip-counter-replay        # prove the oracles bite
 //	ccnvm-torture -reboots 4                        # crash recovery itself, re-enter, check convergence
 //	ccnvm-torture -reboots 4 -reboot-every 2,3      # choose the strike strides
+//	ccnvm-torture -spares 3                         # finite spare pools: heal, degrade, go read-only
 //	ccnvm-torture -guided                           # ordering-aware crash points + edge-coverage table
 //	ccnvm-torture -campaign docs/status/durability_report.md  # regenerate the durability report
 //	ccnvm-torture -oracles                          # list the invariants
@@ -45,6 +46,7 @@ func main() {
 		crashPts    = flag.Int("crashpoints", 3, "crash points per trace")
 		faultSeeds  = flag.Int("faultseeds", 0, "media-fault seeds per design/workload, cycled through the fault profiles (0 = no fault cells)")
 		reboots     = flag.Int("reboots", 0, "reboot-loop cells: interrupt recovery this many times per cell (0 = no reboot cells)")
+		spares      = flag.Int("spares", 0, "finite-spare cells: sweep spare pools from this size down to one line over the weak/stuck fault profiles (0 = no spare cells)")
 		rebootEvery = flag.String("reboot-every", "", "comma-separated strike strides for reboot cells (default 2,3,5)")
 		budget      = flag.Int("budget", 0, "max cells, evenly sampled after dropping refused cells (0 = run all)")
 		guided      = flag.Bool("guided", false, "ordering-aware crash points: profile each trace's persist-ordering graph and schedule one point per distinct edge cut; reports edge coverage vs evenly spaced points")
@@ -118,6 +120,7 @@ func main() {
 		FaultSeeds:  *faultSeeds,
 		Reboots:     *reboots,
 		RebootEvery: strides,
+		Spares:      *spares,
 		Budget:      *budget,
 	}
 	var cells []torture.Cell

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
+
 	"ccnvm/internal/design/names"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/memctrl"
 	"ccnvm/internal/metacache"
+	"ccnvm/internal/nvm"
 	"ccnvm/internal/seccrypto"
 )
 
@@ -317,8 +320,16 @@ func (c *CCNVM) drain(now int64, cause DrainCause) int64 {
 	// Atomic draining: start signal, epoch-held WPQ entries, end signal.
 	// The typed protocol errors are unreachable from a correct drainer
 	// (windows never nest, batches are bounded); a violation is a bug in
-	// this engine, so it escalates.
+	// this engine, so it escalates. The one tolerated refusal is spare
+	// exhaustion: the controller is in read-only degradation and no new
+	// epoch may persist, so the epoch is parked — metadata stays dirty,
+	// ROOTold stays at the last committed epoch, and runtime reads keep
+	// verifying against the queue and caches.
 	if err := c.Ctrl.BeginEpochDrain(); err != nil {
+		var exhausted *nvm.SpareExhaustedError
+		if errors.As(err, &exhausted) {
+			return t
+		}
 		panic(err)
 	}
 	for _, a := range tracked {

@@ -39,6 +39,7 @@ func init() {
 			// identically after any number of reboot loops.
 			ReentrantRecovery: true,
 			RebootStride:      3,
+			SpareManaged:      true,
 		},
 	})
 	Register(Descriptor{
@@ -61,6 +62,7 @@ func init() {
 			Replay:            ReplayRootCompare,
 			ReentrantRecovery: true,
 			RebootStride:      3,
+			SpareManaged:      true,
 		},
 	})
 	Register(Descriptor{
@@ -81,6 +83,7 @@ func init() {
 			Replay:            ReplayRootCompare,
 			ReentrantRecovery: true,
 			RebootStride:      3,
+			SpareManaged:      true,
 		},
 	})
 	Register(Descriptor{
@@ -101,6 +104,7 @@ func init() {
 			Replay:            ReplayRootCompare,
 			ReentrantRecovery: true,
 			RebootStride:      3,
+			SpareManaged:      true,
 		},
 	})
 	Register(Descriptor{
@@ -122,6 +126,7 @@ func init() {
 			Replay:            ReplayNwbWindow,
 			ReentrantRecovery: true,
 			RebootStride:      3,
+			SpareManaged:      true,
 		},
 	})
 	Register(Descriptor{
@@ -141,6 +146,7 @@ func init() {
 			Replay:            ReplayPerLinePage,
 			ReentrantRecovery: true,
 			RebootStride:      3,
+			SpareManaged:      true,
 		},
 	})
 	Register(Descriptor{
@@ -161,6 +167,7 @@ func init() {
 			Replay:            ReplayRootCompare,
 			ReentrantRecovery: true,
 			RebootStride:      3,
+			SpareManaged:      true,
 		},
 	})
 }

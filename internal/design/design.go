@@ -137,6 +137,14 @@ type Capabilities struct {
 	// plus the stride itself for the journal bootstrap. Zero when
 	// ReentrantRecovery is false.
 	RebootStride int
+
+	// SpareManaged: the design tolerates finite spare-pool media
+	// management — its recovery validates and replays the device's
+	// persisted remap table before the four-step walk, and its images
+	// stay recoverable across a remap-commit rollback. The torture
+	// harness refuses the spare-exhaustion axis on designs that do not
+	// declare it.
+	SpareManaged bool
 }
 
 // Descriptor is one registered design.
@@ -287,6 +295,9 @@ func ForImage(name string) Descriptor {
 			// so the re-entrancy contract holds for them too.
 			ReentrantRecovery: true,
 			RebootStride:      3,
+			// Table validation lives in the shared Recover front end, so
+			// unregistered images get it as well.
+			SpareManaged: true,
 		},
 	}
 }

@@ -15,6 +15,8 @@ import (
 
 	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
+	"ccnvm/internal/memctrl"
+	"ccnvm/internal/nvm"
 	"ccnvm/internal/report"
 	"ccnvm/internal/sim"
 	"ccnvm/internal/trace"
@@ -463,4 +465,112 @@ func (f *Fig6) Tables() string {
 		wr.AddFloats(param, ws...)
 	}
 	return ipc.String() + "\n" + wr.String()
+}
+
+// SparePoint is one pool size's outcome in the spares-vs-lifetime
+// sweep: how far into the trace the machine kept accepting stores
+// before the finite spare pool ran dry and the controller degraded to
+// read-only.
+type SparePoint struct {
+	Spares        int
+	OpsToReadOnly int  // ops serviced before read-only (the full trace if never reached)
+	ReadOnly      bool // pool exhausted within the trace
+	Spent         nvm.SpareStats
+	RefusedStores uint64
+}
+
+// SpareLifetime is the graceful-degradation counterpart of Lifetime:
+// instead of asking how fast a design wears its hottest line, it asks
+// how long a machine provisioned with a finite spare pool keeps
+// accepting stores while stuck-line damage recurs. Because every pool
+// size replays the identical trace and damage schedule, survival time
+// is weakly monotone in the pool size — the property the tests pin.
+type SpareLifetime struct {
+	Design    string
+	Benchmark string
+	Ops       int
+	Events    int // stuck-line power events injected across the trace
+	Points    []SparePoint
+}
+
+// RunSpareLifetime sweeps spare pool sizes on one design and workload.
+// Each point runs the same trace on a fresh machine whose fault model
+// arms a pool of the given size, with periodic power events that stick
+// fresh lines; the point records the op count at which the controller
+// first reported read-only. The machines deliberately run with tiny
+// caches — this is a media-endurance stress protocol, not a paper
+// figure, and the default hierarchy would absorb the store traffic
+// that consumes spares.
+func RunSpareLifetime(o Options, designName, benchmark string, pools []int) (*SpareLifetime, error) {
+	o.fill()
+	p, err := trace.ProfileByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	g, err := trace.NewGenerator(p, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ops := trace.Collect(g, o.Ops)
+	s := &SpareLifetime{Design: designName, Benchmark: benchmark, Ops: len(ops), Events: 6}
+	chunk := len(ops) / (s.Events + 1)
+	if chunk == 0 {
+		chunk = len(ops)
+	}
+	for _, pool := range pools {
+		m, err := sim.New(sim.Config{
+			Design:   designName,
+			Capacity: o.Capacity,
+			L1Size:   2 << 10,
+			L2Size:   4 << 10,
+			Params: engine.Params{
+				UpdateLimit:  o.UpdateLimit,
+				QueueEntries: o.QueueEntries,
+				Workers:      o.Workers,
+			},
+			Faults:   &nvm.FaultModel{Seed: o.Seed, StuckLines: 2, SpareLines: pool},
+			ScrubOps: max(1, len(ops)/10),
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := SparePoint{Spares: pool, OpsToReadOnly: len(ops)}
+		var r sim.Result
+		for served := 0; served < len(ops); {
+			end := min(served+chunk, len(ops))
+			r = m.Run(benchmark, ops[served:end])
+			served = end
+			if !pt.ReadOnly && m.Health() == memctrl.HealthReadOnly {
+				pt.ReadOnly = true
+				pt.OpsToReadOnly = served
+			}
+			if served < len(ops) {
+				m.Device().InjectStuckLines()
+			}
+		}
+		pt.Spent = r.Spares
+		pt.RefusedStores = r.RefusedStores
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}
+
+// Table renders the spares-vs-lifetime curve.
+func (s *SpareLifetime) Table() string {
+	t := report.NewTable(
+		fmt.Sprintf("spares vs lifetime: %s on %s (%d ops, %d damage events)",
+			sim.DesignLabel(s.Design), s.Benchmark, s.Ops, s.Events),
+		"ops to read-only", "spares used", "refused stores", "final state")
+	for _, p := range s.Points {
+		state := "writable"
+		if p.ReadOnly {
+			state = "read-only"
+		}
+		t.AddRow(fmt.Sprintf("%d", p.Spares),
+			fmt.Sprintf("%d", p.OpsToReadOnly),
+			fmt.Sprintf("%d/%d", p.Spent.Used, p.Spent.Total),
+			fmt.Sprintf("%d", p.RefusedStores),
+			state)
+	}
+	return t.String()
 }

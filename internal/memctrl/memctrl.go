@@ -88,6 +88,14 @@ type Stats struct {
 	DroppedByADR        uint64 // WPQ entries wholly lost past the ADR budget
 	StuckOnCrash        uint64 // lines stuck-at failed at power failure
 	WriteErrors         uint64 // device writes rejected with a typed error
+
+	// Finite spare-pool counters; all zero on the unlimited legacy pool
+	// and omitted from JSON when zero, so faultless machine-readable
+	// output stays byte-identical to earlier releases.
+	RetryRemapped    uint64 `json:",omitzero"` // lines remapped after exhausting the read-retry budget
+	RefusedWrites    uint64 `json:",omitzero"` // writes refused in read-only degradation
+	RefusedEpochs    uint64 `json:",omitzero"` // epoch drains refused in read-only degradation
+	RemapTornOnCrash uint64 `json:",omitzero"` // remap-record commits torn at power failure
 }
 
 // EventKind tags one entry of the controller's persistence event
@@ -343,6 +351,63 @@ func (c *Controller) fail(err error) {
 // failure.
 func (c *Controller) Err() error { return c.err }
 
+// HealthState is the controller's media-health state machine, driven by
+// the device's finite spare pool: Healthy while spares are plentiful;
+// Degraded once the pool falls to its threshold (scrub is throttled and
+// stops consuming spares — only retry-exhaustion remaps still draw from
+// the pool); ReadOnly when the pool is empty (new writes and epochs are
+// refused with a typed *nvm.SpareExhaustedError while reads keep
+// verifying). The unlimited legacy pool is always Healthy.
+type HealthState int
+
+const (
+	HealthHealthy HealthState = iota
+	HealthDegraded
+	HealthReadOnly
+)
+
+// String names the state for stats rendering and JSON summaries.
+func (h HealthState) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthReadOnly:
+		return "read-only"
+	}
+	return fmt.Sprintf("HealthState(%d)", int(h))
+}
+
+// SpareThreshold is the Degraded boundary: a quarter of the pool,
+// at least one line.
+func SpareThreshold(total int) int {
+	return max(1, total/4)
+}
+
+// Health derives the current state from the spare pool. It is a pure
+// function of pool occupancy, so crossing a boundary is visible to the
+// very next call — the harness's front door for refusing new work.
+func (c *Controller) Health() HealthState {
+	s := c.dev.SpareStats()
+	if !s.Finite() {
+		return HealthHealthy
+	}
+	switch rem := s.Remaining(); {
+	case rem <= 0:
+		return HealthReadOnly
+	case rem <= SpareThreshold(s.Total):
+		return HealthDegraded
+	}
+	return HealthHealthy
+}
+
+// readOnly is the hot-path form of Health() == HealthReadOnly.
+func (c *Controller) readOnly() bool {
+	s := c.dev.SpareStats()
+	return s.Finite() && s.Remaining() <= 0
+}
+
 // Device returns the fronted NVM device.
 func (c *Controller) Device() *nvm.Device { return c.dev }
 
@@ -417,11 +482,38 @@ func (c *Controller) retryPenalty(a mem.Addr) int64 {
 		c.stats.ReadRetryCycles += cost
 		extra += cost
 		if attempt >= c.cfg.ReadRetryLimit {
+			if c.dev.SpareStats().Finite() {
+				// Runtime remap: the retry budget is exhausted, so the
+				// controller reconstructs the line via ECC and moves it to
+				// a spare instead of erroring forever (remap-on-demand).
+				// Only an empty pool leaves a permanent error behind.
+				if err := c.dev.Remap(a, true); err == nil {
+					c.stats.RetryRemapped++
+					break
+				}
+			}
 			c.stats.PermanentReadErrors++
 			break
 		}
 	}
 	return extra
+}
+
+// HostWrite is the host-facing write admission. In read-only
+// degradation (spare pool exhausted) new host data is refused — counted
+// in RefusedWrites, never silently dropped — while Write, the
+// engine-internal path, always completes: metadata maintenance, heals
+// and the tail of an already-admitted write-back must finish or they
+// would tear state the device has acknowledged. It is the same split a
+// worn SSD makes when it goes read-only but keeps its internal
+// machinery running. Refusal happens per whole host store, so the
+// refused write simply never reaches the media.
+func (c *Controller) HostWrite(now int64, a mem.Addr, l mem.Line) int64 {
+	if c.readOnly() {
+		c.stats.RefusedWrites++
+		return now
+	}
+	return c.Write(now, a, l)
 }
 
 // Write enqueues a line write into the WPQ and returns the cycle at
@@ -555,6 +647,13 @@ func (c *Controller) BeginEpochDrain() error {
 		c.fail(ErrNestedDrain)
 		return ErrNestedDrain
 	}
+	if c.readOnly() {
+		// Graceful degradation, not a protocol violation: the error is
+		// typed and not sticky, so the engine can park the epoch and
+		// leave runtime reads verifying. No window opens.
+		c.stats.RefusedEpochs++
+		return &nvm.SpareExhaustedError{Total: c.dev.SpareStats().Total}
+	}
 	c.inDrain = true
 	c.emit(EvEpochBegin, 0)
 	return nil
@@ -626,8 +725,12 @@ func (c *Controller) EndEpochDrain(now int64) (int64, error) {
 // Scrub runs one scrubbing pass over the device's weak lines: each is
 // read and rewritten in place (re-rolling its cell state) until it holds
 // stable data, up to eight rewrites; a line still weak after that is
-// remapped to a spare and exempted. The pass guarantees no weak line
-// survives it, which the read-error-bounded-retry oracle asserts. It
+// remapped to a spare and exempted. On the unlimited pool the pass
+// guarantees no weak line survives it, which the read-error-bounded-
+// retry oracle asserts. A finite pool makes the pass health-aware:
+// Degraded throttles it (two rewrites, no spare-consuming give-ups —
+// remaining spares are reserved for retry-exhaustion remaps) and
+// ReadOnly skips it entirely, so weak survivors are then expected. It
 // returns the cycle at which the scrub writes were accepted. A no-op
 // without a fault model.
 func (c *Controller) Scrub(now int64) int64 {
@@ -635,9 +738,16 @@ func (c *Controller) Scrub(now int64) int64 {
 	if dev.FaultModel() == nil {
 		return now
 	}
+	if c.Health() == HealthReadOnly {
+		return now
+	}
 	for _, a := range dev.WeakLines() {
+		limit := 8
+		if c.Health() != HealthHealthy {
+			limit = 2
+		}
 		healed := false
-		for i := 0; i < 8; i++ {
+		for i := 0; i < limit; i++ {
 			l, ok := dev.Peek(a)
 			if !ok {
 				healed = true
@@ -650,9 +760,10 @@ func (c *Controller) Scrub(now int64) int64 {
 				break
 			}
 		}
-		if !healed {
-			dev.ExemptLine(a)
-			c.stats.ScrubRemapped++
+		if !healed && c.Health() == HealthHealthy {
+			if err := dev.Remap(a, true); err == nil {
+				c.stats.ScrubRemapped++
+			}
 		}
 	}
 	return now
@@ -808,6 +919,13 @@ func (c *Controller) crashFaults() {
 	for _, a := range c.dev.InjectStuckLines() {
 		c.stats.StuckOnCrash++
 		log.Events = append(log.Events, nvm.FaultEvent{Addr: a, Kind: "stuck"})
+	}
+
+	// A remap-record commit caught in flight tears per 64-byte chunk
+	// like any line. The table's own checksums turn the damage into a
+	// clean rollback at recovery, so the event needs no suspects entry.
+	if c.dev.TearNewestRemapSlot() {
+		c.stats.RemapTornOnCrash++
 	}
 	c.faultLog = log
 }

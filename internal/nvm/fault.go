@@ -52,6 +52,16 @@ type FaultModel struct {
 	// at each power failure (picked deterministically from the written
 	// set). A subsequent write heals the line (remap to a spare).
 	StuckLines int
+
+	// SpareLines sizes the device's finite spare-line pool. 0 (the
+	// default) is the historical unlimited pool: stuck lines heal on
+	// rewrite and scrub give-ups are exempted without accounting, so
+	// every prior result stays bit-identical. A positive value arms real
+	// media management: each heal or exemption consumes one spare from a
+	// crash-consistent remap table, and when the pool empties the
+	// controller degrades to read-only instead of healing forever.
+	// Capped at RemapMaxEntries, the remap record's capacity.
+	SpareLines int
 }
 
 // Salts separate the fault model's decision streams.
@@ -64,7 +74,7 @@ const (
 
 // Enabled reports whether the model can produce any fault at all.
 func (m *FaultModel) Enabled() bool {
-	return m != nil && (m.TornWrites || m.ADRBudget > 0 || m.WeakLineRate > 0 || m.StuckLines > 0)
+	return m != nil && (m.TornWrites || m.ADRBudget > 0 || m.WeakLineRate > 0 || m.StuckLines > 0 || m.SpareLines > 0)
 }
 
 // CrashAffectsWPQ reports whether a power failure can damage WPQ
@@ -164,6 +174,23 @@ type AddrRangeError struct {
 
 func (e *AddrRangeError) Error() string {
 	return fmt.Sprintf("nvm: write outside address space: %#x", uint64(e.Addr))
+}
+
+// SpareExhaustedError reports that the finite spare pool is empty: a
+// line could not be remapped, or (Addr zero) the controller refused to
+// open a new epoch because the media is in read-only degradation. It is
+// typed so callers can tell graceful capacity exhaustion apart from
+// protocol errors.
+type SpareExhaustedError struct {
+	Total int      // pool size the device was provisioned with
+	Addr  mem.Addr // line whose remap was refused; 0 for an epoch refusal
+}
+
+func (e *SpareExhaustedError) Error() string {
+	if e.Addr != 0 {
+		return fmt.Sprintf("nvm: spare pool exhausted (%d lines): cannot remap %#x", e.Total, uint64(e.Addr))
+	}
+	return fmt.Sprintf("nvm: spare pool exhausted (%d lines): media is read-only", e.Total)
 }
 
 // ReadError reports a media read failure the controller could not hide.

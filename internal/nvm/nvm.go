@@ -69,6 +69,19 @@ type Device struct {
 	faults     *FaultModel
 	stuck      map[mem.Addr]bool // permanently unreadable until rewritten
 	weakExempt map[mem.Addr]bool // chronically weak lines remapped by scrubbing
+
+	// Finite spare-pool state (see spare.go); all zero/nil on the
+	// unlimited legacy pool (FaultModel.SpareLines == 0).
+	spareTotal      int
+	spareUsed       int
+	remapEntries    []RemapEntry
+	remapIdx        map[mem.Addr]int
+	remapSeq        uint64
+	remapsBoot      uint64
+	remapRefused    uint64
+	remapTable      []byte
+	remapPrev       []byte // prior bytes of the most recently written slot
+	dropRemapCommit bool   // torture sabotage: drop record writes
 }
 
 // NewDevice builds a device over the given layout and timing.
@@ -89,6 +102,9 @@ func (d *Device) SetFaultModel(m *FaultModel) {
 		}
 		if d.weakExempt == nil {
 			d.weakExempt = make(map[mem.Addr]bool)
+		}
+		if m.SpareLines > 0 {
+			d.initSparePool(m.SpareLines)
 		}
 	}
 }
@@ -129,7 +145,7 @@ func (d *Device) Write(a mem.Addr, l mem.Line) error {
 		return &AddrRangeError{Addr: a}
 	}
 	d.wear[a]++
-	delete(d.stuck, a)
+	d.healOnWrite(a)
 	d.store.Write(a, l)
 	return nil
 }
@@ -162,7 +178,7 @@ func (d *Device) WriteBatch(addrs []mem.Addr, lines []mem.Line, workers int) []e
 			continue
 		}
 		d.wear[a]++
-		delete(d.stuck, a)
+		d.healOnWrite(a)
 		okAddrs = append(okAddrs, a)
 		okLines = append(okLines, lines[i])
 	}
@@ -221,12 +237,11 @@ func (d *Device) WeakLines() []mem.Addr {
 }
 
 // ExemptLine marks a line as remapped to a spare after scrubbing gave up
-// on its cells: it no longer produces weak-line errors.
+// on its cells: it no longer produces weak-line errors. It is the
+// legacy spelling of Remap(a, true); on a finite pool an exhausted-pool
+// refusal is silent here — callers that must observe it use Remap.
 func (d *Device) ExemptLine(a mem.Addr) {
-	if d.weakExempt == nil {
-		d.weakExempt = make(map[mem.Addr]bool)
-	}
-	d.weakExempt[mem.Align(a)] = true
+	_ = d.Remap(a, true)
 }
 
 // StuckLines returns the currently stuck lines in address order.
@@ -307,6 +322,10 @@ type Image struct {
 	Layout *mem.Layout
 	Store  *mem.Store
 	Stuck  map[mem.Addr]bool
+
+	// RemapTable is the persisted two-slot spare remap table; nil on
+	// the unlimited legacy pool (see spare.go).
+	RemapTable []byte
 }
 
 // Snapshot captures the current persistent contents.
@@ -317,6 +336,9 @@ func (d *Device) Snapshot() *Image {
 		for a := range d.stuck {
 			img.Stuck[a] = true
 		}
+	}
+	if d.spareTotal > 0 {
+		img.RemapTable = append([]byte(nil), d.remapTable...)
 	}
 	return img
 }
@@ -333,6 +355,9 @@ func (d *Device) Restore(img *Image) {
 	d.stuck = make(map[mem.Addr]bool)
 	for a := range img.Stuck {
 		d.stuck[a] = true
+	}
+	if len(img.RemapTable) > 0 {
+		d.restoreSparePool(img.RemapTable)
 	}
 }
 
@@ -361,6 +386,9 @@ func (i *Image) Clone() *Image {
 		for a := range i.Stuck {
 			cp.Stuck[a] = true
 		}
+	}
+	if len(i.RemapTable) > 0 {
+		cp.RemapTable = append([]byte(nil), i.RemapTable...)
 	}
 	return cp
 }

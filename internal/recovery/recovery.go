@@ -139,6 +139,18 @@ type Report struct {
 	// read from its journaled copy — instead of restarting blind.
 	Resumed bool
 
+	// Spare-pool fields, populated only for images taken with a finite
+	// spare pool (the device's remap table rode the image). The table is
+	// validated and replayed before the four-step walk: SparesTotal and
+	// SparesUsed come from the ruling record, and RemapTableTorn reports
+	// that a remap commit was caught in flight — its slot failed the
+	// checksum, the previous record ruled, and the interrupted remap
+	// rolled back (the affected line simply re-presents as stuck or
+	// weak; never as tampering).
+	SparesTotal    int
+	SparesUsed     int
+	RemapTableTorn bool
+
 	// res caches the step-2 counter walk so Apply reuses it instead of
 	// walking the image a second time.
 	res *counterResult
@@ -184,14 +196,52 @@ type Recovered struct {
 // whose recovery journal is active — power failed during a previous
 // Apply — resumes that pass instead of recovering from scratch.
 func Recover(img *engine.CrashImage) *Report {
+	spares, hasSpares := replayRemapTable(img)
+	var r *Report
 	if rec, ok := loadJournal(img); ok && rec.Active {
-		return resumeRecover(img, rec)
+		r = resumeRecover(img, rec)
+	} else {
+		d := design.ForImage(img.Design)
+		if d.Strategy == design.RecoverInlinePacked {
+			r = recoverInlinePackedImage(img)
+		} else {
+			r = recoverGenericImage(img, d)
+		}
 	}
-	d := design.ForImage(img.Design)
-	if d.Strategy == design.RecoverInlinePacked {
-		return recoverInlinePackedImage(img)
+	if hasSpares {
+		r.SparesTotal = spares.rec.Total
+		r.SparesUsed = len(spares.rec.Entries)
+		r.RemapTableTorn = spares.torn
 	}
-	return recoverGenericImage(img, d)
+	return r
+}
+
+// spareReplay is the outcome of the pre-walk remap-table validation.
+type spareReplay struct {
+	rec  nvm.RemapRecord
+	torn bool
+}
+
+// replayRemapTable validates the finite spare pool's remap table before
+// the four-step walk, mirroring the two-slot journal rules: both slots
+// are decoded, the newest intact record wins, and a torn slot — a remap
+// commit caught in flight — is repaired from the winner, making the
+// rollback durable. The mappings a rolled-back commit loses need no
+// further replay: the affected lines re-present as stuck or weak and
+// are remapped again in service, which is why a lost mapping is never
+// misread as tampering. Images without a table (the unlimited legacy
+// pool) return ok=false and are untouched.
+func replayRemapTable(img *engine.CrashImage) (spareReplay, bool) {
+	if img == nil || img.Image == nil || len(img.Image.RemapTable) == 0 {
+		return spareReplay{}, false
+	}
+	rec, ok, torn := nvm.RepairRemapTable(img.Image.RemapTable)
+	if !ok {
+		// No intact record at all: treat the table as unformatted. The
+		// pool restarts empty; runtime remaps re-commit as lines fail.
+		return spareReplay{torn: torn}, true
+	}
+	return spareReplay{rec: rec, torn: torn}, true
 }
 
 // resumeRecover rebuilds a Report for an image whose recovery was

@@ -138,6 +138,14 @@ type Result struct {
 
 	AvgEpochLen float64
 	MaxWear     uint64
+
+	// Media-management fields, populated only when the fault model arms a
+	// finite spare pool (Faults.SpareLines > 0); zero otherwise — and
+	// omitted from JSON when zero — so every faultless result stays
+	// bit-identical.
+	Health        string         `json:",omitzero"` // "healthy", "degraded" or "read-only"
+	Spares        nvm.SpareStats `json:",omitzero"` // pool accounting at the end of the run
+	RefusedStores uint64         `json:",omitzero"` // trace stores refused in read-only degradation
 }
 
 // Machine is one simulated system.
@@ -151,8 +159,10 @@ type Machine struct {
 	l2   *cache.Cache
 	core coreState
 
-	scrubbing  bool // fault model active: run periodic scrub passes
-	sinceScrub int  // ops since the last scrub pass
+	scrubbing     bool   // fault model active: run periodic scrub passes
+	sinceScrub    int    // ops since the last scrub pass
+	finiteSpares  bool   // fault model arms a finite spare pool
+	refusedStores uint64 // stores refused while the media was read-only
 
 	shadow map[mem.Addr]mem.Line // CheckReads oracle
 	seq    uint64                // store content sequence
@@ -186,7 +196,10 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, lay: lay, dev: dev, ctrl: ctrl, eng: eng, scrubbing: cfg.Faults.Enabled()}
+	m := &Machine{cfg: cfg, lay: lay, dev: dev, ctrl: ctrl, eng: eng,
+		scrubbing:    cfg.Faults.Enabled(),
+		finiteSpares: cfg.Faults != nil && cfg.Faults.SpareLines > 0,
+	}
 	if cfg.CheckReads {
 		m.shadow = make(map[mem.Addr]mem.Line)
 	}
@@ -291,6 +304,14 @@ func (m *Machine) step(op trace.Op) {
 	case trace.Load:
 		m.loadLine(op.Addr, op.Dep)
 	case trace.Store:
+		if m.finiteSpares && m.ctrl.Health() == memctrl.HealthReadOnly {
+			// Admission control of the degraded mode: with the spare pool
+			// exhausted the controller accepts no new host stores, so the
+			// core's store retires without mutating memory. Loads (and the
+			// engine's own maintenance traffic) still proceed.
+			m.refusedStores++
+			return
+		}
 		// Write-allocate: fetch the line (non-blocking fill), then
 		// mutate it in the L1 via the store buffer. Store values mimic
 		// real memory content — word-granular, mostly small clustered
@@ -364,6 +385,10 @@ func (m *Machine) Crash() *engine.CrashImage { return m.eng.Crash() }
 // Mismatches reports shadow-check failures (CheckReads only).
 func (m *Machine) Mismatches() uint64 { return m.core.mismatches }
 
+// Health reports the memory controller's media health state; always
+// HealthHealthy without a finite spare pool.
+func (m *Machine) Health() memctrl.HealthState { return m.ctrl.Health() }
+
 func (m *Machine) result(workload string) Result {
 	r := Result{
 		Design:       m.cfg.Design,
@@ -390,6 +415,11 @@ func (m *Machine) result(workload string) Result {
 		r.Meta, r.Ctrl = e.Meta.Stats(), e.Ctrl.Stats()
 	}
 	_, r.MaxWear = m.dev.MaxWear()
+	if m.finiteSpares {
+		r.Health = m.ctrl.Health().String()
+		r.Spares = m.dev.SpareStats()
+		r.RefusedStores = m.refusedStores
+	}
 	if m.base != nil {
 		r = subtractBaseline(r, *m.base)
 	}
@@ -414,6 +444,7 @@ func subtractBaseline(r, b Result) Result {
 	r.Meta = subCache(r.Meta, b.Meta)
 	r.Sec = subSec(r.Sec, b.Sec)
 	r.Ctrl = subCtrl(r.Ctrl, b.Ctrl)
+	r.RefusedStores -= b.RefusedStores
 	return r
 }
 
@@ -460,6 +491,9 @@ func subCtrl(a, b memctrl.Stats) memctrl.Stats {
 	a.WPQStallCycles -= b.WPQStallCycles
 	a.EpochWrites -= b.EpochWrites
 	a.DroppedOnCrash -= b.DroppedOnCrash
+	a.RetryRemapped -= b.RetryRemapped
+	a.RefusedWrites -= b.RefusedWrites
+	a.RefusedEpochs -= b.RefusedEpochs
 	return a
 }
 

@@ -15,7 +15,7 @@ import (
 // harness can run, used to prove the oracles have teeth: each mode must
 // be caught by at least one oracle on an otherwise healthy matrix.
 func BrokenModes() []string {
-	return []string{"skip-counter-replay", "ignore-tampered", "skip-root-check", "accept-torn", "accept-divergent", "reorder-persist"}
+	return []string{"skip-counter-replay", "ignore-tampered", "skip-root-check", "accept-torn", "accept-divergent", "reorder-persist", "break-remap-commit"}
 }
 
 // reorderAfterCommits is the reorder-persist defect's arming point: the
@@ -151,6 +151,23 @@ func BrokenRunner(mode string) (*Runner, error) {
 					return
 				}
 				ctrl.SabotageReorderPersist(reorderAfterCommits)
+			},
+		}, nil
+	case "break-remap-commit":
+		// A device-level wear-management bug: spares are consumed and lines
+		// remapped, but the durable remap record is never written — the
+		// atomic-commit discipline silently dropped. Everything looks fine
+		// until the crash, when the persisted table disagrees with the
+		// spares the device actually spent by more than the one record a
+		// torn commit may legitimately roll back. The spare-accounting
+		// ledger reconciliation is the oracle that must notice. Only
+		// finite-pool cells arm the knob; the rest of the matrix runs
+		// clean.
+		return &Runner{
+			ArmController: func(c Cell, ctrl *memctrl.Controller) {
+				if c.Spares > 0 {
+					ctrl.Device().SabotageDropRemapCommit()
+				}
 			},
 		}, nil
 	}

@@ -39,12 +39,12 @@ func TestJSONSummaryGolden(t *testing.T) {
 				Failure: Failure{
 					Cell: Cell{
 						Design: "sc", Workload: "stream", Seed: 311, Ops: 47, CrashAt: 17, Attack: "none",
-						FaultSeed: -245, Torn: true, ADRBudget: 1, WeakPct: 33, Stuck: 3,
+						FaultSeed: -245, Torn: true, ADRBudget: 1, WeakPct: 33, Stuck: 3, Spares: 2,
 					},
 					Oracle: "torn-write-detected",
 					Detail: "post-recovery tree mismatches the recovered root",
 				},
-				Repro:      "go run ./cmd/ccnvm-torture -repro 'design=sc,workload=stream,seed=311,ops=47,crash=17,attack=none,n=0,m=0,fseed=-245,torn=1,adr=1,weak=33,stuck=3'",
+				Repro:      "go run ./cmd/ccnvm-torture -repro 'design=sc,workload=stream,seed=311,ops=47,crash=17,attack=none,n=0,m=0,fseed=-245,torn=1,adr=1,weak=33,stuck=3,spares=2'",
 				ShrinkRuns: 30,
 			},
 		},
@@ -62,6 +62,10 @@ func TestJSONSummaryGolden(t *testing.T) {
 				RandomPoints: 4, RandomCut: 118,
 			},
 		},
+		// A spare-carrying matrix stamps the outcome classification; all
+		// four counters are omitempty, so summaries without finite-spare
+		// cells keep the historical encoding.
+		SpareCells: 4, SpareHealed: 2, SpareLost: 1, SpareRefused: 1,
 	}
 
 	// Encode exactly as cmd/ccnvm-torture does.
@@ -95,7 +99,9 @@ func TestJSONSummaryGolden(t *testing.T) {
 	if back.Cells != sum.Cells || back.Skipped != sum.Skipped || !back.Interrupted ||
 		len(back.Failures) != len(sum.Failures) ||
 		back.Failures[1].Cell != sum.Failures[1].Cell ||
-		back.Mode != sum.Mode || len(back.Coverage) != 1 || back.Coverage[0] != sum.Coverage[0] {
+		back.Mode != sum.Mode || len(back.Coverage) != 1 || back.Coverage[0] != sum.Coverage[0] ||
+		back.SpareCells != sum.SpareCells || back.SpareHealed != sum.SpareHealed ||
+		back.SpareLost != sum.SpareLost || back.SpareRefused != sum.SpareRefused {
 		t.Fatal("golden summary does not round-trip")
 	}
 }

@@ -32,6 +32,13 @@ type MatrixOpts struct {
 	// Zero (the default) adds no reboot cells.
 	Reboots     int
 	RebootEvery []int // strike strides cycled per reboot cell; default {2, 3, 5}
+
+	// Spares appends finite-spare cells: for every design and workload,
+	// pool sizes from Spares down to a single line are layered over the
+	// consuming fault profiles (weak/stuck), sweeping the controller
+	// through healthy, degraded and read-only service. Zero (the
+	// default) adds no spare cells.
+	Spares int
 }
 
 // FaultProfiles are the media-fault shapes the matrix cycles fault cells
@@ -107,6 +114,7 @@ func EnumerateCells(o MatrixOpts) []Cell {
 	}
 	cells = appendFaultCells(cells, o)
 	cells = appendRebootCells(cells, o)
+	cells = appendSpareCells(cells, o)
 	return applyBudget(cells, o)
 }
 
@@ -182,6 +190,54 @@ func appendRebootCells(cells []Cell, o MatrixOpts) []Cell {
 	return cells
 }
 
+// appendSpareCells rides finite-spare cells last: pool sizes from the
+// requested maximum down to a single line, each layered over a fault
+// profile that actually consumes spares (weak or stuck lines). Large
+// pools stay healthy, halved pools brush the degraded threshold, and
+// single-line pools exhaust into read-only, so one sweep crosses every
+// health state the controller can reach.
+func appendSpareCells(cells []Cell, o MatrixOpts) []Cell {
+	if o.Spares <= 0 {
+		return cells
+	}
+	var profiles []Cell
+	for _, p := range FaultProfiles() {
+		if p.WeakPct > 0 || p.Stuck > 0 {
+			profiles = append(profiles, p)
+		}
+	}
+	pools := []int{o.Spares}
+	if h := max(1, o.Spares/2); h != o.Spares {
+		pools = append(pools, h)
+	}
+	if o.Spares > 1 {
+		pools = append(pools, 1)
+	}
+	for di, d := range o.Designs {
+		for wi, w := range o.Workloads {
+			for pi, pool := range pools {
+				p := profiles[(di+wi+pi)%len(profiles)]
+				cells = append(cells, Cell{
+					Design:    d,
+					Workload:  w,
+					Seed:      int64((wi + pi) % o.Seeds),
+					Ops:       o.Ops,
+					CrashAt:   o.Ops * 2 / 3,
+					Attack:    "none",
+					N:         o.Ns[pi%len(o.Ns)],
+					FaultSeed: int64(di*len(pools)+pi)*7919 + 1,
+					Torn:      p.Torn,
+					ADRBudget: p.ADRBudget,
+					WeakPct:   p.WeakPct,
+					Stuck:     p.Stuck,
+					Spares:    pool,
+				}.normalized())
+			}
+		}
+	}
+	return cells
+}
+
 // applyBudget samples the matrix down to the budget. A budgeted sweep
 // buys executed cells, so cells the harness would refuse or waste (see
 // Cell.RefusalReason) are dropped before sampling — they used to count
@@ -237,6 +293,17 @@ type Summary struct {
 	// graphs, so the two modes are directly comparable).
 	Mode     string         `json:"mode,omitempty"`
 	Coverage []CoverageStat `json:"edge_coverage,omitempty"`
+
+	// Spare-axis outcome classification, populated only when the matrix
+	// carried finite-spare cells. Every executed spare cell lands in
+	// exactly one bucket: healed (lossless recovery, no refusals), lost
+	// but detected (the report enumerates the loss), or read-only
+	// refused (the pool exhausted and the controller refused stores).
+	// Cells that failed an oracle are counted in SpareCells only.
+	SpareCells   int `json:"spare_cells,omitempty"`
+	SpareHealed  int `json:"spare_healed,omitempty"`
+	SpareLost    int `json:"spare_lost_detected,omitempty"`
+	SpareRefused int `json:"spare_readonly_refused,omitempty"`
 }
 
 // Failed reports whether any cell violated an oracle.
@@ -259,6 +326,7 @@ func RunMatrix(ctx context.Context, r *Runner, cells []Cell, parallel int, progr
 	type res struct {
 		idx     int
 		f       *Failure
+		class   string
 		skipped bool
 	}
 	idxCh := make(chan int)
@@ -273,7 +341,8 @@ func RunMatrix(ctx context.Context, r *Runner, cells []Cell, parallel int, progr
 				case <-ctx.Done():
 					resCh <- res{idx: i, skipped: true}
 				default:
-					resCh <- res{idx: i, f: r.RunCell(cells[i])}
+					f, class := r.RunCellClass(cells[i])
+					resCh <- res{idx: i, f: f, class: class}
 				}
 			}
 		}()
@@ -289,12 +358,24 @@ func RunMatrix(ctx context.Context, r *Runner, cells []Cell, parallel int, progr
 
 	failed := map[int]*Failure{}
 	done, skipped := 0, 0
+	var spareCells, spareHealed, spareLost, spareRefused int
 	for rr := range resCh {
 		if rr.skipped {
 			skipped++
 			continue
 		}
 		done++
+		if cells[rr.idx].Spares > 0 {
+			spareCells++
+		}
+		switch rr.class {
+		case SpareClassHealed:
+			spareHealed++
+		case SpareClassLost:
+			spareLost++
+		case SpareClassRefused:
+			spareRefused++
+		}
 		if rr.f != nil {
 			failed[rr.idx] = rr.f
 		}
@@ -303,7 +384,11 @@ func RunMatrix(ctx context.Context, r *Runner, cells []Cell, parallel int, progr
 		}
 	}
 
-	sum := &Summary{Cells: len(cells), Skipped: skipped, Interrupted: ctx.Err() != nil}
+	sum := &Summary{
+		Cells: len(cells), Skipped: skipped, Interrupted: ctx.Err() != nil,
+		SpareCells: spareCells, SpareHealed: spareHealed,
+		SpareLost: spareLost, SpareRefused: spareRefused,
+	}
 	for i := range cells {
 		f, ok := failed[i]
 		if !ok {
@@ -329,6 +414,10 @@ func (s *Summary) Describe() string {
 	note := ""
 	if s.Interrupted {
 		note = fmt.Sprintf(" (interrupted, %d cells skipped)", s.Skipped)
+	}
+	if s.SpareCells > 0 {
+		note += fmt.Sprintf(" [spares: %d cells, %d healed, %d lost-detected, %d readonly-refused]",
+			s.SpareCells, s.SpareHealed, s.SpareLost, s.SpareRefused)
 	}
 	if !s.Failed() {
 		return fmt.Sprintf("torture: %d cells, all oracles passed%s", s.Cells-s.Skipped, note)

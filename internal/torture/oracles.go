@@ -46,6 +46,20 @@ type Context struct {
 	CtrlStats     memctrl.Stats
 	PostScrubWeak int
 
+	// Spare-pool evidence, populated only when the cell arms a finite
+	// pool (Spares > 0). SpareStats, HealthAtCrash and
+	// RemapEntriesAtCrash snapshot the device's in-memory pool state at
+	// the crash — ground truth the persisted (possibly torn) remap table
+	// is judged against. RefusedStores counts trace stores the harness
+	// skipped at the read-only front door; ROProbed/ROProbeAddr record
+	// the single direct write pushed past it to prove the refusal bites.
+	SpareStats          nvm.SpareStats
+	HealthAtCrash       memctrl.HealthState
+	RemapEntriesAtCrash []nvm.RemapEntry
+	RefusedStores       int
+	ROProbed            bool
+	ROProbeAddr         mem.Addr
+
 	// Recovered is the TCB state Apply produced, once applyRecovery ran.
 	Recovered *recovery.Recovered
 
@@ -229,6 +243,32 @@ var oracleList = []Oracle{
 			"size repeats longer than the capability's stride, and the converged " +
 			"image carries no active recovery journal.",
 		Check: checkRebootBounded,
+	},
+	{
+		Name: "remap-consistency",
+		Doc: "On finite-spare cells the crash image carries a decodable remap " +
+			"table whose entries are unique, line-aligned and in-range, recovery's " +
+			"report agrees with the table it replayed, and every remapped data " +
+			"line the report does not enumerate as lost reads back bit-identical " +
+			"to a version the trace actually wrote.",
+		Check: checkRemapConsistency,
+	},
+	{
+		Name: "spare-accounting",
+		Doc: "Spares consumed equal remap-table entries and never exceed the " +
+			"pool (or go negative); the persisted table trails the in-memory " +
+			"count by at most the one commit a torn crash may roll back; and a " +
+			"refused remap proves the pool was genuinely empty.",
+		Check: checkSpareAccounting,
+	},
+	{
+		Name: "degradation-correctness",
+		Doc: "A spare-exhausted controller goes read-only for real: the harness " +
+			"only ever skips stores once the pool is empty, the direct probe " +
+			"write issued past the front door never lands on the device and is " +
+			"counted as refused, and no write is refused while the controller " +
+			"still claims write service.",
+		Check: checkDegradationCorrectness,
 	},
 }
 
@@ -522,17 +562,140 @@ func checkADRBudget(c *Context) string {
 
 // checkReadErrorBoundedRetry asserts transient read errors never escape
 // the bounded retry (no permanent read error on a weak-only cell) and
-// that the scrub pass left no weak line behind.
+// that the scrub pass left no weak line behind. Finite-spare cells relax
+// both arms exactly as far as the degraded modes allow: a permanent read
+// error is legitimate only once the pool was empty (remap-on-demand had
+// nothing to draw from), and a surviving weak line only when scrub ran
+// throttled or give-up remaps started failing — states a healthy-at-crash
+// controller by definition never entered.
 func checkReadErrorBoundedRetry(c *Context) string {
 	if c.Cell.WeakPct <= 0 {
 		return ""
 	}
 	if c.CtrlStats.PermanentReadErrors != 0 {
-		return fmt.Sprintf("%d reads exhausted the retry budget (transient errors must stay transient)",
-			c.CtrlStats.PermanentReadErrors)
+		if c.Cell.Spares == 0 || c.SpareStats.Remaining() > 0 {
+			return fmt.Sprintf("%d reads exhausted the retry budget (transient errors must stay transient)",
+				c.CtrlStats.PermanentReadErrors)
+		}
 	}
 	if c.PostScrubWeak != 0 {
-		return fmt.Sprintf("%d weak lines survived the scrub pass", c.PostScrubWeak)
+		if c.Cell.Spares == 0 || c.HealthAtCrash == memctrl.HealthHealthy {
+			return fmt.Sprintf("%d weak lines survived the scrub pass", c.PostScrubWeak)
+		}
+	}
+	return ""
+}
+
+// checkRemapConsistency holds the persisted remap table to its contract:
+// it decodes (recovery repaired any torn slot in place), its entries are
+// well-formed and unique, the recovery report reflects exactly the record
+// it replayed, and remapped data lines still read back as written — a
+// remap must be transparent to content.
+func checkRemapConsistency(c *Context) string {
+	if c.Cell.Spares <= 0 {
+		return ""
+	}
+	rec, ok, torn := nvm.LoadRemapTable(c.Img.Image.RemapTable)
+	if !ok {
+		return "finite-pool crash image carries no decodable remap table"
+	}
+	if torn {
+		return "recovery left a torn remap slot unrepaired"
+	}
+	if rec.Total != c.SpareStats.Total {
+		return fmt.Sprintf("remap table claims a pool of %d spares, device was provisioned with %d",
+			rec.Total, c.SpareStats.Total)
+	}
+	lay := c.Img.Image.Layout
+	seen := map[mem.Addr]bool{}
+	for _, e := range rec.Entries {
+		if e.Addr != mem.Align(e.Addr) || uint64(e.Addr) >= lay.TotalBytes() {
+			return fmt.Sprintf("remap entry %#x is not a line address inside the device", uint64(e.Addr))
+		}
+		if seen[e.Addr] {
+			return fmt.Sprintf("line %#x remapped twice (one line, one spare)", uint64(e.Addr))
+		}
+		seen[e.Addr] = true
+	}
+	rep := c.baseRep()
+	if rep.SparesTotal != rec.Total || rep.SparesUsed != len(rec.Entries) {
+		return fmt.Sprintf("recovery report (total=%d used=%d) disagrees with the table it replayed (total=%d used=%d)",
+			rep.SparesTotal, rep.SparesUsed, rec.Total, len(rec.Entries))
+	}
+	// Remap transparency: a remapped data line the report does not
+	// enumerate as lost must carry a version the trace wrote. The stale
+	// set from the versioned walk excludes lost/tampered blocks already,
+	// so any remapped member is a remap that corrupted or rewound content.
+	stale, _ := c.goldenVersions()
+	for _, a := range stale {
+		if seen[a] {
+			return fmt.Sprintf("remapped line %#x recovered at a version the report does not account for", uint64(a))
+		}
+	}
+	return ""
+}
+
+// checkSpareAccounting reconciles the three spare ledgers — in-memory
+// pool counters, persisted remap table, recovery report — and pins the
+// only divergence a crash may cause: a torn commit rolling back exactly
+// one record.
+func checkSpareAccounting(c *Context) string {
+	if c.Cell.Spares <= 0 {
+		return ""
+	}
+	s := c.SpareStats
+	if s.Total != c.Cell.Spares {
+		return fmt.Sprintf("device provisioned %d spares, cell asked for %d", s.Total, c.Cell.Spares)
+	}
+	if s.Used < 0 || s.Used > s.Total {
+		return fmt.Sprintf("spare accounting out of range: used %d of %d", s.Used, s.Total)
+	}
+	if s.Used != len(c.RemapEntriesAtCrash) {
+		return fmt.Sprintf("%d spares consumed but %d remap entries recorded in memory",
+			s.Used, len(c.RemapEntriesAtCrash))
+	}
+	if s.Refused > 0 && s.Used != s.Total {
+		return fmt.Sprintf("%d remaps refused while %d spares remained", s.Refused, s.Remaining())
+	}
+	rec, ok, _ := nvm.LoadRemapTable(c.Img.Image.RemapTable)
+	if !ok {
+		return "" // remap-consistency owns the undecodable case
+	}
+	if wn := len(rec.Entries); wn != s.Used && !(c.Cell.Torn && wn == s.Used-1) {
+		return fmt.Sprintf("persisted table records %d remaps, device consumed %d spares (only a torn commit may roll back, and only one record)",
+			wn, s.Used)
+	}
+	return ""
+}
+
+// checkDegradationCorrectness asserts read-only means read-only: stores
+// are refused exactly when the pool is empty, and the probe write the
+// harness pushed past the front door was rejected by the controller
+// itself — counted, and never persisted.
+func checkDegradationCorrectness(c *Context) string {
+	if c.Cell.Spares <= 0 {
+		return ""
+	}
+	if c.RefusedStores > 0 {
+		if c.SpareStats.Remaining() > 0 {
+			return fmt.Sprintf("%d stores skipped as read-only while %d spares remained",
+				c.RefusedStores, c.SpareStats.Remaining())
+		}
+		if c.HealthAtCrash != memctrl.HealthReadOnly {
+			return fmt.Sprintf("stores were refused but the controller reports %v at the crash", c.HealthAtCrash)
+		}
+	}
+	if c.ROProbed {
+		if _, ok := c.Img.Image.Store.Read(c.ROProbeAddr); ok {
+			return fmt.Sprintf("read-only controller silently persisted the probe write at %#x", uint64(c.ROProbeAddr))
+		}
+		if c.CtrlStats.RefusedWrites == 0 {
+			return "the read-only probe write vanished without being counted as refused"
+		}
+	}
+	if c.HealthAtCrash != memctrl.HealthReadOnly && c.CtrlStats.RefusedWrites > 0 {
+		return fmt.Sprintf("%d writes refused while the controller still claimed write service (%v)",
+			c.CtrlStats.RefusedWrites, c.HealthAtCrash)
 	}
 	return ""
 }

@@ -82,14 +82,43 @@ func pattern(addr mem.Addr, v byte) mem.Line {
 // fuzzed and fault-injected paths must degrade to typed errors, never
 // take the harness down.
 func (r *Runner) RunCell(c Cell) (fail *Failure) {
+	fail, _ = r.RunCellClass(c)
+	return fail
+}
+
+// Spare-outcome classes: every finite-spare cell that passes its oracles
+// is exactly one of these — the degraded-mode contract that a dying
+// device heals what it can, detects what it loses, and refuses what it
+// can no longer serve.
+const (
+	SpareClassHealed  = "spare_healed"
+	SpareClassLost    = "spare_lost_detected"
+	SpareClassRefused = "spare_readonly_refused"
+)
+
+// RunCellClass is RunCell plus the spare-outcome classification of a
+// passing finite-spare cell ("" for failing or non-spare cells), which
+// RunMatrix aggregates into the summary.
+func (r *Runner) RunCellClass(c Cell) (fail *Failure, class string) {
 	c = c.normalized()
 	defer func() {
 		if p := recover(); p != nil {
 			fail = &Failure{Cell: c, Oracle: "panic", Detail: fmt.Sprintf("cell panicked: %v", p)}
+			class = ""
 		}
 	}()
-	_, fail = r.runCell(c)
-	return fail
+	ctx, fail := r.runCell(c)
+	if fail == nil && ctx != nil && ctx.Rep != nil && c.Spares > 0 {
+		switch {
+		case ctx.RefusedStores > 0:
+			class = SpareClassRefused
+		case !ctx.baseRep().Lossless():
+			class = SpareClassLost
+		default:
+			class = SpareClassHealed
+		}
+	}
+	return fail, class
 }
 
 // runCell is RunCell's body, returning the evidence context alongside
@@ -128,6 +157,15 @@ func (r *Runner) runCell(c Cell) (*Context, *Failure) {
 		if i == snapAt {
 			snap = eng.(interface{ NVMSnapshot() *nvm.Image }).NVMSnapshot()
 			snapWrites = ref.WriteCounts()
+			if c.Spares > 0 && c.Stuck > 0 {
+				// The spare axis needs live stuck lines to consume the
+				// pool: model a mid-trace power event that stuck the
+				// cell's lines now, so the rest of the trace heals them
+				// through spares on rewrite, remaps them on retry
+				// exhaustion at reads, and — once the pool empties —
+				// degrades the controller for real.
+				ctrl.Device().InjectStuckLines()
+			}
 			if c.WeakPct > 0 {
 				now = ctrl.Scrub(now)
 				ctx.PostScrubWeak = len(ctrl.Device().WeakLines())
@@ -136,6 +174,24 @@ func (r *Runner) runCell(c Cell) (*Context, *Failure) {
 		now += int64(op.Gap)
 		switch op.Kind {
 		case trace.Store:
+			if c.Spares > 0 && ctrl.Health() == memctrl.HealthReadOnly {
+				// Front door of the degraded mode: a spare-exhausted
+				// controller accepts no new stores, so the harness skips
+				// them (the reference must not advance past what the
+				// device acknowledged). On the first refusal it probes the
+				// back door once — a direct controller write to a line the
+				// reference never touched — so the degradation oracle can
+				// prove the refusal is real, not just advisory.
+				ctx.RefusedStores++
+				if !ctx.ROProbed {
+					if probe := roProbeAddr(ref); probe != 0 {
+						ctx.ROProbed = true
+						ctx.ROProbeAddr = probe
+						ctrl.HostWrite(now, probe, pattern(probe, 0xA5))
+					}
+				}
+				continue
+			}
 			pt := pattern(op.Addr, byte(i))
 			now = eng.WriteBack(now, op.Addr, pt) + 8
 			ref.WriteBack(op.Addr, pt)
@@ -153,6 +209,14 @@ func (r *Runner) runCell(c Cell) (*Context, *Failure) {
 	ctx.Img = eng.Crash()
 	ctx.Media = ctx.Img.MediaLog
 	ctx.CtrlStats = ctrl.Stats()
+	if c.Spares > 0 {
+		// The device-side pool counters are in-memory state the crash tear
+		// cannot touch, so this snapshot is the ground truth the persisted
+		// remap table (possibly torn by the crash) is judged against.
+		ctx.SpareStats = ctrl.Device().SpareStats()
+		ctx.HealthAtCrash = ctrl.Health()
+		ctx.RemapEntriesAtCrash = ctrl.Device().RemapEntries()
+	}
 	if err := ctrl.Err(); err != nil {
 		return ctx, &Failure{Cell: c, Oracle: "device-fault", Detail: "controller recorded a device/protocol error: " + err.Error()}
 	}
@@ -318,6 +382,20 @@ func injectAttack(c Cell, img *engine.CrashImage, snap *nvm.Image, snapWrites ma
 		return []mem.Addr{na}, true, nil
 	}
 	return nil, false, fmt.Errorf("torture: unknown attack %q", c.Attack)
+}
+
+// roProbeAddr picks a data line the reference machine never wrote — the
+// degradation probe's target, chosen so a leaked write is unambiguously
+// the probe's. It scans down from the top of the data region; 0 (never a
+// probe-worthy line: the trace's working set starts there) means no free
+// line was found.
+func roProbeAddr(ref *Reference) mem.Addr {
+	for a := mem.Addr(Capacity) - mem.LineSize; a > 0; a -= mem.LineSize {
+		if ref.writes[a] == 0 {
+			return a
+		}
+	}
+	return 0
 }
 
 // pickVictim returns a random address satisfying pref, falling back to

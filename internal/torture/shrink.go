@@ -54,7 +54,7 @@ func Shrink(r *Runner, f Failure, budget int) (Failure, int) {
 	// Phase 2: reduce the fault dimensions.
 	if best.Cell.Faulty() {
 		c := best.Cell
-		c.FaultSeed, c.Torn, c.ADRBudget, c.WeakPct, c.Stuck = 0, false, 0, 0, 0
+		c.FaultSeed, c.Torn, c.ADRBudget, c.WeakPct, c.Stuck, c.Spares = 0, false, 0, 0, 0, 0
 		try(c, false)
 	}
 	if best.Cell.Faulty() {
@@ -68,15 +68,30 @@ func Shrink(r *Runner, f Failure, budget int) (Failure, int) {
 			c.ADRBudget = 0
 			try(c, true)
 		}
-		if best.Cell.WeakPct > 0 {
+		// Dropping the spare pool must precede dropping its consumer axes:
+		// Validate forbids spares without weak or stuck lines.
+		if best.Cell.Spares > 0 {
+			c := best.Cell
+			c.Spares = 0
+			try(c, true)
+		}
+		if best.Cell.WeakPct > 0 && (best.Cell.Spares == 0 || best.Cell.Stuck > 0) {
 			c := best.Cell
 			c.WeakPct = 0
 			try(c, true)
 		}
-		if best.Cell.Stuck > 0 {
+		if best.Cell.Stuck > 0 && (best.Cell.Spares == 0 || best.Cell.WeakPct > 0) {
 			c := best.Cell
 			c.Stuck = 0
 			try(c, true)
+		}
+		for runs < budget && best.Cell.Spares > 1 {
+			// A smaller pool exhausts sooner; walk it toward one line.
+			c := best.Cell
+			c.Spares = best.Cell.Spares / 2
+			if !try(c, true) {
+				break
+			}
 		}
 		if best.Cell.Faulty() && best.Cell.FaultSeed != 1 {
 			c := best.Cell

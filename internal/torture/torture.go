@@ -64,6 +64,14 @@ type Cell struct {
 	WeakPct   int   `json:"weak_pct,omitempty"`   // percent of written lines with transient read errors
 	Stuck     int   `json:"stuck,omitempty"`      // lines stuck-at failed at the crash
 
+	// Spares arms the finite spare pool: stuck-line heals, scrub
+	// give-ups and retry-exhaustion remaps all draw from this many spare
+	// lines, the remap table rides the crash image, and the controller
+	// degrades (Degraded → ReadOnly) as the pool empties. Zero keeps the
+	// historical unlimited pool. Only meaningful alongside a weak/stuck
+	// axis, which Validate enforces.
+	Spares int `json:"spares,omitempty"`
+
 	// Reboot-loop dimensions: after the first recovery reports clean,
 	// re-run Apply up to Reboots times, striking the RebootEvery-th
 	// persisted recovery write of each pass (torn under the cell's fault
@@ -76,7 +84,7 @@ type Cell struct {
 
 // Faulty reports whether any media-fault dimension is active.
 func (c Cell) Faulty() bool {
-	return c.Torn || c.ADRBudget > 0 || c.WeakPct > 0 || c.Stuck > 0
+	return c.Torn || c.ADRBudget > 0 || c.WeakPct > 0 || c.Stuck > 0 || c.Spares > 0
 }
 
 // faultModel materializes the cell's fault dimensions, nil when the cell
@@ -91,6 +99,7 @@ func (c Cell) faultModel() *nvm.FaultModel {
 		ADRBudget:    c.ADRBudget,
 		WeakLineRate: float64(c.WeakPct) / 100,
 		StuckLines:   c.Stuck,
+		SpareLines:   c.Spares,
 	}
 }
 
@@ -137,6 +146,14 @@ func (c Cell) Validate() error {
 	if c.Stuck < 0 || c.Stuck > 64 {
 		return fmt.Errorf("torture: stuck-line count %d out of range [0,64]", c.Stuck)
 	}
+	if c.Spares < 0 || c.Spares > nvm.RemapMaxEntries {
+		return fmt.Errorf("torture: spare-pool size %d out of range [0,%d]", c.Spares, nvm.RemapMaxEntries)
+	}
+	if c.Spares > 0 && c.WeakPct == 0 && c.Stuck == 0 {
+		// A finite pool no heal or scrub ever draws from exercises
+		// nothing; require a consumer axis.
+		return fmt.Errorf("torture: spares=%d without a weak or stuck axis to consume them", c.Spares)
+	}
 	if c.Reboots < 0 || c.Reboots > 64 {
 		return fmt.Errorf("torture: reboot count %d out of range [0,64]", c.Reboots)
 	}
@@ -174,6 +191,9 @@ func (c Cell) RefusalReason() string {
 	if c.Reboots > 0 && design.MustLookup(c.Design).Caps.TamperOnCrash {
 		return "reboot loop refused: design flags tamper on every crash"
 	}
+	if c.Spares > 0 && !design.MustLookup(c.Design).Caps.SpareManaged {
+		return "spare axis refused: design does not declare spare-pool media management"
+	}
 	return ""
 }
 
@@ -196,6 +216,9 @@ func (c Cell) String() string {
 		}
 		if c.Stuck > 0 {
 			s += fmt.Sprintf(",stuck=%d", c.Stuck)
+		}
+		if c.Spares > 0 {
+			s += fmt.Sprintf(",spares=%d", c.Spares)
 		}
 	}
 	if c.Reboots > 0 {
@@ -248,6 +271,8 @@ func ParseCell(spec string) (Cell, error) {
 			c.WeakPct, err = strconv.Atoi(v)
 		case "stuck":
 			c.Stuck, err = strconv.Atoi(v)
+		case "spares":
+			c.Spares, err = strconv.Atoi(v)
 		case "revery":
 			c.RebootEvery, err = strconv.Atoi(v)
 		case "reboots":

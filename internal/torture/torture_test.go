@@ -104,19 +104,26 @@ func TestShortMatrixCoversVocabulary(t *testing.T) {
 }
 
 func TestReproRoundTrip(t *testing.T) {
-	orig := Cell{Design: "ccnvm", Workload: "hammer", Seed: 7, Ops: 300, CrashAt: 123, Attack: "data-replay", N: 4, M: 32}
-	back, err := ParseCell(orig.String())
-	if err != nil {
-		t.Fatalf("ParseCell(%q): %v", orig.String(), err)
-	}
-	if back != orig.normalized() {
-		t.Fatalf("round trip changed the cell: %s -> %s", orig.String(), back.String())
+	for _, orig := range []Cell{
+		{Design: "ccnvm", Workload: "hammer", Seed: 7, Ops: 300, CrashAt: 123, Attack: "data-replay", N: 4, M: 32},
+		{Design: "wocc", Workload: "hot", Seed: 2, Ops: 100, CrashAt: 50, Attack: "none", FaultSeed: 3, WeakPct: 10, Stuck: 2, Spares: 4},
+	} {
+		back, err := ParseCell(orig.String())
+		if err != nil {
+			t.Fatalf("ParseCell(%q): %v", orig.String(), err)
+		}
+		if back != orig.normalized() {
+			t.Fatalf("round trip changed the cell: %s -> %s", orig.String(), back.String())
+		}
 	}
 	if _, err := ParseCell("design=nosuch"); err == nil {
 		t.Fatal("ParseCell accepted an unknown design")
 	}
 	if _, err := ParseCell("design=ccnvm,ops=10,crash=11"); err == nil {
 		t.Fatal("ParseCell accepted a crash point outside the trace")
+	}
+	if _, err := ParseCell("design=ccnvm,ops=10,crash=5,spares=2"); err == nil {
+		t.Fatal("ParseCell accepted a spare pool with no consumer axis")
 	}
 }
 
