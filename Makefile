@@ -3,14 +3,14 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race fuzz-short vuln lint-designs torture torture-faults torture-reboots torture-spares torture-guided torture-long campaign campaign-short ci bench bench-check profile clean
+.PHONY: all tier1 vet race fuzz-short vuln lint-designs lint-layering torture torture-faults torture-reboots torture-spares torture-guided torture-kv torture-long campaign campaign-short kv-smoke ci bench bench-check profile clean
 
 # Performance-ledger knobs. BENCH_PR numbers the pinned ledger file
 # (BENCH_$(BENCH_PR).json); BENCH_OPS sizes the pinning run, and
 # BENCH_CHECK_OPS the cheaper gate run that ci executes. Set
 # BENCH_SKIP=1 to skip the gate on underpowered or heavily shared
 # runners.
-BENCH_PR ?= 6
+BENCH_PR ?= 9
 BENCH_OPS ?= 120000
 BENCH_CHECK_OPS ?= 20000
 
@@ -71,6 +71,21 @@ lint-designs:
 	fi; \
 	echo "lint-designs: ok"
 
+# lint-layering enforces the storage-engine facade boundary:
+# internal/memctrl is an implementation detail, importable only by the
+# facade itself and the engine-core packages that assemble a
+# controller. Everything else — simulator, KV layer, experiments,
+# commands — must go through internal/store.
+lint-layering:
+	@bad=$$(grep -rl '"ccnvm/internal/memctrl"' --include='*.go' . \
+		| grep -v -E '^\./internal/(memctrl|store|engine|core|design|porder)/'); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-layering: internal/memctrl is behind the internal/store facade; import that instead:"; \
+		echo "$$bad" | sed 's/^/  /'; \
+		exit 1; \
+	fi; \
+	echo "lint-layering: ok"
+
 # torture runs the full differential crash/attack matrix via the CLI;
 # torture-faults adds the media-fault cells (torn writes, partial ADR
 # drains, weak and stuck lines) on top of the clean-crash matrix;
@@ -103,6 +118,14 @@ torture-spares:
 torture-guided:
 	$(GO) run ./cmd/ccnvm-torture -guided -seeds 4 -designs all
 
+# torture-kv crashes the KV namespace at every host-write boundary —
+# including between a batch frame's payload lines and its commit
+# header — for every crash-consistent design, re-crashes recovery
+# itself (-reboots), and holds the recovered namespace to the KV
+# oracles: acked batches durable, no partial batch ever visible.
+torture-kv:
+	$(GO) run ./cmd/ccnvm-torture -kv -seeds 2 -designs all -reboots 2
+
 torture-long:
 	$(GO) test ./internal/torture/ -torture.long -timeout 30m -v
 
@@ -122,8 +145,17 @@ campaign-short:
 	cmp docs/status/durability_report.json $$tmp/durability_report.json && \
 	rm -rf $$tmp && echo "campaign-short: report reproduces byte-identically"
 
+# kv-smoke is the end-to-end kill-mid-batch drill, run on real
+# processes with the race detector on: serve, journal a concurrent
+# burst client-side, inject a power failure mid-stream (exit 7),
+# restart from the persisted image, verify that no acknowledged batch
+# was lost and no partial batch is visible, shut down cleanly (exit 0)
+# and recover once more from the clean image.
+kv-smoke:
+	@GO=$(GO) sh scripts/kv_smoke.sh
+
 # ci is what a merge must pass.
-ci: tier1 vet lint-designs race fuzz-short vuln torture-reboots torture-spares campaign-short bench-check
+ci: tier1 vet lint-designs lint-layering race fuzz-short vuln torture-reboots torture-spares torture-kv campaign-short kv-smoke bench-check
 
 # bench pins the performance ledger: the Go benchmarks stream into a
 # benchstat-friendly raw file (compare two with

@@ -21,6 +21,10 @@
 //   - Recovery: Crash a machine, optionally inject attacks with the
 //     Spoof/Splice/Replay helpers, then Recover the image to detect and
 //     locate tampering exactly as the paper's §4.4 describes.
+//   - Serving: OpenStore exposes the secure NVM as a concurrency-safe
+//     storage engine (reads, epoch-batched writes, snapshots, crash +
+//     reboot), and OpenKV layers a crash-consistent key-value namespace
+//     on top — the stack behind the ccnvm-kvd daemon.
 //
 // Everything is deterministic: the same configuration and seed always
 // produce the same cycle counts, traffic and recovery outcomes.
@@ -33,10 +37,12 @@ import (
 	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/experiments"
+	"ccnvm/internal/kv"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/recovery"
 	"ccnvm/internal/sim"
+	"ccnvm/internal/store"
 	"ccnvm/internal/trace"
 )
 
@@ -110,6 +116,55 @@ type (
 	// Lifetime is the per-design NVM endurance summary.
 	Lifetime = experiments.Lifetime
 )
+
+// Storage engine facade and KV layer (the serving stack).
+type (
+	// Storage is the concurrency-safe storage-engine facade over one
+	// secure NVM: reads, epoch-batched writes, COW snapshots, crash
+	// capture and recovery-aware reboot. (Store is taken by the trace
+	// op kind, which predates the facade.)
+	Storage = store.Store
+	// StorageOptions configure OpenStore / RebootStore.
+	StorageOptions = store.Options
+
+	// KV is one crash-consistent key-value namespace over a Store.
+	KV = kv.DB
+	// KVOptions configure OpenKV (e.g. the write-stall controller).
+	KVOptions = kv.Options
+	// KVOp is one operation of an atomic KV batch.
+	KVOp = kv.Op
+	// KVSnapshot is a point-in-time read view of a KV namespace.
+	KVSnapshot = kv.Snapshot
+	// KVServer speaks the ccnvm-kvd JSON-lines protocol over a listener.
+	KVServer = kv.Server
+)
+
+// KV batch operation kinds.
+const (
+	KVPut    = kv.OpPut
+	KVDelete = kv.OpDelete
+)
+
+// OpenStore opens a fresh storage engine over a new secure NVM.
+func OpenStore(o StorageOptions) (*Storage, error) { return store.Open(o) }
+
+// RebootStore recovers a crash image through the four-step + journal
+// path and resumes serving from it.
+func RebootStore(img *CrashImage, o StorageOptions) (*Storage, *RecoveryReport, error) {
+	return store.Reboot(img, o)
+}
+
+// SaveCrashImage / LoadCrashImage persist crash images as
+// checksummed, deterministic files (the ccnvm-kvd -image format).
+func SaveCrashImage(path string, img *CrashImage) error { return store.SaveImage(path, img) }
+func LoadCrashImage(path string) (*CrashImage, error)   { return store.LoadImage(path) }
+
+// OpenKV opens (or, after a reboot, rebuilds from the persisted log)
+// a KV namespace over a store.
+func OpenKV(st *Storage, o KVOptions) (*KV, error) { return kv.Open(st, o) }
+
+// NewKVServer wraps a namespace in the JSON-lines protocol server.
+func NewKVServer(db *KV) *KVServer { return kv.NewServer(db) }
 
 // Memory-operation kinds for hand-built traces.
 const (

@@ -78,10 +78,12 @@ func main() {
 	benchList := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 	ledgerPath := flag.String("ledger", "", "measure the performance ledger and pin it to this file (e.g. BENCH_6.json), then exit")
 	checkDir := flag.String("check", "", "measure a fresh ledger and regression-gate it against the newest BENCH_*.json in this directory, then exit")
+	kvConns := flag.Int("kvconns", 1024, "ledger mode: concurrent connections for the KV serving row (0 = skip the KV measurement)")
+	kvOps := flag.Int("kvops", 8, "ledger mode: batch requests per KV connection")
 	flag.Parse()
 
 	if *ledgerPath != "" || *checkDir != "" {
-		runLedger(*ledgerPath, *checkDir, *ops, *seed, *benchList)
+		runLedger(*ledgerPath, *checkDir, *ops, *seed, *benchList, *kvConns, *kvOps)
 		return
 	}
 
@@ -215,7 +217,7 @@ func main() {
 // the sequential design x benchmark measurement plus the parallel tree
 // kernel (see internal/perf), then either pins the result to a file or
 // gates it against the newest committed BENCH_*.json.
-func runLedger(ledgerPath, checkDir string, ops int, seed int64, benchList string) {
+func runLedger(ledgerPath, checkDir string, ops int, seed int64, benchList string, kvConns, kvOps int) {
 	opts := perf.MeasureOptions{Ops: ops, Seed: seed}
 	if benchList != "" {
 		opts.Benchmarks = strings.Split(benchList, ",")
@@ -223,6 +225,12 @@ func runLedger(ledgerPath, checkDir string, ops int, seed int64, benchList strin
 	l, err := perf.Measure(opts)
 	if err != nil {
 		fatal(err)
+	}
+	if kvConns > 0 {
+		l.KV, err = perf.MeasureKV(perf.KVOptions{Conns: kvConns, OpsPerConn: kvOps})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Print(ledgerSummary(l))
 	if ledgerPath != "" {
@@ -261,6 +269,10 @@ func ledgerSummary(l *perf.Ledger) string {
 	}
 	for _, p := range l.Parallel {
 		fmt.Fprintf(&b, "  tree kernel workers=%d: %.3fs (%.2fx)\n", p.Workers, p.WallSeconds, p.Speedup)
+	}
+	if k := l.KV; k != nil {
+		fmt.Fprintf(&b, "  kv serving: %d conns x %d batches: %.0f ops/sec, p50 %.0fus p99 %.0fus p999 %.0fus\n",
+			k.Conns, k.OpsPerConn, k.OpsPerSec, k.P50us, k.P99us, k.P999us)
 	}
 	return b.String()
 }

@@ -26,10 +26,10 @@ import (
 
 	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
-	"ccnvm/internal/memctrl"
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/report"
 	"ccnvm/internal/sim"
+	"ccnvm/internal/store"
 	"ccnvm/internal/trace"
 )
 
@@ -157,7 +157,7 @@ func main() {
 	// but the media exhausted its spare pool along the way. Exit 3
 	// separates it from success (0) and hard errors (1).
 	for _, r := range results {
-		if r.Health == memctrl.HealthReadOnly.String() {
+		if r.Health == store.HealthReadOnly.String() {
 			os.Exit(3)
 		}
 	}

@@ -15,6 +15,7 @@
 //	ccnvm-torture -reboots 4 -reboot-every 2,3      # choose the strike strides
 //	ccnvm-torture -spares 3                         # finite spare pools: heal, degrade, go read-only
 //	ccnvm-torture -guided                           # ordering-aware crash points + edge-coverage table
+//	ccnvm-torture -kv -reboots 2                    # crash the KV namespace at every write boundary
 //	ccnvm-torture -campaign docs/status/durability_report.md  # regenerate the durability report
 //	ccnvm-torture -oracles                          # list the invariants
 package main
@@ -50,6 +51,8 @@ func main() {
 		rebootEvery = flag.String("reboot-every", "", "comma-separated strike strides for reboot cells (default 2,3,5)")
 		budget      = flag.Int("budget", 0, "max cells, evenly sampled after dropping refused cells (0 = run all)")
 		guided      = flag.Bool("guided", false, "ordering-aware crash points: profile each trace's persist-ordering graph and schedule one point per distinct edge cut; reports edge coverage vs evenly spaced points")
+		kvMode      = flag.Bool("kv", false, "KV-namespace crash cells: sweep every host-write boundary per design and assert atomic batch recovery (-reboots adds the reboot-loop axis)")
+		kvBatches   = flag.Int("kv-batches", 5, "batches per KV cell workload")
 		campaign    = flag.String("campaign", "", "run the fixed durability campaign and write the report to this markdown path (JSON artifact written beside it); other matrix flags are ignored")
 		parallel    = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "stop dispatching new cells after this duration and report partial results (0 = none)")
@@ -109,6 +112,12 @@ func main() {
 	strides, err := parseStrides(*rebootEvery)
 	if err != nil {
 		fatal(err)
+	}
+	if *kvMode {
+		if err := runKV(runner, designList, *seeds, *kvBatches, *reboots, strides, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	opts := torture.MatrixOpts{
 		Designs:     designList,
@@ -191,6 +200,72 @@ func main() {
 	if sum.Failed() || sum.Interrupted {
 		os.Exit(1)
 	}
+}
+
+// runKV sweeps the KV crash cells: for each crash-consistent design and
+// seed, crash the namespace at every host-write boundary (then once at
+// each boundary under the reboot-loop axis when -reboots is set) and
+// check the KV oracles. Designs that are not crash-consistent are
+// skipped — the KV contract does not apply to them.
+func runKV(runner *torture.Runner, designs []string, seeds, batches, reboots int, strides []int, jsonOut bool) error {
+	kvOK := map[string]bool{}
+	for _, d := range torture.KVDesigns() {
+		kvOK[d] = true
+	}
+	if len(strides) == 0 {
+		strides = []int{2}
+	}
+	type kvSummary struct {
+		Designs  []string           `json:"designs"`
+		Skipped  []string           `json:"skipped,omitempty"`
+		Cells    int                `json:"cells"`
+		Failures []*torture.Failure `json:"failures,omitempty"`
+	}
+	var sum kvSummary
+	start := time.Now()
+	for _, d := range designs {
+		if !kvOK[d] {
+			sum.Skipped = append(sum.Skipped, d)
+			continue
+		}
+		sum.Designs = append(sum.Designs, d)
+		for seed := 0; seed < seeds; seed++ {
+			specs := []torture.KVCell{{Design: d, Seed: int64(seed), Batches: batches}}
+			if reboots > 0 {
+				specs = append(specs, torture.KVCell{
+					Design: d, Seed: int64(seed), Batches: batches,
+					Reboots: reboots, RebootEvery: strides[seed%len(strides)],
+				})
+			}
+			for _, spec := range specs {
+				fail, cells := runner.KVSweep(spec)
+				sum.Cells += cells
+				if fail != nil {
+					sum.Failures = append(sum.Failures, fail)
+				}
+			}
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("kv torture: %d cells on %d designs, %d failures [%s]\n",
+			sum.Cells, len(sum.Designs), len(sum.Failures), time.Since(start).Round(time.Millisecond))
+		if len(sum.Skipped) > 0 {
+			fmt.Printf("  skipped (not crash-consistent): %s\n", strings.Join(sum.Skipped, ", "))
+		}
+		for _, f := range sum.Failures {
+			fmt.Printf("  oracle %s: %s\n", f.Oracle, f.Detail)
+		}
+	}
+	if len(sum.Failures) > 0 {
+		os.Exit(1)
+	}
+	return nil
 }
 
 // runCampaign executes the fixed durability campaign and writes the

@@ -4,20 +4,18 @@ import (
 	"testing"
 
 	"ccnvm/internal/attack"
-	"ccnvm/internal/core"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
-	"ccnvm/internal/memctrl"
-	"ccnvm/internal/metacache"
-	"ccnvm/internal/nvm"
-	"ccnvm/internal/seccrypto"
+	"ccnvm/internal/store"
 )
 
 func image(t *testing.T) *engine.CrashImage {
 	t.Helper()
-	lay := mem.MustLayout(256 << 20)
-	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
-	e := core.NewCCNVM(lay, seccrypto.DefaultKeys(), memctrl.New(memctrl.Config{}, dev), metacache.Config{}, engine.Params{})
+	st, err := store.Open(store.Options{Capacity: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
 	now := int64(0)
 	var pt mem.Line
 	for i := 0; i < 8; i++ {
@@ -75,13 +73,16 @@ func TestSpliceSwapsContents(t *testing.T) {
 }
 
 func TestReplayRestoresOldVersion(t *testing.T) {
-	lay := mem.MustLayout(256 << 20)
-	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
-	e := core.NewCCNVM(lay, seccrypto.DefaultKeys(), memctrl.New(memctrl.Config{}, dev), metacache.Config{}, engine.Params{})
+	st, err := store.Open(store.Options{Capacity: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := st.Layout()
+	e := st.Engine()
 	var v1, v2 mem.Line
 	v1[0], v2[0] = 1, 2
 	now := e.WriteBack(0, 0, v1) + 50
-	old := dev.Snapshot()
+	old := st.Snapshot()
 	e.WriteBack(now, 0, v2)
 	img := e.Crash()
 	if err := attack.ReplayBlock(img, old, 0); err != nil {

@@ -15,10 +15,10 @@ import (
 
 	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
-	"ccnvm/internal/memctrl"
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/report"
 	"ccnvm/internal/sim"
+	"ccnvm/internal/store"
 	"ccnvm/internal/trace"
 )
 
@@ -540,7 +540,7 @@ func RunSpareLifetime(o Options, designName, benchmark string, pools []int) (*Sp
 			end := min(served+chunk, len(ops))
 			r = m.Run(benchmark, ops[served:end])
 			served = end
-			if !pt.ReadOnly && m.Health() == memctrl.HealthReadOnly {
+			if !pt.ReadOnly && m.Health() == store.HealthReadOnly {
 				pt.ReadOnly = true
 				pt.OpsToReadOnly = served
 			}

@@ -1,0 +1,378 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/store"
+)
+
+// ErrDBClosed reports an operation on a closed or crashed DB.
+var ErrDBClosed = errors.New("kv: db closed")
+
+// Options tunes a DB.
+type Options struct {
+	// WriteController configures the stall triggers (see
+	// WriteControllerOptions for the defaults).
+	WriteController WriteControllerOptions
+}
+
+// valRef locates one value inside the append-only log: the frame's
+// first payload line plus the value's byte range within the payload.
+// Log addresses are never rewritten while the DB is open, so refs stay
+// valid for the DB's lifetime — which is what makes snapshots a pure
+// index copy.
+type valRef struct {
+	payload mem.Addr
+	off     int
+	n       int
+}
+
+// Stats is a point-in-time view of a DB.
+type Stats struct {
+	Keys       int                  `json:"keys"`
+	Seq        uint64               `json:"seq"`
+	DurableSeq uint64               `json:"durable_seq"`
+	LogBytes   uint64               `json:"log_bytes"`
+	Capacity   uint64               `json:"capacity"`
+	Gets       uint64               `json:"gets"`
+	Batches    uint64               `json:"batches"`
+	Ops        uint64               `json:"ops"`
+	Stall      WriteControllerStats `json:"stall"`
+}
+
+// DB is one KV namespace over a storage-engine facade. All methods are
+// safe for concurrent use; batches from concurrent writers serialize
+// at the log head and share epoch flushes (group commit).
+type DB struct {
+	st *store.Store
+	wc *WriteController
+
+	mu     sync.Mutex // index, log head, append ordering
+	idx    map[string]valRef
+	head   mem.Addr // next free log line
+	seq    uint64   // last appended frame
+	closed bool
+
+	gets    uint64
+	batches uint64
+	opCount uint64
+
+	fmu      sync.Mutex // group-commit state
+	fcond    *sync.Cond
+	flushing bool
+	appended uint64 // highest seq fully in the log
+	durable  uint64 // highest seq covered by a returned FlushEpoch
+	flushErr error  // sticky terminal flush failure
+}
+
+// Open builds the namespace over st, rebuilding the keymap by scanning
+// the frame log from the start of the data region. The scan stops at
+// the first line that is not a valid next frame header — everything
+// past the last committed frame (orphan payloads of a crashed batch,
+// never-written zero lines) is invisible, which is the crash-atomicity
+// guarantee.
+func Open(st *store.Store, o Options) (*DB, error) {
+	wc, err := NewWriteController(st.Capacity(), o.WriteController)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{st: st, wc: wc, idx: make(map[string]valRef)}
+	db.fcond = sync.NewCond(&db.fmu)
+	if err := db.scan(); err != nil {
+		return nil, err
+	}
+	db.appended, db.durable = db.seq, db.seq
+	return db, nil
+}
+
+// scan replays the committed frame prefix into the index.
+func (db *DB) scan() error {
+	capBytes := db.st.Capacity()
+	addr := mem.Addr(0)
+	for {
+		if uint64(addr)+mem.LineSize > capBytes {
+			break
+		}
+		hl, err := db.st.Read(addr)
+		if err != nil {
+			return fmt.Errorf("kv: log scan read %#x: %w", uint64(addr), err)
+		}
+		seq, count, payloadBytes, payloadCk, err := parseHeader(hl)
+		if err != nil || seq != db.seq+1 {
+			break
+		}
+		need := uint64(frameLines(payloadBytes)) * mem.LineSize
+		if uint64(addr)+need > capBytes {
+			break
+		}
+		payloadStart := addr + mem.LineSize
+		payload, err := db.readRange(payloadStart, payloadBytes)
+		if err != nil {
+			return fmt.Errorf("kv: log scan payload at %#x: %w", uint64(payloadStart), err)
+		}
+		if fnv64(payload) != payloadCk {
+			break
+		}
+		recs, err := decodePayload(payload, count)
+		if err != nil {
+			break
+		}
+		db.apply(payloadStart, payload, recs)
+		db.seq = seq
+		addr += mem.Addr(need)
+	}
+	db.head = addr
+	return nil
+}
+
+// apply folds one frame's records into the index.
+func (db *DB) apply(payloadStart mem.Addr, payload []byte, recs []record) {
+	for _, r := range recs {
+		switch r.kind {
+		case OpPut:
+			db.idx[string(r.key)] = valRef{payload: payloadStart, off: r.valOff, n: r.valLen}
+		case OpDelete:
+			delete(db.idx, string(r.key))
+		}
+	}
+}
+
+// readRange assembles n bytes starting at line-aligned addr.
+func (db *DB) readRange(addr mem.Addr, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for got := 0; got < n; {
+		l, err := db.st.Read(addr)
+		if err != nil {
+			return nil, err
+		}
+		take := n - got
+		if take > mem.LineSize {
+			take = mem.LineSize
+		}
+		out = append(out, l[:take]...)
+		got += take
+		addr += mem.LineSize
+	}
+	return out, nil
+}
+
+// readBytes reads one value by ref. Refs point into committed frames,
+// which are never rewritten, so this needs no index lock.
+func (db *DB) readBytes(ref valRef) ([]byte, error) {
+	if ref.n == 0 {
+		return []byte{}, nil
+	}
+	out := make([]byte, 0, ref.n)
+	pos := uint64(ref.payload) + uint64(ref.off)
+	for got := 0; got < ref.n; {
+		la := mem.Align(mem.Addr(pos))
+		l, err := db.st.Read(la)
+		if err != nil {
+			return nil, err
+		}
+		off := int(pos - uint64(la))
+		take := mem.LineSize - off
+		if take > ref.n-got {
+			take = ref.n - got
+		}
+		out = append(out, l[off:off+take]...)
+		got += take
+		pos += uint64(take)
+	}
+	return out, nil
+}
+
+// Get returns the value for key, reporting whether it exists. Reads
+// see every applied batch, including ones not yet acknowledged
+// (read-your-writes); use a Snapshot for a frozen view.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, false, ErrDBClosed
+	}
+	db.gets++
+	ref, ok := db.idx[string(key)]
+	db.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := db.readBytes(ref)
+	return v, ok, err
+}
+
+// Put maps key to val, acknowledged durable.
+func (db *DB) Put(key, val []byte) error {
+	return db.Batch([]Op{{Kind: OpPut, Key: key, Val: val}})
+}
+
+// Delete removes key, acknowledged durable.
+func (db *DB) Delete(key []byte) error {
+	return db.Batch([]Op{{Kind: OpDelete, Key: key}})
+}
+
+// Batch applies ops atomically: after a crash at any point, recovery
+// sees either every op or none. Batch returns only once a covering
+// epoch flush has committed — a nil return means the batch survives
+// any later crash.
+func (db *DB) Batch(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	payload, err := encodePayload(ops)
+	if err != nil {
+		return err
+	}
+	need := uint64(frameLines(len(payload))) * mem.LineSize
+
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrDBClosed
+	}
+	delay, err := db.wc.Admit(uint64(db.head), need)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	header := db.head
+	payloadStart := header + mem.LineSize
+	// Payload first, header last: a crash before the header write
+	// leaves no valid frame, so the batch is all-or-nothing.
+	for i := 0; i < payloadLines(len(payload)); i++ {
+		var l mem.Line
+		copy(l[:], payload[i*mem.LineSize:])
+		if werr := db.st.Write(payloadStart+mem.Addr(i*mem.LineSize), l); werr != nil {
+			db.mu.Unlock()
+			return fmt.Errorf("kv: batch payload write: %w", werr)
+		}
+	}
+	hl := encodeHeader(db.seq+1, len(ops), len(payload))
+	sealHeader(&hl, fnv64(payload))
+	if werr := db.st.Write(header, hl); werr != nil {
+		db.mu.Unlock()
+		return fmt.Errorf("kv: batch commit write: %w", werr)
+	}
+	db.seq++
+	mySeq := db.seq
+	db.head += mem.Addr(need)
+	db.batches++
+	db.opCount += uint64(len(ops))
+	recs, derr := decodePayload(payload, len(ops))
+	if derr != nil {
+		// Cannot happen: we just encoded it. Guard anyway.
+		db.mu.Unlock()
+		return fmt.Errorf("kv: round-trip decode: %w", derr)
+	}
+	db.apply(payloadStart, payload, recs)
+	db.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return db.waitDurable(mySeq)
+}
+
+// waitDurable blocks until an epoch flush covering seq has returned,
+// sharing flushes across concurrent writers: whichever writer finds no
+// flush in flight runs one for everybody appended so far; the rest
+// wait on the condvar.
+func (db *DB) waitDurable(seq uint64) error {
+	db.fmu.Lock()
+	defer db.fmu.Unlock()
+	if seq > db.appended {
+		db.appended = seq
+	}
+	for db.durable < seq && db.flushErr == nil {
+		if db.flushing {
+			db.fcond.Wait()
+			continue
+		}
+		db.flushing = true
+		target := db.appended
+		db.fmu.Unlock()
+		err := db.st.FlushEpoch()
+		db.fmu.Lock()
+		db.flushing = false
+		if err != nil {
+			db.flushErr = err
+		} else if target > db.durable {
+			db.durable = target
+		}
+		db.fcond.Broadcast()
+	}
+	if db.durable >= seq {
+		return nil
+	}
+	return fmt.Errorf("kv: batch %d not durable: %w", seq, db.flushErr)
+}
+
+// Flush forces an epoch flush covering everything appended so far.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	seq := db.seq
+	db.mu.Unlock()
+	if seq == 0 {
+		return nil
+	}
+	return db.waitDurable(seq)
+}
+
+// Stats snapshots the namespace counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	s := Stats{
+		Keys:     len(db.idx),
+		Seq:      db.seq,
+		LogBytes: uint64(db.head),
+		Capacity: db.st.Capacity(),
+		Gets:     db.gets,
+		Batches:  db.batches,
+		Ops:      db.opCount,
+	}
+	db.mu.Unlock()
+	db.fmu.Lock()
+	s.DurableSeq = db.durable
+	db.fmu.Unlock()
+	s.Stall = db.wc.Stats()
+	return s
+}
+
+// Store exposes the underlying facade (health probes, torture seams).
+func (db *DB) Store() *store.Store { return db.st }
+
+// Crash powers the machine off mid-run and returns the crash image.
+// The DB is unusable afterwards.
+func (db *DB) Crash() *engine.CrashImage {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+	db.fmu.Lock()
+	if db.flushErr == nil {
+		db.flushErr = ErrDBClosed
+	}
+	db.fcond.Broadcast()
+	db.fmu.Unlock()
+	return db.st.Crash()
+}
+
+// Close flushes outstanding appends and marks the DB closed. The
+// caller still owns the store's lifecycle.
+func (db *DB) Close() error {
+	err := db.Flush()
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+	db.fmu.Lock()
+	if db.flushErr == nil {
+		db.flushErr = ErrDBClosed
+	}
+	db.fcond.Broadcast()
+	db.fmu.Unlock()
+	return err
+}

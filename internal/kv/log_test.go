@@ -1,0 +1,104 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPayloadRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPut, Key: []byte("alpha"), Val: []byte("one")},
+		{Kind: OpDelete, Key: []byte("beta")},
+		{Kind: OpPut, Key: []byte("gamma"), Val: bytes.Repeat([]byte{0xAB}, 300)},
+		{Kind: OpPut, Key: []byte("empty"), Val: nil},
+	}
+	payload, err := encodePayload(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := decodePayload(payload, len(ops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(ops) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(ops))
+	}
+	for i, r := range recs {
+		if r.kind != ops[i].Kind || !bytes.Equal(r.key, ops[i].Key) {
+			t.Fatalf("record %d: kind/key mismatch", i)
+		}
+		if got := payload[r.valOff : r.valOff+r.valLen]; !bytes.Equal(got, ops[i].Val) {
+			t.Fatalf("record %d: value mismatch", i)
+		}
+	}
+}
+
+func TestPayloadRejectsBadOps(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Op
+	}{
+		{"empty key", []Op{{Kind: OpPut, Key: nil, Val: []byte("v")}}},
+		{"bad kind", []Op{{Kind: 9, Key: []byte("k")}}},
+		{"delete with value", []Op{{Kind: OpDelete, Key: []byte("k"), Val: []byte("v")}}},
+		{"huge key", []Op{{Kind: OpPut, Key: make([]byte, maxKeyLen+1)}}},
+	}
+	for _, c := range cases {
+		if _, err := encodePayload(c.ops); err == nil {
+			t.Errorf("%s: encode accepted", c.name)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncatedPayload(t *testing.T) {
+	payload, err := encodePayload([]Op{{Kind: OpPut, Key: []byte("k"), Val: []byte("value")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodePayload(payload[:len(payload)-2], 1); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+	if _, err := decodePayload(payload, 2); err == nil {
+		t.Fatal("over-count decoded")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	payload := []byte("some payload bytes")
+	hl := encodeHeader(7, 3, len(payload))
+	sealHeader(&hl, fnv64(payload))
+	seq, count, pb, ck, err := parseHeader(hl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 || count != 3 || pb != len(payload) || ck != fnv64(payload) {
+		t.Fatalf("parsed (%d,%d,%d,%#x)", seq, count, pb, ck)
+	}
+}
+
+func TestHeaderRejectsDamage(t *testing.T) {
+	payload := []byte("p")
+	good := encodeHeader(1, 1, len(payload))
+	sealHeader(&good, fnv64(payload))
+	// Any mutated header byte in the sealed region must read as
+	// end-of-log, never as a different valid frame: this is the torn
+	// commit-write defense.
+	for i := 0; i < 40; i++ {
+		hl := good
+		hl[i] ^= 0x40
+		if _, _, _, _, err := parseHeader(hl); !errors.Is(err, errFrameEnd) {
+			t.Fatalf("byte %d flip parsed as a frame", i)
+		}
+	}
+	var zero [64]byte
+	if _, _, _, _, err := parseHeader(zero); !errors.Is(err, errFrameEnd) {
+		t.Fatal("zero line parsed as a frame")
+	}
+}
+
+func TestFrameLines(t *testing.T) {
+	if frameLines(1) != 2 || frameLines(64) != 2 || frameLines(65) != 3 {
+		t.Fatalf("frameLines: %d %d %d", frameLines(1), frameLines(64), frameLines(65))
+	}
+}

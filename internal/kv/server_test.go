@@ -1,0 +1,254 @@
+package kv_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"ccnvm/internal/engine"
+	"ccnvm/internal/kv"
+	"ccnvm/internal/store"
+)
+
+// client is a test-side JSON-lines connection.
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t testing.TB, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) do(t testing.TB, req kv.Request) kv.Response {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.conn.Write(append(b, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp kv.Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func startServer(t *testing.T, db *kv.DB) (*kv.Server, string, chan shutdown) {
+	t.Helper()
+	srv := kv.NewServer(db)
+	down := make(chan shutdown, 1)
+	srv.OnShutdown = func(img *engine.CrashImage, clean bool) {
+		down <- shutdown{img: img, clean: clean}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-served; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String(), down
+}
+
+type shutdown struct {
+	img   *engine.CrashImage
+	clean bool
+}
+
+func TestServerBasicOps(t *testing.T) {
+	db := openDB(t, openStore(t))
+	_, addr, _ := startServer(t, db)
+	c := dial(t, addr)
+
+	if resp := c.do(t, kv.Request{Op: "ping"}); !resp.OK {
+		t.Fatalf("ping: %+v", resp)
+	}
+	if resp := c.do(t, kv.Request{Op: "put", Key: "k", Val: "v"}); !resp.OK {
+		t.Fatalf("put: %+v", resp)
+	}
+	resp := c.do(t, kv.Request{Op: "get", Key: "k"})
+	if !resp.OK || !resp.Found || resp.Val != "v" {
+		t.Fatalf("get: %+v", resp)
+	}
+	if resp := c.do(t, kv.Request{Op: "del", Key: "k"}); !resp.OK {
+		t.Fatalf("del: %+v", resp)
+	}
+	if resp := c.do(t, kv.Request{Op: "get", Key: "k"}); resp.Found {
+		t.Fatalf("get after del: %+v", resp)
+	}
+	if resp := c.do(t, kv.Request{Op: "nope"}); resp.Err == "" {
+		t.Fatal("unknown op accepted")
+	}
+	resp = c.do(t, kv.Request{Op: "batch", Ops: []kv.RequestOp{
+		{Op: "put", Key: "b1", Val: "1"},
+		{Op: "put", Key: "b2", Val: "2"},
+	}})
+	if !resp.OK {
+		t.Fatalf("batch: %+v", resp)
+	}
+	resp = c.do(t, kv.Request{Op: "stats"})
+	if !resp.OK || resp.Stats == nil || resp.Stats.Keys != 2 {
+		t.Fatalf("stats: %+v", resp)
+	}
+}
+
+func TestServerSnapshotOps(t *testing.T) {
+	db := openDB(t, openStore(t))
+	_, addr, _ := startServer(t, db)
+	c := dial(t, addr)
+
+	c.do(t, kv.Request{Op: "put", Key: "k", Val: "old"})
+	snap := c.do(t, kv.Request{Op: "snap"})
+	if !snap.OK || snap.Snap == 0 {
+		t.Fatalf("snap: %+v", snap)
+	}
+	c.do(t, kv.Request{Op: "put", Key: "k", Val: "new"})
+
+	got := c.do(t, kv.Request{Op: "snapget", Snap: snap.Snap, Key: "k"})
+	if !got.OK || got.Val != "old" {
+		t.Fatalf("snapget: %+v", got)
+	}
+	live := c.do(t, kv.Request{Op: "get", Key: "k"})
+	if live.Val != "new" {
+		t.Fatalf("live get: %+v", live)
+	}
+	if rel := c.do(t, kv.Request{Op: "snaprel", Snap: snap.Snap}); !rel.OK {
+		t.Fatalf("snaprel: %+v", rel)
+	}
+	if after := c.do(t, kv.Request{Op: "snapget", Snap: snap.Snap, Key: "k"}); after.Err == "" {
+		t.Fatal("released snapshot still readable")
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	db := openDB(t, openStore(t))
+	_, addr, _ := startServer(t, db)
+
+	const clients, ops = 16, 8
+	var wg sync.WaitGroup
+	fail := make(chan string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				fail <- err.Error()
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			enc := json.NewEncoder(conn)
+			for j := 0; j < ops; j++ {
+				k := fmt.Sprintf("c%d-%d", i, j)
+				if err := enc.Encode(kv.Request{Op: "put", Key: k, Val: k}); err != nil {
+					fail <- err.Error()
+					return
+				}
+				line, err := r.ReadBytes('\n')
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				var resp kv.Response
+				if err := json.Unmarshal(line, &resp); err != nil || !resp.OK {
+					fail <- fmt.Sprintf("put %s: %s err=%v", k, line, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+	for i := 0; i < clients; i++ {
+		for j := 0; j < ops; j++ {
+			k := fmt.Sprintf("c%d-%d", i, j)
+			v, ok, err := db.Get([]byte(k))
+			if err != nil || !ok || string(v) != k {
+				t.Fatalf("get %s = (%q,%v,%v)", k, v, ok, err)
+			}
+		}
+	}
+}
+
+// TestServerCrashRestartKeepsAckedWrites is the end-to-end kill-mid-
+// stream drill: acked writes before a crash op must be served again
+// after reboot from the captured image.
+func TestServerCrashRestartKeepsAckedWrites(t *testing.T) {
+	db := openDB(t, openStore(t))
+	_, addr, down := startServer(t, db)
+	c := dial(t, addr)
+	for i := 0; i < 10; i++ {
+		resp := c.do(t, kv.Request{Op: "put", Key: fmt.Sprintf("k%d", i), Val: fmt.Sprintf("v%d", i)})
+		if !resp.OK {
+			t.Fatalf("put %d: %+v", i, resp)
+		}
+	}
+	if resp := c.do(t, kv.Request{Op: "crash"}); !resp.OK {
+		t.Fatalf("crash: %+v", resp)
+	}
+	d := <-down
+	if d.clean {
+		t.Fatal("crash reported as clean shutdown")
+	}
+
+	st2, rep, err := store.Reboot(d.img, store.Options{})
+	if err != nil {
+		t.Fatalf("reboot: %v (%+v)", err, rep)
+	}
+	db2 := openDB(t, st2)
+	_, addr2, _ := startServer(t, db2)
+	c2 := dial(t, addr2)
+	for i := 0; i < 10; i++ {
+		resp := c2.do(t, kv.Request{Op: "get", Key: fmt.Sprintf("k%d", i)})
+		if !resp.OK || !resp.Found || resp.Val != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d after crash+reboot: %+v", i, resp)
+		}
+	}
+}
+
+func TestServerQuitIsCleanShutdown(t *testing.T) {
+	db := openDB(t, openStore(t))
+	_, addr, down := startServer(t, db)
+	c := dial(t, addr)
+	c.do(t, kv.Request{Op: "put", Key: "k", Val: "v"})
+	if resp := c.do(t, kv.Request{Op: "quit"}); !resp.OK {
+		t.Fatalf("quit: %+v", resp)
+	}
+	d := <-down
+	if !d.clean {
+		t.Fatal("quit reported as crash")
+	}
+	st2, _, err := store.Reboot(d.img, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := openDB(t, st2)
+	if v, ok, _ := db2.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatalf("value lost across clean shutdown: (%q,%v)", v, ok)
+	}
+}

@@ -1,0 +1,108 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrLogFull reports that the namespace's log region is out of space:
+// the stop trigger fired and the write was refused outright.
+var ErrLogFull = errors.New("kv: log region full")
+
+// WriteController throttles writers as the append-only log fills, in
+// the classic LSM shape: past the slowdown trigger every batch is
+// delayed, past the stop trigger writes are refused. The triggers are
+// fractions of the log capacity, so one controller works across
+// namespace sizes. It is also the read-only gate: when the media
+// health machine degrades the store to read-only, the DB routes the
+// refusal through here so the stats count both causes of stalling.
+type WriteController struct {
+	mu sync.Mutex
+
+	capacity   uint64 // log bytes available
+	slowdownAt uint64 // used >= this: delay every admission
+	stopAt     uint64 // used + need > this: refuse
+
+	delay time.Duration // per-admission delay in the slowdown band
+
+	slowdowns uint64
+	stops     uint64
+}
+
+// WriteControllerOptions tunes the triggers. Zero values take the
+// defaults noted on each field.
+type WriteControllerOptions struct {
+	// SlowdownFrac is the used/capacity fraction past which admissions
+	// are delayed. Default 0.85.
+	SlowdownFrac float64
+	// StopFrac is the fraction past which admissions are refused with
+	// ErrLogFull. Default 0.95.
+	StopFrac float64
+	// SlowdownDelay is the per-batch delay in the slowdown band.
+	// Default 1ms; tests set it to a nanosecond to stay fast.
+	SlowdownDelay time.Duration
+}
+
+// NewWriteController builds a controller over a log of capacity bytes.
+func NewWriteController(capacity uint64, o WriteControllerOptions) (*WriteController, error) {
+	if o.SlowdownFrac == 0 {
+		o.SlowdownFrac = 0.85
+	}
+	if o.StopFrac == 0 {
+		o.StopFrac = 0.95
+	}
+	if o.SlowdownDelay == 0 {
+		o.SlowdownDelay = time.Millisecond
+	}
+	if o.SlowdownFrac < 0 || o.SlowdownFrac > o.StopFrac || o.StopFrac > 1 {
+		return nil, fmt.Errorf("kv: bad write-controller triggers slowdown=%v stop=%v", o.SlowdownFrac, o.StopFrac)
+	}
+	return &WriteController{
+		capacity:   capacity,
+		slowdownAt: uint64(float64(capacity) * o.SlowdownFrac),
+		stopAt:     uint64(float64(capacity) * o.StopFrac),
+		delay:      o.SlowdownDelay,
+	}, nil
+}
+
+// Admit decides whether a batch needing need bytes may proceed when
+// used bytes of log are already consumed. It returns the delay the
+// writer must observe (zero below the slowdown trigger) or ErrLogFull
+// past the stop trigger.
+func (wc *WriteController) Admit(used, need uint64) (time.Duration, error) {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if used+need > wc.stopAt {
+		wc.stops++
+		return 0, fmt.Errorf("%w: %d used + %d needed > %d stop trigger", ErrLogFull, used, need, wc.stopAt)
+	}
+	if used >= wc.slowdownAt {
+		wc.slowdowns++
+		return wc.delay, nil
+	}
+	return 0, nil
+}
+
+// WriteControllerStats is a point-in-time view of the throttle.
+type WriteControllerStats struct {
+	Capacity   uint64 `json:"capacity"`
+	SlowdownAt uint64 `json:"slowdown_at"`
+	StopAt     uint64 `json:"stop_at"`
+	Slowdowns  uint64 `json:"slowdowns,omitzero"`
+	Stops      uint64 `json:"stops,omitzero"`
+}
+
+// Stats snapshots the trigger configuration and firing counts.
+func (wc *WriteController) Stats() WriteControllerStats {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return WriteControllerStats{
+		Capacity:   wc.capacity,
+		SlowdownAt: wc.slowdownAt,
+		StopAt:     wc.stopAt,
+		Slowdowns:  wc.slowdowns,
+		Stops:      wc.stops,
+	}
+}

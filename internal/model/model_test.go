@@ -4,14 +4,11 @@ import (
 	"math"
 	"testing"
 
-	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
-	"ccnvm/internal/memctrl"
-	"ccnvm/internal/metacache"
 	"ccnvm/internal/model"
 	"ccnvm/internal/nvm"
-	"ccnvm/internal/seccrypto"
+	"ccnvm/internal/store"
 )
 
 const capacity = 16 << 30 // the paper's geometry: 10 internal levels
@@ -43,19 +40,19 @@ func TestPaperArithmetic(t *testing.T) {
 	}
 }
 
-// device builds an engine over the paper-sized layout.
+// build opens the storage facade over the paper-sized layout and
+// returns the raw engine plus its device for wear accounting.
 func build(t *testing.T, name string, n uint64) (engine.Engine, *nvm.Device) {
 	t.Helper()
-	lay := mem.MustLayout(capacity)
-	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
-	ctrl := memctrl.New(memctrl.Config{}, dev)
-	keys := seccrypto.DefaultKeys()
-	p := engine.Params{UpdateLimit: n}
-	d, ok := design.Lookup(name)
-	if !ok {
-		t.Fatalf("unknown design %q", name)
+	st, err := store.Open(store.Options{
+		Design:   name,
+		Capacity: capacity,
+		Params:   engine.Params{UpdateLimit: n},
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	return d.New(lay, keys, ctrl, metacache.Config{}, p), dev
+	return st.Engine(), st.Device()
 }
 
 // run issues write-backs over a block cycle and returns the measured

@@ -1,0 +1,21 @@
+package perf
+
+import "testing"
+
+// TestMeasureKV sanity-checks the KV serving measurement at a small
+// scale: every request must be acked and the percentiles ordered.
+func TestMeasureKV(t *testing.T) {
+	p, err := MeasureKV(KVOptions{Conns: 16, OpsPerConn: 4, Batch: 2, ValBytes: 32, Capacity: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 16 * 4; p.Requests != want {
+		t.Fatalf("acked %d requests, want %d", p.Requests, want)
+	}
+	if p.OpsPerSec <= 0 {
+		t.Fatalf("throughput %f", p.OpsPerSec)
+	}
+	if p.P50us > p.P99us || p.P99us > p.P999us {
+		t.Fatalf("percentiles unordered: p50=%f p99=%f p999=%f", p.P50us, p.P99us, p.P999us)
+	}
+}

@@ -52,6 +52,12 @@ type Ledger struct {
 	// Memo reports the crypto memo-table hit rates over the matrix.
 	Memo MemoRates `json:"memo"`
 
+	// KV records the end-to-end KV serving measurement (see MeasureKV):
+	// batched writes over loopback TCP through the storage-engine
+	// facade, at a thousand-connection scale. Nil in ledgers pinned
+	// before the KV layer existed.
+	KV *KVPerf `json:"kv,omitempty"`
+
 	// Parallel records the serial-vs-parallel speedup of the
 	// subtree-sharded tree pipeline (the recovery-style VerifyAll +
 	// Rebuild kernel, which is pure parallel crypto work), one point per
@@ -168,6 +174,17 @@ func Compare(pinned, fresh *Ledger) error {
 				continue
 			}
 			check(d, p.OpsPerSec, f.OpsPerSec)
+		}
+		// The KV row rides the loopback network stack and a thousand
+		// goroutines, so it is noisier than the deterministic simulator
+		// cells: gate it at double tolerance, and only when the run
+		// shapes match.
+		if p, f := pinned.KV, fresh.KV; p != nil && f != nil &&
+			p.Conns == f.Conns && p.OpsPerConn == f.OpsPerConn && p.Batch == f.Batch {
+			if p.OpsPerSec > 0 && f.OpsPerSec < p.OpsPerSec*(1-2*Tolerance) {
+				regressions = append(regressions,
+					fmt.Sprintf("kv: %.0f -> %.0f ops/sec (-%.1f%%)", p.OpsPerSec, f.OpsPerSec, 100*(1-f.OpsPerSec/p.OpsPerSec)))
+			}
 		}
 	} else {
 		// Cross-host: compare per-design throughput normalized by the

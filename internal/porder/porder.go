@@ -41,9 +41,16 @@ type Recorder struct {
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Attach installs the recorder as ctrl's event tap.
-func (r *Recorder) Attach(ctrl *memctrl.Controller) {
-	ctrl.SetEventTap(func(ev memctrl.Event) {
+// TapTarget is anything carrying the controller's observational event
+// tap — the controller itself, or the storage-engine facade fronting
+// it.
+type TapTarget interface {
+	SetEventTap(func(memctrl.Event))
+}
+
+// Attach installs the recorder as the target's event tap.
+func (r *Recorder) Attach(t TapTarget) {
+	t.SetEventTap(func(ev memctrl.Event) {
 		r.events = append(r.events, Event{Kind: ev.Kind, Addr: ev.Addr, Op: r.op})
 	})
 }

@@ -5,15 +5,11 @@ import (
 	"testing"
 
 	"ccnvm/internal/attack"
-	"ccnvm/internal/core"
-	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
-	"ccnvm/internal/memctrl"
-	"ccnvm/internal/metacache"
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/recovery"
-	"ccnvm/internal/seccrypto"
+	"ccnvm/internal/store"
 	"ccnvm/internal/torture"
 )
 
@@ -21,15 +17,11 @@ const capacity = 1 << 30
 
 func build(t testing.TB, name string, p engine.Params) engine.Engine {
 	t.Helper()
-	lay := mem.MustLayout(capacity)
-	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
-	ctrl := memctrl.New(memctrl.Config{}, dev)
-	keys := seccrypto.DefaultKeys()
-	d, ok := design.Lookup(name)
-	if !ok {
-		t.Fatalf("unknown design %q", name)
+	st, err := store.Open(store.Options{Design: name, Capacity: capacity, Params: p})
+	if err != nil {
+		t.Fatal(err)
 	}
-	return d.New(lay, keys, ctrl, metacache.Config{}, p)
+	return st.Engine()
 }
 
 // snapshotNVM captures persistent state without the destructive Crash.
@@ -291,11 +283,7 @@ func TestOsirisDetectsButCannotLocate(t *testing.T) {
 func TestApplyThenResume(t *testing.T) {
 	// Recover a clean crash, apply the rebuilt state, boot a fresh
 	// cc-NVM engine on the image and verify data still reads back.
-	lay := mem.MustLayout(capacity)
-	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
-	ctrl := memctrl.New(memctrl.Config{}, dev)
-	keys := seccrypto.DefaultKeys()
-	e := core.NewCCNVM(lay, keys, ctrl, metacache.Config{}, engine.Params{UpdateLimit: 16})
+	e := build(t, "ccnvm", engine.Params{UpdateLimit: 16})
 	want := map[mem.Addr]byte{}
 	now := int64(0)
 	for i := 0; i < 150; i++ {
@@ -310,10 +298,11 @@ func TestApplyThenResume(t *testing.T) {
 	}
 	rec := recovery.Apply(img, rep)
 
-	dev2 := nvm.NewDevice(lay, nvm.PCMTiming(3))
-	dev2.Restore(img.Image)
-	e2 := core.NewCCNVM(lay, keys, memctrl.New(memctrl.Config{}, dev2), metacache.Config{}, engine.Params{UpdateLimit: 16})
-	e2.TCB = rec.TCB
+	st2, err := store.OpenRecovered(img, rec, store.Options{Params: engine.Params{UpdateLimit: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := st2.Engine()
 	now = 0
 	for a, v := range want {
 		pt, done := e2.ReadBlock(now, a)

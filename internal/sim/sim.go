@@ -18,10 +18,10 @@ import (
 	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
-	"ccnvm/internal/memctrl"
 	"ccnvm/internal/metacache"
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/seccrypto"
+	"ccnvm/internal/store"
 	"ccnvm/internal/trace"
 )
 
@@ -50,7 +50,7 @@ type Config struct {
 	MSHRs          int   // outstanding memory reads (default 8)
 
 	Params  engine.Params
-	MemCfg  memctrl.Config
+	MemCfg  store.ControllerConfig
 	MetaCfg metacache.Config
 	Keys    *seccrypto.Keys
 
@@ -134,7 +134,7 @@ type Result struct {
 
 	L1, L2, Meta cache.Stats
 	Sec          engine.SecStats
-	Ctrl         memctrl.Stats
+	Ctrl         store.ControllerStats
 
 	AvgEpochLen float64
 	MaxWear     uint64
@@ -151,9 +151,8 @@ type Result struct {
 // Machine is one simulated system.
 type Machine struct {
 	cfg  Config
-	lay  *mem.Layout
+	st   *store.Store
 	dev  *nvm.Device
-	ctrl *memctrl.Controller
 	eng  engine.Engine
 	l1   *cache.Cache
 	l2   *cache.Cache
@@ -177,26 +176,28 @@ type coreState struct {
 	mismatches  uint64
 }
 
-// New builds a machine.
+// New builds a machine. Assembly — layout, device, fault model,
+// controller, engine — is the storage-engine facade's job; the
+// simulator layers the CPU-side caches and the trace-driven core over
+// the facade's engine and drives the timed path directly (it owns the
+// clock, which the facade's functional API does not expose).
 func New(cfg Config) (*Machine, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	lay, err := mem.NewLayout(cfg.Capacity)
+	st, err := store.Open(store.Options{
+		Design:   cfg.Design,
+		Capacity: cfg.Capacity,
+		Params:   cfg.Params,
+		Ctrl:     cfg.MemCfg,
+		Meta:     cfg.MetaCfg,
+		Keys:     cfg.Keys,
+		Faults:   cfg.Faults,
+	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sim: %w", err)
 	}
-	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
-	// The fault model must be in place before the controller exists: the
-	// controller decides at construction whether to track in-flight WPQ
-	// entries for crash-time fault injection.
-	dev.SetFaultModel(cfg.Faults)
-	ctrl := memctrl.New(cfg.MemCfg, dev)
-	eng, err := buildEngine(cfg.Design, lay, *cfg.Keys, ctrl, cfg.MetaCfg, cfg.Params)
-	if err != nil {
-		return nil, err
-	}
-	m := &Machine{cfg: cfg, lay: lay, dev: dev, ctrl: ctrl, eng: eng,
+	m := &Machine{cfg: cfg, st: st, dev: st.Device(), eng: st.Engine(),
 		scrubbing:    cfg.Faults.Enabled(),
 		finiteSpares: cfg.Faults != nil && cfg.Faults.SpareLines > 0,
 	}
@@ -220,14 +221,6 @@ func New(cfg Config) (*Machine, error) {
 			}
 		})
 	return m, nil
-}
-
-func buildEngine(name string, lay *mem.Layout, keys seccrypto.Keys, ctrl *memctrl.Controller, mc metacache.Config, p engine.Params) (engine.Engine, error) {
-	d, ok := design.Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("sim: %w", design.UnknownError(name))
-	}
-	return d.New(lay, keys, ctrl, mc, p), nil
 }
 
 // Engine exposes the machine's security engine (for crash tests).
@@ -297,14 +290,14 @@ func (m *Machine) step(op trace.Op) {
 	if m.scrubbing {
 		if m.sinceScrub++; m.sinceScrub >= m.cfg.ScrubOps {
 			m.sinceScrub = 0
-			m.ctrl.Scrub(m.core.now)
+			m.st.Scrub(m.core.now)
 		}
 	}
 	switch op.Kind {
 	case trace.Load:
 		m.loadLine(op.Addr, op.Dep)
 	case trace.Store:
-		if m.finiteSpares && m.ctrl.Health() == memctrl.HealthReadOnly {
+		if m.finiteSpares && m.st.Health() == store.HealthReadOnly {
 			// Admission control of the degraded mode: with the spare pool
 			// exhausted the controller accepts no new host stores, so the
 			// core's store retires without mutating memory. Loads (and the
@@ -387,7 +380,7 @@ func (m *Machine) Mismatches() uint64 { return m.core.mismatches }
 
 // Health reports the memory controller's media health state; always
 // HealthHealthy without a finite spare pool.
-func (m *Machine) Health() memctrl.HealthState { return m.ctrl.Health() }
+func (m *Machine) Health() store.HealthState { return m.st.Health() }
 
 func (m *Machine) result(workload string) Result {
 	r := Result{
@@ -416,7 +409,7 @@ func (m *Machine) result(workload string) Result {
 	}
 	_, r.MaxWear = m.dev.MaxWear()
 	if m.finiteSpares {
-		r.Health = m.ctrl.Health().String()
+		r.Health = m.st.Health().String()
 		r.Spares = m.dev.SpareStats()
 		r.RefusedStores = m.refusedStores
 	}
@@ -484,7 +477,7 @@ func subSec(a, b engine.SecStats) engine.SecStats {
 	return a
 }
 
-func subCtrl(a, b memctrl.Stats) memctrl.Stats {
+func subCtrl(a, b store.ControllerStats) store.ControllerStats {
 	a.Reads -= b.Reads
 	a.Writes -= b.Writes
 	a.WPQFullStalls -= b.WPQFullStalls

@@ -6,8 +6,8 @@ import (
 
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
-	"ccnvm/internal/memctrl"
 	"ccnvm/internal/nvm"
+	"ccnvm/internal/store"
 	"ccnvm/internal/trace"
 )
 
@@ -289,7 +289,7 @@ func TestSpareDegradationReachesReadOnly(t *testing.T) {
 		ops = append(ops, trace.Op{Kind: k, Addr: mem.Addr((i % 500) * 64), Gap: 3})
 	}
 	m.Run("tiny", ops[:4000])
-	if h := m.Health(); h != memctrl.HealthHealthy {
+	if h := m.Health(); h != store.HealthHealthy {
 		t.Fatalf("health before any fault: %v", h)
 	}
 	// A power event sticks far more lines than the pool can absorb; the
@@ -302,7 +302,7 @@ func TestSpareDegradationReachesReadOnly(t *testing.T) {
 	if r.Spares.Remaining() != 0 || r.Health != "read-only" {
 		t.Fatalf("pool did not exhaust: health=%q spares=%+v", r.Health, r.Spares)
 	}
-	if m.Health() != memctrl.HealthReadOnly {
+	if m.Health() != store.HealthReadOnly {
 		t.Fatalf("machine health accessor disagrees: %v", m.Health())
 	}
 	if r.RefusedStores == 0 {

@@ -1,0 +1,140 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/store"
+)
+
+func crashedImage(t *testing.T, design string) *engine.CrashImage {
+	t.Helper()
+	st, err := store.Open(store.Options{
+		Design:   design,
+		Capacity: 1 << 20,
+		Params:   engine.Params{UpdateLimit: 8, QueueEntries: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		var l mem.Line
+		l[0], l[1] = byte(i), byte(i>>4)
+		if err := st.Write(mem.Addr((i%12)*4096), l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st.Crash()
+}
+
+func TestImageEncodeDeterministic(t *testing.T) {
+	img := crashedImage(t, "ccnvm")
+	b1, err := store.EncodeImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := store.EncodeImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("encoding the same image twice differs")
+	}
+}
+
+func TestImageRoundTripAllFields(t *testing.T) {
+	for _, d := range []string{"ccnvm", "ccnvm-ext", "osiris", "sc"} {
+		t.Run(d, func(t *testing.T) {
+			img := crashedImage(t, d)
+			b, err := store.EncodeImage(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := store.DecodeImage(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Design != img.Design || got.UpdateLimit != img.UpdateLimit || got.Workers != img.Workers {
+				t.Fatalf("identity fields differ: %s/%d/%d vs %s/%d/%d",
+					got.Design, got.UpdateLimit, got.Workers, img.Design, img.UpdateLimit, img.Workers)
+			}
+			if got.Keys != img.Keys {
+				t.Fatal("keys differ")
+			}
+			if got.TCB.RootNew != img.TCB.RootNew || got.TCB.RootOld != img.TCB.RootOld || got.TCB.Nwb != img.TCB.Nwb {
+				t.Fatal("TCB registers differ")
+			}
+			if len(got.TCB.ExtDirty) != len(img.TCB.ExtDirty) {
+				t.Fatalf("ExtDirty %d entries, want %d", len(got.TCB.ExtDirty), len(img.TCB.ExtDirty))
+			}
+			for a, n := range img.TCB.ExtDirty {
+				if got.TCB.ExtDirty[a] != n {
+					t.Fatalf("ExtDirty[%#x] = %d, want %d", uint64(a), got.TCB.ExtDirty[a], n)
+				}
+			}
+			if got.Image.Layout.DataBytes != img.Image.Layout.DataBytes {
+				t.Fatal("capacity differs")
+			}
+			if !got.Image.Store.Equal(img.Image.Store) {
+				t.Fatal("NVM contents differ")
+			}
+			// And the round-tripped image must re-encode identically.
+			b2, err := store.EncodeImage(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b, b2) {
+				t.Fatal("re-encode differs")
+			}
+		})
+	}
+}
+
+func TestImageDecodeRejectsCorruption(t *testing.T) {
+	img := crashedImage(t, "ccnvm")
+	b, err := store.EncodeImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every 97th byte: exhaustive would be slow, strided is plenty to
+	// prove the checksum covers the whole record.
+	for off := 0; off < len(b); off += 97 {
+		c := append([]byte(nil), b...)
+		c[off] ^= 0x20
+		if _, err := store.DecodeImage(c); !errors.Is(err, store.ErrImageCorrupt) {
+			t.Fatalf("flip at %d decoded (err=%v)", off, err)
+		}
+	}
+	if _, err := store.DecodeImage(b[:10]); !errors.Is(err, store.ErrImageCorrupt) {
+		t.Fatal("truncated image decoded")
+	}
+}
+
+func TestSaveLoadImageFile(t *testing.T) {
+	img := crashedImage(t, "ccnvm")
+	path := filepath.Join(t.TempDir(), "nvm.img")
+	if err := store.SaveImage(path, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.LoadImage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, rep, err := store.Reboot(got, store.Options{})
+	if err != nil {
+		t.Fatalf("reboot from loaded image: %v (%+v)", err, rep)
+	}
+	var want mem.Line
+	want[0], want[1] = 39, 39>>4
+	l, err := st.Read(mem.Addr((39 % 12) * 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != want {
+		t.Fatal("reloaded store serves wrong data")
+	}
+}

@@ -1,0 +1,494 @@
+// Package store is the servable storage-engine facade: the one front
+// door through which everything outside the secure-NVM core — the
+// simulator, the torture harness, the experiments, the KV layer and the
+// CLIs — reaches a security engine. It assembles the layered machine
+// (layout, NVM device, memory controller, security engine) exactly the
+// way the simulator always wired it, and exposes a concurrency-safe
+// Open/Read/Write/DeleteRange/FlushEpoch/Snapshot/Close lifecycle over
+// the secure NVM address space:
+//
+//   - Writes go through the engine's write-back path, so they are
+//     encrypted, authenticated and batched into ADR epochs by the
+//     design's own drain policy; FlushEpoch forces the epoch closed,
+//     which is the durability point a server acknowledges at.
+//   - Reads decrypt and verify through the engine; a never-written line
+//     reads as zero, exactly like a fresh DIMM.
+//   - Snapshot captures the adversary-visible NVM image via the COW
+//     mem.Store.Clone — O(shards), so point-in-time readers are cheap.
+//   - Read-only admission from the controller's media-health machine is
+//     surfaced as typed errors instead of silent drops.
+//   - Crash/OpenRecovered ride the existing four-step recovery plus
+//     recovery-journal path, so a facade-served namespace recovers with
+//     the same guarantees the torture matrix pins for raw traffic.
+//
+// The package also re-exports the controller types consumers need
+// (Config, Stats, HealthState) as aliases, so the layering lint can
+// forbid direct internal/memctrl imports outside the core without
+// breaking a single golden: an alias is the identical type.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ccnvm/internal/design"
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/memctrl"
+	"ccnvm/internal/metacache"
+	"ccnvm/internal/nvm"
+	"ccnvm/internal/recovery"
+	"ccnvm/internal/seccrypto"
+)
+
+// Controller type re-exports. These are aliases, not definitions: a
+// sim.Config or torture Context declared against them is bit-identical
+// to one declared against the memctrl originals, which is what keeps
+// every golden file byte-stable across the facade extraction.
+type (
+	// ControllerConfig sizes the memory controller (banks, queues).
+	ControllerConfig = memctrl.Config
+	// ControllerStats reports controller-level contention and fault
+	// counters.
+	ControllerStats = memctrl.Stats
+	// HealthState is the controller's media-health state machine.
+	HealthState = memctrl.HealthState
+	// Event is one persistence-ordering event from the controller's
+	// observational tap.
+	Event = memctrl.Event
+)
+
+// Health states, re-exported for admission checks at the facade's rim.
+const (
+	HealthHealthy  = memctrl.HealthHealthy
+	HealthDegraded = memctrl.HealthDegraded
+	HealthReadOnly = memctrl.HealthReadOnly
+)
+
+// Typed facade errors.
+var (
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("store: closed")
+	// ErrReadOnly reports a write refused by read-only media degradation
+	// (the spare pool is exhausted; reads keep verifying).
+	ErrReadOnly = errors.New("store: media is read-only (spare pool exhausted)")
+	// ErrCrashed reports a write struck by an armed crash point: the
+	// simulated power failure happened before this write, so it never
+	// reached the media. See ArmCrash.
+	ErrCrashed = errors.New("store: power failed before this write")
+)
+
+// AddrError reports an address outside the store's data region.
+type AddrError struct {
+	Addr mem.Addr
+	Cap  uint64
+}
+
+func (e *AddrError) Error() string {
+	return fmt.Sprintf("store: address %#x outside the %d-byte data region", uint64(e.Addr), e.Cap)
+}
+
+// Options configures Open. Zero values select the paper's machine:
+// design cc-NVM, controller and metadata-cache defaults, deterministic
+// keys.
+type Options struct {
+	Design   string // a design registered in internal/design (default cc-NVM)
+	Capacity uint64 // NVM data capacity in bytes (default 16 GiB)
+
+	Params engine.Params
+	Ctrl   ControllerConfig
+	Meta   metacache.Config
+	Keys   *seccrypto.Keys
+
+	// Faults installs a media fault model on the NVM device; nil is the
+	// idealized device.
+	Faults *nvm.FaultModel
+}
+
+func (o *Options) fill() error {
+	if o.Design == "" {
+		o.Design = design.CCNVM
+	}
+	if o.Capacity == 0 {
+		o.Capacity = 16 << 30
+	}
+	if o.Keys == nil {
+		k := seccrypto.DefaultKeys()
+		o.Keys = &k
+	}
+	if _, ok := design.Lookup(o.Design); !ok {
+		return fmt.Errorf("store: %w", design.UnknownError(o.Design))
+	}
+	return nil
+}
+
+// Store is one assembled secure-NVM storage engine. All methods are
+// safe for concurrent use; the single mutex serializes the underlying
+// deterministic engine, which is the concurrency model the paper's
+// single memory controller implies (parallelism lives inside the
+// engine's sharded epoch pipeline, enabled via Params.Workers).
+type Store struct {
+	mu   sync.Mutex
+	opts Options
+	lay  *mem.Layout
+	dev  *nvm.Device
+	ctrl *memctrl.Controller
+	eng  engine.Engine
+	now  int64 // engine-facing virtual clock (cycles)
+
+	closed  bool
+	crashed bool
+
+	// Crash-point arming (see ArmCrash): after armWrites facade writes
+	// have been accepted, every further write is struck.
+	armed      bool
+	armWrites  int
+	seenWrites int
+
+	refusedWrites uint64
+}
+
+// Open assembles a fresh machine over an empty NVM. The wiring order
+// mirrors the simulator exactly (fault model before the controller is
+// built, engine from the design registry), so a facade-assembled engine
+// is bit-identical to a sim-assembled one.
+func Open(o Options) (*Store, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	lay, err := mem.NewLayout(o.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
+	// The fault model must be in place before the controller exists: the
+	// controller decides at construction whether to track in-flight WPQ
+	// entries for crash-time fault injection.
+	dev.SetFaultModel(o.Faults)
+	ctrl := memctrl.New(o.Ctrl, dev)
+	d, ok := design.Lookup(o.Design)
+	if !ok {
+		return nil, fmt.Errorf("store: %w", design.UnknownError(o.Design))
+	}
+	eng := d.New(lay, *o.Keys, ctrl, o.Meta, o.Params)
+	return &Store{opts: o, lay: lay, dev: dev, ctrl: ctrl, eng: eng}, nil
+}
+
+// OpenRecovered boots a store from a recovered crash image: the device
+// is restored from the image and the engine resumes from the recovered
+// TCB registers, exactly as a rebooted controller would. The caller
+// runs Recover/Apply first (or uses the Reboot convenience below) and
+// passes the resulting TCB state.
+func OpenRecovered(img *engine.CrashImage, rec recovery.Recovered, o Options) (*Store, error) {
+	o.Design = img.Design
+	o.Capacity = img.Image.Layout.DataBytes
+	if o.Keys == nil {
+		k := img.Keys
+		o.Keys = &k
+	}
+	if o.Params.UpdateLimit == 0 {
+		o.Params.UpdateLimit = img.UpdateLimit
+	}
+	if o.Params.Workers == 0 {
+		o.Params.Workers = img.Workers
+	}
+	st, err := Open(o)
+	if err != nil {
+		return nil, err
+	}
+	st.dev.Restore(img.Image)
+	type tcbRestorer interface{ RestoreTCB(engine.TCB) }
+	r, ok := st.eng.(tcbRestorer)
+	if !ok {
+		return nil, fmt.Errorf("store: design %s cannot restore TCB state", img.Design)
+	}
+	r.RestoreTCB(rec.TCB)
+	return st, nil
+}
+
+// Reboot runs the full crash-to-serving path on an image: four-step
+// recovery (resuming an interrupted Apply from the persisted journal if
+// one is active), Apply, and OpenRecovered. It returns the recovery
+// report alongside the store so callers can refuse tampered images.
+func Reboot(img *engine.CrashImage, o Options) (*Store, *recovery.Report, error) {
+	rep := recovery.Recover(img)
+	if !rep.Clean() {
+		return nil, rep, fmt.Errorf("store: image does not recover clean (tampered=%d, lossless=%v)",
+			len(rep.Tampered), rep.Lossless())
+	}
+	rec := recovery.Apply(img, rep)
+	st, err := OpenRecovered(img, rec, o)
+	if err != nil {
+		return nil, rep, err
+	}
+	return st, rep, nil
+}
+
+// Design names the engine serving this store.
+func (s *Store) Design() string { return s.opts.Design }
+
+// Layout exposes the NVM address-space layout.
+func (s *Store) Layout() *mem.Layout { return s.lay }
+
+// Capacity is the data-region capacity in bytes.
+func (s *Store) Capacity() uint64 { return s.lay.DataBytes }
+
+// Engine exposes the underlying security engine for callers that drive
+// the timed simulation path themselves (the cycle-level simulator).
+// Such callers own the clock and must not interleave with facade ops.
+func (s *Store) Engine() engine.Engine { return s.eng }
+
+// Device exposes the NVM device (snapshots, wear and spare accounting).
+func (s *Store) Device() *nvm.Device { return s.dev }
+
+// Now returns the facade's virtual clock in engine cycles.
+func (s *Store) Now() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// checkAddr validates a data-region address.
+func (s *Store) checkAddr(a mem.Addr) error {
+	if uint64(a) >= s.lay.DataBytes {
+		return &AddrError{Addr: a, Cap: s.lay.DataBytes}
+	}
+	return nil
+}
+
+// Read fetches, decrypts and authenticates the line at a. Never-written
+// lines read as zero.
+func (s *Store) Read(a mem.Addr) (mem.Line, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return mem.Line{}, ErrClosed
+	}
+	if err := s.checkAddr(a); err != nil {
+		return mem.Line{}, err
+	}
+	pt, done := s.eng.ReadBlock(s.now, mem.Align(a))
+	s.now = done
+	return pt, nil
+}
+
+// Write encrypts, authenticates and persists the line at a through the
+// engine's write-back path. The write is durable once the covering
+// FlushEpoch returns (writes are batched into ADR epochs; the design's
+// drain policy may persist them earlier, never later).
+func (s *Store) Write(a mem.Addr, l mem.Line) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeLocked(a, l)
+}
+
+// WriteBatch writes addrs[i] <- lines[i] in order under one lock
+// acquisition. On the first error the batch stops; earlier writes
+// stand (they are ordinary accepted writes).
+func (s *Store) WriteBatch(addrs []mem.Addr, lines []mem.Line) error {
+	if len(addrs) != len(lines) {
+		return fmt.Errorf("store: WriteBatch length mismatch (%d addrs, %d lines)", len(addrs), len(lines))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, a := range addrs {
+		if err := s.writeLocked(a, lines[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) writeLocked(a mem.Addr, l mem.Line) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.crashed {
+		return ErrCrashed
+	}
+	if err := s.checkAddr(a); err != nil {
+		return err
+	}
+	if s.ctrl.Health() == HealthReadOnly {
+		// Admission-only refusal at the facade rim, mirroring the
+		// controller's HostWrite front door: the write never reaches the
+		// engine, so an already-admitted epoch can never tear.
+		s.refusedWrites++
+		return ErrReadOnly
+	}
+	if s.armed {
+		if s.seenWrites >= s.armWrites {
+			s.crashed = true
+			return ErrCrashed
+		}
+		s.seenWrites++
+	}
+	s.now = s.eng.WriteBack(s.now, mem.Align(a), l)
+	return nil
+}
+
+// DeleteRange returns every written line in [lo, hi) to the zero state
+// by writing zero lines through the engine (the secure address space
+// has no "unwrite"; zero is the default content of an untouched line).
+// Used by namespace owners to trim retired log regions.
+func (s *Store) DeleteRange(lo, hi mem.Addr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if hi > mem.Addr(s.lay.DataBytes) {
+		hi = mem.Addr(s.lay.DataBytes)
+	}
+	var zero mem.Line
+	for _, a := range s.dev.Snapshot().Store.Addrs() {
+		if a < mem.Align(lo) || a >= hi || s.lay.RegionOf(a) != mem.RegionData {
+			continue
+		}
+		if l, ok := s.dev.Peek(a); ok && l == zero {
+			continue
+		}
+		if err := s.writeLocked(a, zero); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushEpoch closes the current ADR epoch: every accepted write and all
+// dirty security metadata are persisted consistently. This is the
+// durability point — a batch acknowledged after FlushEpoch survives any
+// later crash.
+func (s *Store) FlushEpoch() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.crashed {
+		return ErrCrashed
+	}
+	s.now = s.eng.Settle(s.now)
+	if err := s.ctrl.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Snapshot captures the current NVM contents non-destructively via the
+// copy-on-write store clone: O(shards), independent of image size.
+func (s *Store) Snapshot() *nvm.Image {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dev.Snapshot()
+}
+
+// Crash powers the machine off mid-run: on-chip state is lost, ADR
+// semantics apply, and the persistent state is captured. The store must
+// not be used afterwards (every method returns ErrClosed).
+func (s *Store) Crash() *engine.CrashImage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return s.eng.Crash()
+}
+
+// Close flushes the final epoch and shuts the store down cleanly.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.crashed {
+		s.now = s.eng.Settle(s.now)
+	}
+	s.closed = true
+	return s.ctrl.Err()
+}
+
+// ArmCrash schedules a simulated power failure after the next n facade
+// writes have been accepted: write n+1 and everything after it (writes
+// and epoch flushes alike) fail with ErrCrashed and never reach the
+// media. The caller then collects the image with Crash. Torture
+// harnesses sweep n across a workload to crash a namespace at every
+// host-write boundary.
+func (s *Store) ArmCrash(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.armed = true
+	s.armWrites = n
+	s.seenWrites = 0
+}
+
+// Crashed reports whether an armed crash point has struck.
+func (s *Store) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// Health reports the controller's media-health state.
+func (s *Store) Health() HealthState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Health()
+}
+
+// CtrlStats returns the memory controller's contention/fault counters.
+func (s *Store) CtrlStats() ControllerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Stats()
+}
+
+// Err surfaces the first device or protocol error the controller
+// recorded, nil if none.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Err()
+}
+
+// RefusedWrites counts facade writes refused in read-only degradation.
+func (s *Store) RefusedWrites() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refusedWrites
+}
+
+// Scrub runs one media scrub pass at cycle now and returns the cycle
+// the scrub writes were accepted. A no-op without a fault model.
+// Sim-path callers own the clock and pass their own now.
+func (s *Store) Scrub(now int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Scrub(now)
+}
+
+// HostWrite is the controller's host-facing write admission at an
+// explicit cycle, for harnesses probing the read-only front door. It
+// bypasses the engine's crypto path on purpose: the torture probe needs
+// a raw controller write to prove refusal is enforced below the engine.
+func (s *Store) HostWrite(now int64, a mem.Addr, l mem.Line) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.HostWrite(now, a, l)
+}
+
+// SetEventTap installs fn as the controller's persistence event tap
+// (purely observational; see memctrl.SetEventTap). nil removes it.
+func (s *Store) SetEventTap(fn func(Event)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctrl.SetEventTap(fn)
+}
+
+// SabotageReorderPersist arms the controller's deliberate single-shot
+// persist-ordering defect (torture self-tests only).
+func (s *Store) SabotageReorderPersist(afterCommits int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctrl.SabotageReorderPersist(afterCommits)
+}

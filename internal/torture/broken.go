@@ -6,9 +6,9 @@ import (
 	"ccnvm/internal/bmt"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
-	"ccnvm/internal/memctrl"
 	"ccnvm/internal/recovery"
 	"ccnvm/internal/seccrypto"
+	"ccnvm/internal/store"
 )
 
 // BrokenModes lists the deliberately sabotaged recovery variants the
@@ -146,7 +146,7 @@ func BrokenRunner(mode string) (*Runner, error) {
 		// Fault-model cells run unsabotaged: the knob is incompatible with
 		// crash-time tear composition and those cells are not the test.
 		return &Runner{
-			ArmController: func(c Cell, ctrl *memctrl.Controller) {
+			ArmController: func(c Cell, ctrl *store.Store) {
 				if c.Faulty() {
 					return
 				}
@@ -164,7 +164,7 @@ func BrokenRunner(mode string) (*Runner, error) {
 		// finite-pool cells arm the knob; the rest of the matrix runs
 		// clean.
 		return &Runner{
-			ArmController: func(c Cell, ctrl *memctrl.Controller) {
+			ArmController: func(c Cell, ctrl *store.Store) {
 				if c.Spares > 0 {
 					ctrl.Device().SabotageDropRemapCommit()
 				}

@@ -1,0 +1,291 @@
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ccnvm/internal/design"
+	"ccnvm/internal/engine"
+	"ccnvm/internal/kv"
+	"ccnvm/internal/recovery"
+	"ccnvm/internal/store"
+)
+
+// KV torture cells crash the KV namespace at host-write granularity:
+// the facade's ArmCrash strikes the (CrashWrite+1)-th write, so
+// sweeping CrashWrite from 0 until a run completes uncrashed visits
+// every write boundary inside every batch — including between a
+// frame's payload lines and its commit header. After the full
+// recovery path (four-step walk, journal resume under the reboot-loop
+// axis), the recovered namespace is judged against the prefix states
+// of the issued batch sequence:
+//
+//   - kv-clean-recovery: an un-attacked crash must recover clean.
+//   - kv-acked-durable: every acknowledged batch is applied.
+//   - kv-no-ghosts: nothing beyond the issued batches appears.
+//   - kv-batch-atomic: the namespace equals state-after-batch-j for
+//     some j in [acked, issued] — no partial batch is ever visible.
+type KVCell struct {
+	Design      string `json:"design"`
+	Seed        int64  `json:"seed"`
+	Batches     int    `json:"batches"`
+	CrashWrite  int    `json:"crash_write"`            // -1: never crash
+	Reboots     int    `json:"reboots,omitempty"`      // reboot-loop axis passes
+	RebootEvery int    `json:"reboot_every,omitempty"` // strike the k-th recovery write
+}
+
+// KVCapacity sizes KV cells' stores: small enough that a full crash
+// sweep across every write boundary stays fast.
+const KVCapacity = 1 << 20
+
+func (c KVCell) String() string {
+	s := fmt.Sprintf("kv design=%s seed=%d batches=%d crash-write=%d", c.Design, c.Seed, c.Batches, c.CrashWrite)
+	if c.Reboots > 0 {
+		s += fmt.Sprintf(" reboots=%d every=%d", c.Reboots, c.RebootEvery)
+	}
+	return s
+}
+
+// Validate rejects malformed cells and designs whose capability sheet
+// cannot honor the KV contract: a namespace needs every acknowledged
+// write to survive a clean crash (CrashConsistent) and a recovery that
+// does not cry wolf (w/o CC flags every crash as tampering, so there
+// is no clean image to rebuild a keymap from).
+func (c KVCell) Validate() error {
+	d, ok := design.Lookup(c.Design)
+	if !ok {
+		return design.UnknownError(c.Design)
+	}
+	if !d.Caps.CrashConsistent || d.Caps.TamperOnCrash {
+		return fmt.Errorf("torture: design %s is not crash-consistent; KV cells do not apply", c.Design)
+	}
+	if c.Batches < 1 {
+		return fmt.Errorf("torture: kv cell needs at least 1 batch, got %d", c.Batches)
+	}
+	if c.Reboots > 0 && c.RebootEvery < 1 {
+		return fmt.Errorf("torture: kv reboot axis needs reboot-every >= 1, got %d", c.RebootEvery)
+	}
+	return nil
+}
+
+// KVDesigns lists the registered designs KV cells apply to.
+func KVDesigns() []string {
+	var out []string
+	for _, d := range design.All() {
+		if d.Caps.CrashConsistent && !d.Caps.TamperOnCrash {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+// genKVBatches derives the cell's deterministic batch sequence: ops
+// over a 16-key pool with multi-line values and occasional deletes, so
+// frames span several lines and crash points land inside payloads.
+func genKVBatches(seed int64, n int) [][]kv.Op {
+	rng := rand.New(rand.NewSource(seed*2654435761 + 97))
+	batches := make([][]kv.Op, n)
+	for i := range batches {
+		ops := make([]kv.Op, 1+rng.Intn(4))
+		for j := range ops {
+			key := []byte(fmt.Sprintf("key-%02d", rng.Intn(16)))
+			if rng.Intn(5) == 0 {
+				ops[j] = kv.Op{Kind: kv.OpDelete, Key: key}
+				continue
+			}
+			val := make([]byte, rng.Intn(150))
+			for b := range val {
+				val[b] = byte(rng.Intn(256))
+			}
+			ops[j] = kv.Op{Kind: kv.OpPut, Key: key, Val: val}
+		}
+		batches[i] = ops
+	}
+	return batches
+}
+
+// kvApply folds a batch into a model state (nil value = absent).
+func kvApply(state map[string][]byte, ops []kv.Op) {
+	for _, op := range ops {
+		if op.Kind == kv.OpDelete {
+			delete(state, string(op.Key))
+		} else {
+			state[string(op.Key)] = op.Val
+		}
+	}
+}
+
+func kvCloneState(s map[string][]byte) map[string][]byte {
+	cp := make(map[string][]byte, len(s))
+	for k, v := range s {
+		cp[k] = v
+	}
+	return cp
+}
+
+// RunKVCell executes one KV cell end to end: drive batches into a
+// fresh namespace, crash at the armed write boundary, recover through
+// the runner's seams (honoring the reboot-loop axis), reopen the
+// namespace and check the four KV oracles. struck reports whether the
+// armed crash point fired — a sweep stops once it no longer does.
+func (r *Runner) RunKVCell(c KVCell) (fail *Failure, struck bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			fail = &Failure{Oracle: "panic", Detail: fmt.Sprintf("kv cell panicked: %v (%s)", p, c)}
+			struck = false
+		}
+	}()
+	if err := c.Validate(); err != nil {
+		return &Failure{Oracle: "cell-spec", Detail: err.Error()}, false
+	}
+	params := engine.Params{UpdateLimit: 16, QueueEntries: 64}
+	st, err := store.Open(store.Options{Design: c.Design, Capacity: KVCapacity, Params: params})
+	if err != nil {
+		return &Failure{Oracle: "cell-spec", Detail: err.Error()}, false
+	}
+	db, err := kv.Open(st, kv.Options{})
+	if err != nil {
+		return &Failure{Oracle: "cell-spec", Detail: err.Error()}, false
+	}
+
+	batches := genKVBatches(c.Seed, c.Batches)
+	// Prefix states: states[j] is the namespace after batches [0,j).
+	states := make([]map[string][]byte, len(batches)+1)
+	states[0] = map[string][]byte{}
+	for i, b := range batches {
+		states[i+1] = kvCloneState(states[i])
+		kvApply(states[i+1], b)
+	}
+
+	if c.CrashWrite >= 0 {
+		st.ArmCrash(c.CrashWrite)
+	}
+	acked, issued := 0, 0
+	for i, b := range batches {
+		issued = i + 1
+		err := db.Batch(b)
+		if err == nil {
+			acked = issued
+			continue
+		}
+		if errors.Is(err, store.ErrCrashed) {
+			struck = true
+			break
+		}
+		return &Failure{Oracle: "kv-batch-error", Detail: fmt.Sprintf("batch %d failed pre-crash: %v (%s)", i, err, c)}, false
+	}
+	img := db.Crash()
+
+	rep := r.recoverFn()(img)
+	if !rep.Clean() {
+		return &Failure{Oracle: "kv-clean-recovery",
+			Detail: fmt.Sprintf("un-attacked KV crash flagged: tampered=%d mismatches=%d (%s)",
+				len(rep.Tampered), len(rep.TreeMismatches), c)}, struck
+	}
+	rec, fail := r.kvRecover(c, img, rep)
+	if fail != nil {
+		return fail, struck
+	}
+
+	st2, err := store.OpenRecovered(img, rec, store.Options{Params: params})
+	if err != nil {
+		return &Failure{Oracle: "kv-clean-recovery", Detail: fmt.Sprintf("reopen after recovery: %v (%s)", err, c)}, struck
+	}
+	db2, err := kv.Open(st2, kv.Options{})
+	if err != nil {
+		return &Failure{Oracle: "kv-clean-recovery", Detail: fmt.Sprintf("keymap rebuild: %v (%s)", err, c)}, struck
+	}
+
+	recovered := int(db2.Stats().Seq)
+	switch {
+	case recovered < acked:
+		return &Failure{Oracle: "kv-acked-durable",
+			Detail: fmt.Sprintf("recovered %d batches but %d were acknowledged (%s)", recovered, acked, c)}, struck
+	case recovered > issued:
+		return &Failure{Oracle: "kv-no-ghosts",
+			Detail: fmt.Sprintf("recovered %d batches but only %d were issued (%s)", recovered, issued, c)}, struck
+	}
+	want := states[recovered]
+	live := 0
+	for k := range allKVKeys(states[:issued+1]) {
+		got, ok, err := db2.Get([]byte(k))
+		if err != nil {
+			return &Failure{Oracle: "kv-batch-atomic", Detail: fmt.Sprintf("post-recovery get %s: %v (%s)", k, err, c)}, struck
+		}
+		wv, wok := want[k]
+		if ok != wok || (ok && string(got) != string(wv)) {
+			return &Failure{Oracle: "kv-batch-atomic",
+				Detail: fmt.Sprintf("key %s diverges from prefix state %d (present=%v want %v) — partial batch visible (%s)",
+					k, recovered, ok, wok, c)}, struck
+		}
+		if wok {
+			live++
+		}
+	}
+	if got := db2.Stats().Keys; got != live {
+		return &Failure{Oracle: "kv-no-ghosts",
+			Detail: fmt.Sprintf("recovered keymap has %d keys, prefix state %d has %d (%s)", got, recovered, live, c)}, struck
+	}
+	return nil, struck
+}
+
+// kvRecover applies the recovery via the runner seams, running the
+// reboot-loop axis when the cell asks for it: each pass interrupts
+// Apply at its RebootEvery-th persisted recovery write, recovery
+// re-enters on the half-applied image, and a final uninterrupted pass
+// must commit.
+func (r *Runner) kvRecover(c KVCell, img *engine.CrashImage, rep *recovery.Report) (recovery.Recovered, *Failure) {
+	if c.Reboots <= 0 {
+		return r.applyFn()(img, rep), nil
+	}
+	for pass := 1; pass <= c.Reboots; pass++ {
+		itr := &recovery.Interrupt{After: c.RebootEvery, Seq: uint64(pass)}
+		rec, ok := r.applyInterruptedFn()(img, rep, itr)
+		if ok {
+			return rec, nil
+		}
+		rep = r.recoverFn()(img)
+		if !rep.Clean() {
+			return recovery.Recovered{}, &Failure{Oracle: "kv-clean-recovery",
+				Detail: fmt.Sprintf("re-entered recovery pass %d flagged a clean KV image (%s)", pass, c)}
+		}
+	}
+	rec, ok := r.applyInterruptedFn()(img, rep, &recovery.Interrupt{Seq: uint64(c.Reboots + 1)})
+	if !ok {
+		return recovery.Recovered{}, &Failure{Oracle: "kv-reboot-bounded",
+			Detail: fmt.Sprintf("uninterrupted final recovery pass failed to commit (%s)", c)}
+	}
+	return rec, nil
+}
+
+// allKVKeys unions every key any prefix state mentions.
+func allKVKeys(states []map[string][]byte) map[string]bool {
+	keys := map[string]bool{}
+	for _, s := range states {
+		for k := range s {
+			keys[k] = true
+		}
+	}
+	return keys
+}
+
+// KVSweep runs the cell at every host-write crash boundary: CrashWrite
+// 0, 1, 2, ... until the armed point no longer strikes (the workload
+// finished), then one uncrashed control run. It returns the first
+// failure and the number of cells executed.
+func (r *Runner) KVSweep(c KVCell) (*Failure, int) {
+	cells := 0
+	for n := 0; ; n++ {
+		cc := c
+		cc.CrashWrite = n
+		fail, struck := r.RunKVCell(cc)
+		cells++
+		if fail != nil {
+			return fail, cells
+		}
+		if !struck {
+			return nil, cells
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package torture
+
+import (
+	"strings"
+	"testing"
+
+	"ccnvm/internal/bmt"
+	"ccnvm/internal/engine"
+	"ccnvm/internal/recovery"
+)
+
+// TestKVCrashSweepEveryWriteBoundary crashes the KV namespace at every
+// host-write boundary — including between a frame's payload lines and
+// its commit header — for every crash-consistent design, and demands
+// the recovered namespace is an exact batch prefix every time.
+func TestKVCrashSweepEveryWriteBoundary(t *testing.T) {
+	designs := KVDesigns()
+	if len(designs) == 0 {
+		t.Fatal("no crash-consistent designs registered")
+	}
+	r := DefaultRunner()
+	for _, d := range designs {
+		t.Run(d, func(t *testing.T) {
+			t.Parallel()
+			fail, cells := r.KVSweep(KVCell{Design: d, Seed: 7, Batches: 5})
+			if fail != nil {
+				t.Fatal(fail.Detail)
+			}
+			if cells < 10 {
+				t.Fatalf("sweep covered only %d crash points; workload too small to matter", cells)
+			}
+			t.Logf("%s: %d crash boundaries swept clean", d, cells)
+		})
+	}
+}
+
+// TestKVCrashRebootLoopAxis re-crashes recovery itself while it is
+// recovering a crashed KV namespace: every third write boundary of the
+// workload, with three interrupted recovery passes before the final
+// uninterrupted one. Acked batches must survive the whole gauntlet.
+func TestKVCrashRebootLoopAxis(t *testing.T) {
+	r := DefaultRunner()
+	cells := 0
+	for n := 0; ; n += 3 {
+		c := KVCell{Design: "ccnvm", Seed: 11, Batches: 4, CrashWrite: n, Reboots: 3, RebootEvery: 2}
+		fail, struck := r.RunKVCell(c)
+		cells++
+		if fail != nil {
+			t.Fatal(fail.Detail)
+		}
+		if !struck {
+			break
+		}
+	}
+	if cells < 4 {
+		t.Fatalf("only %d reboot-loop cells ran", cells)
+	}
+	t.Logf("%d reboot-loop cells survived", cells)
+}
+
+// TestKVCellValidate rejects designs that cannot honor the KV contract
+// and malformed cells.
+func TestKVCellValidate(t *testing.T) {
+	cases := []struct {
+		cell KVCell
+		want string
+	}{
+		{KVCell{Design: "wocc", Batches: 1}, "not crash-consistent"},
+		{KVCell{Design: "no-such", Batches: 1}, "unknown design"},
+		{KVCell{Design: "ccnvm", Batches: 0}, "at least 1 batch"},
+		{KVCell{Design: "ccnvm", Batches: 1, Reboots: 2}, "reboot-every"},
+	}
+	for _, tc := range cases {
+		err := tc.cell.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Validate(%+v) = %v, want %q", tc.cell, err, tc.want)
+		}
+	}
+	if err := (KVCell{Design: "ccnvm", Batches: 3}).Validate(); err != nil {
+		t.Errorf("valid cell rejected: %v", err)
+	}
+	for _, d := range KVDesigns() {
+		if d == "wocc" {
+			t.Fatal("wocc listed as a KV design")
+		}
+	}
+}
+
+// TestKVOraclesCatchSabotagedRecovery proves the KV oracles bite: a
+// runner whose resumed Apply never commits must trip kv-reboot-bounded,
+// and a recovery that cries wolf on a clean crash must trip
+// kv-clean-recovery.
+func TestKVOraclesCatchSabotagedRecovery(t *testing.T) {
+	t.Run("never-commits", func(t *testing.T) {
+		r := &Runner{
+			ApplyInterrupted: func(img *engine.CrashImage, rep *recovery.Report, itr *recovery.Interrupt) (recovery.Recovered, bool) {
+				return recovery.Recovered{}, false
+			},
+		}
+		fail, _ := r.RunKVCell(KVCell{Design: "ccnvm", Seed: 3, Batches: 3, CrashWrite: 4, Reboots: 2, RebootEvery: 2})
+		if fail == nil || fail.Oracle != "kv-reboot-bounded" {
+			t.Fatalf("sabotage not caught: %+v", fail)
+		}
+	})
+	t.Run("cries-wolf", func(t *testing.T) {
+		r := &Runner{
+			Recover: func(img *engine.CrashImage) *recovery.Report {
+				rep := recovery.Recover(img)
+				rep.TreeMismatches = append(rep.TreeMismatches, bmt.Mismatch{})
+				return rep
+			},
+		}
+		fail, _ := r.RunKVCell(KVCell{Design: "ccnvm", Seed: 3, Batches: 3, CrashWrite: 4})
+		if fail == nil || fail.Oracle != "kv-clean-recovery" {
+			t.Fatalf("sabotage not caught: %+v", fail)
+		}
+	})
+}

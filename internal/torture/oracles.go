@@ -8,10 +8,10 @@ import (
 	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
-	"ccnvm/internal/memctrl"
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/recovery"
 	"ccnvm/internal/seccrypto"
+	"ccnvm/internal/store"
 )
 
 // Context carries one executed cell's evidence to the oracles: the
@@ -43,7 +43,7 @@ type Context struct {
 	// the controller's retry/scrub/crash-damage counters. PostScrubWeak
 	// is the number of weak lines surviving the mid-trace scrub pass.
 	Media         *nvm.FaultLog
-	CtrlStats     memctrl.Stats
+	CtrlStats     store.ControllerStats
 	PostScrubWeak int
 
 	// Spare-pool evidence, populated only when the cell arms a finite
@@ -54,7 +54,7 @@ type Context struct {
 	// skipped at the read-only front door; ROProbed/ROProbeAddr record
 	// the single direct write pushed past it to prove the refusal bites.
 	SpareStats          nvm.SpareStats
-	HealthAtCrash       memctrl.HealthState
+	HealthAtCrash       store.HealthState
 	RemapEntriesAtCrash []nvm.RemapEntry
 	RefusedStores       int
 	ROProbed            bool
@@ -579,7 +579,7 @@ func checkReadErrorBoundedRetry(c *Context) string {
 		}
 	}
 	if c.PostScrubWeak != 0 {
-		if c.Cell.Spares == 0 || c.HealthAtCrash == memctrl.HealthHealthy {
+		if c.Cell.Spares == 0 || c.HealthAtCrash == store.HealthHealthy {
 			return fmt.Sprintf("%d weak lines survived the scrub pass", c.PostScrubWeak)
 		}
 	}
@@ -681,7 +681,7 @@ func checkDegradationCorrectness(c *Context) string {
 			return fmt.Sprintf("%d stores skipped as read-only while %d spares remained",
 				c.RefusedStores, c.SpareStats.Remaining())
 		}
-		if c.HealthAtCrash != memctrl.HealthReadOnly {
+		if c.HealthAtCrash != store.HealthReadOnly {
 			return fmt.Sprintf("stores were refused but the controller reports %v at the crash", c.HealthAtCrash)
 		}
 	}
@@ -693,7 +693,7 @@ func checkDegradationCorrectness(c *Context) string {
 			return "the read-only probe write vanished without being counted as refused"
 		}
 	}
-	if c.HealthAtCrash != memctrl.HealthReadOnly && c.CtrlStats.RefusedWrites > 0 {
+	if c.HealthAtCrash != store.HealthReadOnly && c.CtrlStats.RefusedWrites > 0 {
 		return fmt.Sprintf("%d writes refused while the controller still claimed write service (%v)",
 			c.CtrlStats.RefusedWrites, c.HealthAtCrash)
 	}

@@ -8,10 +8,10 @@ import (
 	"ccnvm/internal/attack"
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
-	"ccnvm/internal/memctrl"
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/recovery"
 	"ccnvm/internal/seccrypto"
+	"ccnvm/internal/store"
 	"ccnvm/internal/trace"
 )
 
@@ -39,7 +39,7 @@ type Runner struct {
 	Recover          func(*engine.CrashImage) *recovery.Report
 	Apply            func(*engine.CrashImage, *recovery.Report) recovery.Recovered
 	ApplyInterrupted func(*engine.CrashImage, *recovery.Report, *recovery.Interrupt) (recovery.Recovered, bool)
-	ArmController    func(Cell, *memctrl.Controller)
+	ArmController    func(Cell, *store.Store)
 }
 
 // DefaultRunner runs cells against the real recovery path.
@@ -174,7 +174,7 @@ func (r *Runner) runCell(c Cell) (*Context, *Failure) {
 		now += int64(op.Gap)
 		switch op.Kind {
 		case trace.Store:
-			if c.Spares > 0 && ctrl.Health() == memctrl.HealthReadOnly {
+			if c.Spares > 0 && ctrl.Health() == store.HealthReadOnly {
 				// Front door of the degraded mode: a spare-exhausted
 				// controller accepts no new stores, so the harness skips
 				// them (the reference must not advance past what the
@@ -208,7 +208,7 @@ func (r *Runner) runCell(c Cell) (*Context, *Failure) {
 
 	ctx.Img = eng.Crash()
 	ctx.Media = ctx.Img.MediaLog
-	ctx.CtrlStats = ctrl.Stats()
+	ctx.CtrlStats = ctrl.CtrlStats()
 	if c.Spares > 0 {
 		// The device-side pool counters are in-memory state the crash tear
 		// cannot touch, so this snapshot is the ground truth the persisted

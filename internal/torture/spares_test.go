@@ -7,9 +7,9 @@ import (
 
 	"ccnvm/internal/engine"
 	"ccnvm/internal/mem"
-	"ccnvm/internal/memctrl"
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/recovery"
+	"ccnvm/internal/store"
 )
 
 // spareMatrixOpts is the finite-spare sweep the tests share: every
@@ -134,7 +134,7 @@ func TestSpareCellEvidence(t *testing.T) {
 	if s.Used != len(ctx.RemapEntriesAtCrash) {
 		t.Fatalf("spares consumed (%d) != remaps recorded (%d)", s.Used, len(ctx.RemapEntriesAtCrash))
 	}
-	if s.Used == s.Total && ctx.HealthAtCrash != memctrl.HealthReadOnly {
+	if s.Used == s.Total && ctx.HealthAtCrash != store.HealthReadOnly {
 		t.Fatalf("pool exhausted but controller reports %v", ctx.HealthAtCrash)
 	}
 	rec, ok, torn := nvm.LoadRemapTable(ctx.Img.Image.RemapTable)

@@ -20,11 +20,8 @@ import (
 
 	"ccnvm/internal/design"
 	"ccnvm/internal/engine"
-	"ccnvm/internal/mem"
-	"ccnvm/internal/memctrl"
-	"ccnvm/internal/metacache"
 	"ccnvm/internal/nvm"
-	"ccnvm/internal/seccrypto"
+	"ccnvm/internal/store"
 )
 
 // Capacity is the NVM data capacity used by every torture cell. 1 GiB
@@ -291,24 +288,23 @@ func ParseCell(spec string) (Cell, error) {
 	return c, nil
 }
 
-// BuildEngine constructs a fresh engine of the named design over its own
-// NVM device, mirroring the simulator's wiring but without the CPU-side
-// caches the harness does not need. A non-nil fault model arms the
-// device with deterministic media faults; the controller is returned so
-// the harness can drive scrubbing and read its fault statistics.
-func BuildEngine(name string, p engine.Params, fm *nvm.FaultModel) (engine.Engine, *memctrl.Controller, error) {
-	lay := mem.MustLayout(Capacity)
-	dev := nvm.NewDevice(lay, nvm.PCMTiming(3))
-	if fm != nil {
-		dev.SetFaultModel(fm)
+// BuildEngine constructs a fresh engine of the named design through the
+// storage-engine facade, mirroring the simulator's wiring but without
+// the CPU-side caches the harness does not need. A non-nil fault model
+// arms the device with deterministic media faults; the facade is
+// returned so the harness can drive scrubbing and read controller fault
+// statistics without reaching below the engine boundary.
+func BuildEngine(name string, p engine.Params, fm *nvm.FaultModel) (engine.Engine, *store.Store, error) {
+	st, err := store.Open(store.Options{
+		Design:   name,
+		Capacity: Capacity,
+		Params:   p,
+		Faults:   fm,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("torture: %w", err)
 	}
-	ctrl := memctrl.New(memctrl.Config{}, dev)
-	keys := seccrypto.DefaultKeys()
-	d, ok := design.Lookup(name)
-	if !ok {
-		return nil, nil, fmt.Errorf("torture: %w", design.UnknownError(name))
-	}
-	return d.New(lay, keys, ctrl, metacache.Config{}, p), ctrl, nil
+	return st.Engine(), st, nil
 }
 
 func contains(list []string, s string) bool {

@@ -1,0 +1,87 @@
+#!/bin/sh
+# kv_smoke.sh — end-to-end kill-mid-batch drill for ccnvm-kvd, run by
+# `make kv-smoke`. Builds the daemon and the load harness under the
+# race detector, then:
+#
+#   1. serve a fresh namespace, journal a concurrent burst client-side,
+#      and inject a power failure mid-stream (daemon must exit 7);
+#   2. restart from the persisted crash image and verify the journal:
+#      every acknowledged batch served, no partial batch visible;
+#   3. shut down cleanly via the quit op (exit 0);
+#   4. restart once more from the clean image, re-verify, quit.
+#
+# GO overrides the go binary (defaults to go).
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "kv-smoke: $1" >&2
+    shift
+    for log in "$@"; do cat "$log" >&2; done
+    exit 1
+}
+
+# start LOGFILE [extra kvd flags...] — launch the daemon on a free port
+# and wait for its readiness line; sets $pid and $addr.
+start() {
+    log=$1
+    shift
+    "$tmp/kvd" -addr 127.0.0.1:0 -image "$tmp/nvm.img" "$@" >"$log" 2>&1 &
+    pid=$!
+    i=0
+    while [ $i -lt 100 ]; do
+        if grep -q 'listening on' "$log" 2>/dev/null; then
+            break
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            fail "daemon died during startup" "$log"
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    addr=$(sed -n 's/^listening on //p' "$log" | head -1)
+    [ -n "$addr" ] || fail "daemon never came up" "$log"
+}
+
+# stop EXPECTED_CODE LOGFILE — reap the daemon and check its exit code.
+stop() {
+    code=0
+    wait "$pid" || code=$?
+    pid=""
+    [ "$code" -eq "$1" ] || fail "expected daemon exit $1, got $code" "$2"
+}
+
+"$GO" build -race -o "$tmp/kvd" ./cmd/ccnvm-kvd
+"$GO" build -race -o "$tmp/kvload" ./cmd/ccnvm-kvload
+
+# 1: concurrent burst, journaled, with an injected power failure.
+start "$tmp/kvd1.log" -capacity 8388608
+"$tmp/kvload" -addr "$addr" -conns 32 -ops 40 -batch 3 \
+    -log "$tmp/journal" -crash
+stop 7 "$tmp/kvd1.log"
+
+# 2+3: restart from the crash image, audit the journal, clean shutdown.
+start "$tmp/kvd2.log"
+grep -q 'recovered' "$tmp/kvd2.log" || fail "restart did not recover the image" "$tmp/kvd2.log"
+"$tmp/kvload" -addr "$addr" -conns 8 -verify "$tmp/journal" ||
+    fail "durability verification FAILED after crash" "$tmp/kvd2.log"
+"$tmp/kvload" -addr "$addr" -conns 4 -ops 5 -quit
+stop 0 "$tmp/kvd2.log"
+
+# 4: the clean image recovers too, and still serves every acked batch.
+start "$tmp/kvd3.log"
+"$tmp/kvload" -addr "$addr" -conns 8 -verify "$tmp/journal" ||
+    fail "durability verification FAILED after clean shutdown" "$tmp/kvd3.log"
+"$tmp/kvload" -addr "$addr" -conns 1 -ops 1 -quit
+stop 0 "$tmp/kvd3.log"
+
+echo "kv-smoke: crash, recover, verify, clean shutdown - all good"
