@@ -3,14 +3,14 @@
 
 GO ?= go
 
-.PHONY: all tier1 vet race fuzz-short vuln lint-designs lint-layering torture torture-faults torture-reboots torture-spares torture-guided torture-kv torture-long campaign campaign-short kv-smoke ci bench bench-check profile clean
+.PHONY: all tier1 vet race fuzz-short vuln lint-designs lint-layering torture torture-faults torture-reboots torture-spares torture-guided torture-kv torture-compact torture-long campaign campaign-short kv-smoke ci bench bench-check profile clean
 
 # Performance-ledger knobs. BENCH_PR numbers the pinned ledger file
 # (BENCH_$(BENCH_PR).json); BENCH_OPS sizes the pinning run, and
 # BENCH_CHECK_OPS the cheaper gate run that ci executes. Set
 # BENCH_SKIP=1 to skip the gate on underpowered or heavily shared
 # runners.
-BENCH_PR ?= 9
+BENCH_PR ?= 10
 BENCH_OPS ?= 120000
 BENCH_CHECK_OPS ?= 20000
 
@@ -40,6 +40,7 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzFaultCell -fuzztime=20s ./internal/torture/
 	$(GO) test -fuzz=FuzzRebootCell -fuzztime=20s ./internal/torture/
 	$(GO) test -fuzz=FuzzSpareCell -fuzztime=20s ./internal/torture/
+	$(GO) test -fuzz=FuzzKVCompactCell -fuzztime=20s ./internal/torture/
 	$(GO) test -fuzz=FuzzPorderEvents -fuzztime=15s ./internal/porder/
 
 # vuln scans the module against the Go vulnerability database. Skipped
@@ -126,6 +127,16 @@ torture-guided:
 torture-kv:
 	$(GO) run ./cmd/ccnvm-torture -kv -seeds 2 -designs all -reboots 2
 
+# torture-compact turns on the compaction axis: a GC pass runs after
+# every second acknowledged batch, so the crash sweep lands inside the
+# copy loop, between the run flush and the manifest commit, on the
+# manifest slot write itself, and inside the retired half's reclaim —
+# with recovery re-crashed on top (-reboots) and the compaction
+# oracles (generation intact, no ghost resurrection, no lost acked
+# write, reclaim monotonic, recovery idempotent) holding throughout.
+torture-compact:
+	$(GO) run ./cmd/ccnvm-torture -kv -kv-compact 2 -seeds 2 -designs all -reboots 2
+
 torture-long:
 	$(GO) test ./internal/torture/ -torture.long -timeout 30m -v
 
@@ -155,7 +166,7 @@ kv-smoke:
 	@GO=$(GO) sh scripts/kv_smoke.sh
 
 # ci is what a merge must pass.
-ci: tier1 vet lint-designs lint-layering race fuzz-short vuln torture-reboots torture-spares torture-kv campaign-short kv-smoke bench-check
+ci: tier1 vet lint-designs lint-layering race fuzz-short vuln torture-reboots torture-spares torture-kv torture-compact campaign-short kv-smoke bench-check
 
 # bench pins the performance ledger: the Go benchmarks stream into a
 # benchstat-friendly raw file (compare two with

@@ -80,10 +80,11 @@ func main() {
 	checkDir := flag.String("check", "", "measure a fresh ledger and regression-gate it against the newest BENCH_*.json in this directory, then exit")
 	kvConns := flag.Int("kvconns", 1024, "ledger mode: concurrent connections for the KV serving row (0 = skip the KV measurement)")
 	kvOps := flag.Int("kvops", 8, "ledger mode: batch requests per KV connection")
+	churnMult := flag.Int("churn", 4, "ledger mode: sustained-churn log-capacity multiple (0 = skip the churn measurement)")
 	flag.Parse()
 
 	if *ledgerPath != "" || *checkDir != "" {
-		runLedger(*ledgerPath, *checkDir, *ops, *seed, *benchList, *kvConns, *kvOps)
+		runLedger(*ledgerPath, *checkDir, *ops, *seed, *benchList, *kvConns, *kvOps, *churnMult)
 		return
 	}
 
@@ -217,7 +218,7 @@ func main() {
 // the sequential design x benchmark measurement plus the parallel tree
 // kernel (see internal/perf), then either pins the result to a file or
 // gates it against the newest committed BENCH_*.json.
-func runLedger(ledgerPath, checkDir string, ops int, seed int64, benchList string, kvConns, kvOps int) {
+func runLedger(ledgerPath, checkDir string, ops int, seed int64, benchList string, kvConns, kvOps, churnMult int) {
 	opts := perf.MeasureOptions{Ops: ops, Seed: seed}
 	if benchList != "" {
 		opts.Benchmarks = strings.Split(benchList, ",")
@@ -228,6 +229,12 @@ func runLedger(ledgerPath, checkDir string, ops int, seed int64, benchList strin
 	}
 	if kvConns > 0 {
 		l.KV, err = perf.MeasureKV(perf.KVOptions{Conns: kvConns, OpsPerConn: kvOps})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if churnMult > 0 {
+		l.Churn, err = perf.MeasureChurn(perf.ChurnOptions{Multiple: churnMult})
 		if err != nil {
 			fatal(err)
 		}
@@ -273,6 +280,10 @@ func ledgerSummary(l *perf.Ledger) string {
 	if k := l.KV; k != nil {
 		fmt.Fprintf(&b, "  kv serving: %d conns x %d batches: %.0f ops/sec, p50 %.0fus p99 %.0fus p999 %.0fus\n",
 			k.Conns, k.OpsPerConn, k.OpsPerSec, k.P50us, k.P99us, k.P999us)
+	}
+	if c := l.Churn; c != nil {
+		fmt.Fprintf(&b, "  kv churn: %dx capacity (%d batches, %d passes): %.0f ops/sec, stalled %.3fs\n",
+			c.Multiple, c.Batches, c.Passes, c.OpsPerSec, c.StallSeconds)
 	}
 	return b.String()
 }

@@ -21,7 +21,17 @@
 //	{"op":"get","key":"k"}
 //	{"op":"batch","ops":[{"op":"put","key":"a","val":"1"},{"op":"del","key":"b"}]}
 //	{"op":"snap"} / {"op":"snapget","snap":1,"key":"k"} / {"op":"snaprel","snap":1}
-//	{"op":"stats"} / {"op":"flush"} / {"op":"crash"} / {"op":"quit"}
+//	{"op":"stats"} / {"op":"flush"} / {"op":"compact"} / {"op":"crash"} / {"op":"quit"}
+//
+// The compact op runs one log-compaction pass (the admin rung of the
+// space-pressure ladder) and returns the refreshed stats, including the
+// manifest generation and reclaim counters.
+//
+// A namespace whose media has degraded to read-only keeps serving: get,
+// snapget, stats and snapshot ops succeed, writes come back as
+// {"ok":false,"code":"readonly",...} so clients can tell the refusal
+// from a failure, and quit still checkpoints and exits 0 — a degraded
+// daemon is retired gracefully, never wedged.
 //
 // Exit status: 0 clean shutdown, 1 setup error, 2 image refused by
 // recovery (tampered), 7 induced crash (restart to recover).

@@ -18,6 +18,14 @@
 //     visible (committed but the ack was lost to the crash) or fully
 //     invisible — never partial.
 //
+// Requests that the server refuses with a typed retriable code
+// ("readonly", "full" — the degradation ladder's refusal rungs) or that
+// fail on a transient connection error are retried with exponential
+// backoff plus jitter, bounded by -retries attempts and a per-request
+// -deadline; the summary counts the retries. Batches are idempotent
+// (fixed keys and values per slot), so a resend after a lost ack cannot
+// double-apply.
+//
 // Exit status: 0 ok, 1 setup/usage error, 2 verification failure.
 package main
 
@@ -50,6 +58,8 @@ func main() {
 	verifyPath := flag.String("verify", "", "verify a journal against the namespace instead of loading")
 	crash := flag.Bool("crash", false, "connection 0 injects a power failure mid-stream")
 	quit := flag.Bool("quit", false, "send a clean-shutdown quit op after the run")
+	retries := flag.Int("retries", 4, "max attempts per request on retriable refusals (readonly/full) and transient connection errors")
+	deadline := flag.Duration("deadline", 2*time.Second, "per-request deadline spanning all retry attempts")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON")
 	flag.Parse()
 
@@ -58,7 +68,7 @@ func main() {
 	if *verifyPath != "" {
 		err = verify(*addr, *conns, *verifyPath)
 	} else {
-		err = load(*addr, *conns, *ops, *batch, *valBytes, *getFrac, *seed, *logPath, *crash, *quit, *jsonOut)
+		err = load(*addr, *conns, *ops, *batch, *valBytes, *getFrac, *seed, *logPath, *crash, *quit, *jsonOut, *retries, *deadline)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccnvm-kvload:", err)
@@ -143,6 +153,7 @@ type workerResult struct {
 	lat     []time.Duration
 	acked   int
 	errors  int
+	retries int
 	crashed bool
 }
 
@@ -152,6 +163,7 @@ type Summary struct {
 	Requests  int     `json:"requests"`
 	Acked     int     `json:"acked"`
 	Errors    int     `json:"errors"`
+	Retries   int     `json:"retries,omitzero"`
 	Crashed   bool    `json:"crashed,omitempty"`
 	Millis    int64   `json:"duration_ms"`
 	OpsPerSec float64 `json:"ops_per_sec"`
@@ -160,7 +172,7 @@ type Summary struct {
 	P999us    float64 `json:"p999_us"`
 }
 
-func load(addr string, conns, ops, batch, valBytes int, getFrac float64, seed int64, logPath string, crash, quit, jsonOut bool) error {
+func load(addr string, conns, ops, batch, valBytes int, getFrac float64, seed int64, logPath string, crash, quit, jsonOut bool, retries int, deadline time.Duration) error {
 	var jn *journal
 	if logPath != "" {
 		f, err := os.Create(logPath)
@@ -178,7 +190,7 @@ func load(addr string, conns, ops, batch, valBytes int, getFrac float64, seed in
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = worker(addr, i, ops, batch, valBytes, getFrac, seed, jn, crash && i == 0)
+			results[i] = worker(addr, i, ops, batch, valBytes, getFrac, seed, jn, crash && i == 0, retries, deadline)
 		}(i)
 	}
 	wg.Wait()
@@ -190,6 +202,7 @@ func load(addr string, conns, ops, batch, valBytes int, getFrac float64, seed in
 		all = append(all, r.lat...)
 		s.Acked += r.acked
 		s.Errors += r.errors
+		s.Retries += r.retries
 		s.Crashed = s.Crashed || r.crashed
 	}
 	s.Requests = len(all)
@@ -217,7 +230,7 @@ func load(addr string, conns, ops, batch, valBytes int, getFrac float64, seed in
 		enc.SetIndent("", "  ")
 		return enc.Encode(s)
 	}
-	fmt.Printf("%d conns, %d requests, %d acked, %d errors in %v\n", s.Conns, s.Requests, s.Acked, s.Errors, elapsed.Round(time.Millisecond))
+	fmt.Printf("%d conns, %d requests, %d acked, %d errors, %d retries in %v\n", s.Conns, s.Requests, s.Acked, s.Errors, s.Retries, elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput %.0f ops/sec, latency p50 %.0fus p99 %.0fus p999 %.0fus\n", s.OpsPerSec, s.P50us, s.P99us, s.P999us)
 	if s.Crashed {
 		fmt.Println("power failure injected: restart the daemon and re-run with -verify")
@@ -236,7 +249,57 @@ func pctUS(sorted []time.Duration, p float64) float64 {
 	return float64(sorted[i].Microseconds())
 }
 
-func worker(addr string, id, ops, batch, valBytes int, getFrac float64, seed int64, jn *journal, crasher bool) workerResult {
+// retriable reports whether a typed refusal code is worth retrying: the
+// ladder's refusal rungs can clear (a compaction pass frees log space;
+// an operator can retire a read-only daemon and restart it), so the
+// client backs off instead of failing the workload on first refusal.
+func retriable(code string) bool {
+	return code == kv.CodeReadOnly || code == kv.CodeFull
+}
+
+// doRetry issues one request with the retry policy: up to attempts
+// tries, exponential backoff with jitter between them, all bounded by
+// one per-request deadline. A transient transport error tears the
+// connection down and redials; a retriable refusal keeps it. The final
+// refusal (or transport error) is handed back once the budget runs out.
+// *cp may be swapped for a fresh connection or nil on return.
+func doRetry(cp **conn, addr string, req kv.Request, attempts int, deadline time.Duration, rng *rand.Rand) (kv.Response, int, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	dl := time.Now().Add(deadline)
+	backoff := 2 * time.Millisecond
+	retried := 0
+	for attempt := 1; ; attempt++ {
+		var resp kv.Response
+		err := fmt.Errorf("connection down")
+		if *cp != nil {
+			(*cp).c.SetDeadline(dl)
+			resp, err = (*cp).do(req)
+		}
+		if err == nil && (resp.OK || !retriable(resp.Code)) {
+			return resp, retried, nil
+		}
+		if err != nil && *cp != nil {
+			(*cp).c.Close()
+			*cp = nil
+		}
+		sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+		if attempt >= attempts || time.Now().Add(sleep).After(dl) {
+			return resp, retried, err
+		}
+		time.Sleep(sleep)
+		backoff *= 2
+		retried++
+		if *cp == nil {
+			if nc, derr := dial(addr); derr == nil {
+				*cp = nc
+			}
+		}
+	}
+}
+
+func worker(addr string, id, ops, batch, valBytes int, getFrac float64, seed int64, jn *journal, crasher bool, retries int, deadline time.Duration) workerResult {
 	var res workerResult
 	rng := rand.New(rand.NewSource(seed + int64(id)*7919))
 	c, err := dial(addr)
@@ -244,13 +307,19 @@ func worker(addr string, id, ops, batch, valBytes int, getFrac float64, seed int
 		res.errors++
 		return res
 	}
-	defer c.c.Close()
+	defer func() {
+		if c != nil {
+			c.c.Close()
+		}
+	}()
 
 	var ackedKeys []string
 	for j := 0; j < ops; j++ {
 		if crasher && j == ops/2 {
-			if _, err := c.do(kv.Request{Op: "crash"}); err == nil {
-				res.crashed = true
+			if c != nil {
+				if _, err := c.do(kv.Request{Op: "crash"}); err == nil {
+					res.crashed = true
+				}
 			}
 			return res
 		}
@@ -271,9 +340,10 @@ func worker(addr string, id, ops, batch, valBytes int, getFrac float64, seed int
 			}
 		}
 		t0 := time.Now()
-		resp, err := c.do(req)
+		resp, retried, err := doRetry(&c, addr, req, retries, deadline, rng)
+		res.retries += retried
 		if err != nil {
-			// Connection torn down (e.g. by an injected crash):
+			// Connection gone for good (e.g. an injected crash):
 			// everything in flight was unacknowledged by definition.
 			res.errors++
 			return res

@@ -16,6 +16,7 @@
 //	ccnvm-torture -spares 3                         # finite spare pools: heal, degrade, go read-only
 //	ccnvm-torture -guided                           # ordering-aware crash points + edge-coverage table
 //	ccnvm-torture -kv -reboots 2                    # crash the KV namespace at every write boundary
+//	ccnvm-torture -kv -kv-compact 2                 # add the log-compaction crash axis
 //	ccnvm-torture -campaign docs/status/durability_report.md  # regenerate the durability report
 //	ccnvm-torture -oracles                          # list the invariants
 package main
@@ -53,6 +54,7 @@ func main() {
 		guided      = flag.Bool("guided", false, "ordering-aware crash points: profile each trace's persist-ordering graph and schedule one point per distinct edge cut; reports edge coverage vs evenly spaced points")
 		kvMode      = flag.Bool("kv", false, "KV-namespace crash cells: sweep every host-write boundary per design and assert atomic batch recovery (-reboots adds the reboot-loop axis)")
 		kvBatches   = flag.Int("kv-batches", 5, "batches per KV cell workload")
+		kvCompact   = flag.Int("kv-compact", 0, "KV compaction crash axis: also sweep cells that compact after every k-th acked batch (0 = no compact cells)")
 		campaign    = flag.String("campaign", "", "run the fixed durability campaign and write the report to this markdown path (JSON artifact written beside it); other matrix flags are ignored")
 		parallel    = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "stop dispatching new cells after this duration and report partial results (0 = none)")
@@ -114,7 +116,7 @@ func main() {
 		fatal(err)
 	}
 	if *kvMode {
-		if err := runKV(runner, designList, *seeds, *kvBatches, *reboots, strides, *jsonOut); err != nil {
+		if err := runKV(runner, designList, *seeds, *kvBatches, *reboots, *kvCompact, strides, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -204,10 +206,11 @@ func main() {
 
 // runKV sweeps the KV crash cells: for each crash-consistent design and
 // seed, crash the namespace at every host-write boundary (then once at
-// each boundary under the reboot-loop axis when -reboots is set) and
+// each boundary under the reboot-loop axis when -reboots is set, and
+// once more under the compaction axis when -kv-compact is set) and
 // check the KV oracles. Designs that are not crash-consistent are
 // skipped — the KV contract does not apply to them.
-func runKV(runner *torture.Runner, designs []string, seeds, batches, reboots int, strides []int, jsonOut bool) error {
+func runKV(runner *torture.Runner, designs []string, seeds, batches, reboots, compactEvery int, strides []int, jsonOut bool) error {
 	kvOK := map[string]bool{}
 	for _, d := range torture.KVDesigns() {
 		kvOK[d] = true
@@ -236,6 +239,17 @@ func runKV(runner *torture.Runner, designs []string, seeds, batches, reboots int
 					Design: d, Seed: int64(seed), Batches: batches,
 					Reboots: reboots, RebootEvery: strides[seed%len(strides)],
 				})
+			}
+			if compactEvery > 0 {
+				specs = append(specs, torture.KVCell{
+					Design: d, Seed: int64(seed), Batches: batches, CompactEvery: compactEvery,
+				})
+				if reboots > 0 {
+					specs = append(specs, torture.KVCell{
+						Design: d, Seed: int64(seed), Batches: batches, CompactEvery: compactEvery,
+						Reboots: reboots, RebootEvery: strides[seed%len(strides)],
+					})
+				}
 			}
 			for _, spec := range specs {
 				fail, cells := runner.KVSweep(spec)

@@ -614,7 +614,16 @@ func (b *Base) ApplyCrashVolatility() {
 // RestoreTCB installs recovered TCB register state, as a reboot after
 // successful recovery would. Exposed on Base so reboot harnesses work
 // uniformly across designs without knowing the concrete engine type.
-func (b *Base) RestoreTCB(t TCB) { b.TCB = t }
+// A recovered TCB carries no extension registers (recovery commits the
+// replay window, which resets them); on an extended design they must
+// come back as an empty map, not nil, so post-reboot write-backs can
+// record into them.
+func (b *Base) RestoreTCB(t TCB) {
+	if t.ExtDirty == nil && b.TCB.ExtDirty != nil {
+		t.ExtDirty = make(map[mem.Addr]uint64)
+	}
+	b.TCB = t
+}
 
 // NVMSnapshot captures the current NVM contents non-destructively: the
 // adversary's view of the DIMM at this instant. Unlike Crash it leaves

@@ -1,0 +1,457 @@
+package kv
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ccnvm/internal/engine"
+	"ccnvm/internal/mem"
+	"ccnvm/internal/store"
+)
+
+// Internal-package tests: the compaction machinery (manifest slots,
+// pass phases, test hooks) is exercised white-box here; the black-box
+// crash sweeps live in internal/torture.
+
+func compactStore(t testing.TB, capacity uint64) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{
+		Capacity: capacity,
+		Params:   engine.Params{UpdateLimit: 16, QueueEntries: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func compactDB(t testing.TB, st *store.Store) *DB {
+	t.Helper()
+	db, err := Open(st, Options{
+		WriteController: WriteControllerOptions{SlowdownDelay: time.Nanosecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestManifestRoundTripAndRuling(t *testing.T) {
+	rec := manifestRecord{Seq: 7, StartSeq: 123, Half: 1}
+	got, ok, err := decodeManifest(encodeManifest(rec))
+	if err != nil || !ok || got != rec {
+		t.Fatalf("round trip: %+v ok=%v err=%v", got, ok, err)
+	}
+	if _, ok, err := decodeManifest(mem.Line{}); ok || err != nil {
+		t.Fatalf("zero line: ok=%v err=%v", ok, err)
+	}
+	// Any damaged byte in the sealed region must read as torn, never as
+	// a different valid record.
+	for i := 0; i < 40; i++ {
+		l := encodeManifest(rec)
+		l[i] ^= 0x20
+		if _, ok, err := decodeManifest(l); ok || !errors.Is(err, errManifestTorn) {
+			t.Fatalf("byte %d flip decoded: ok=%v err=%v", i, ok, err)
+		}
+	}
+
+	// Newest seq wins; a torn slot falls back to the survivor and is
+	// named for repair.
+	newer := manifestRecord{Seq: 8, StartSeq: 200, Half: 0}
+	ruled, torn, err := chooseManifest(encodeManifest(rec), encodeManifest(newer))
+	if err != nil || ruled != newer || torn != -1 {
+		t.Fatalf("newest-seq-wins: %+v torn=%d err=%v", ruled, torn, err)
+	}
+	tornLine := encodeManifest(newer)
+	tornLine[12] ^= 0xFF
+	ruled, torn, err = chooseManifest(encodeManifest(rec), tornLine)
+	if err != nil || ruled != rec || torn != 1 {
+		t.Fatalf("torn fallback: %+v torn=%d err=%v", ruled, torn, err)
+	}
+	if _, _, err := chooseManifest(tornLine, tornLine); err == nil {
+		t.Fatal("two torn slots accepted")
+	}
+}
+
+// TestChurnSurvivesBeyondLogCapacity is the acceptance churn workload:
+// overwrite a small key set until the namespace has absorbed more than
+// four times its log capacity. Without compaction the stop trigger
+// would refuse around one capacity's worth; with it every batch must be
+// acknowledged — zero permanent stalls, zero lost acked writes.
+func TestChurnSurvivesBeyondLogCapacity(t *testing.T) {
+	st := compactStore(t, 1<<18)
+	db := compactDB(t, st)
+	logCap := db.wc.Stats().Capacity
+	val := bytes.Repeat([]byte{0xC7}, 1024)
+	var written uint64
+	model := map[string]byte{}
+	for i := 0; written < 4*logCap; i++ {
+		key := fmt.Sprintf("churn-%02d", i%16)
+		v := append([]byte{byte(i)}, val...)
+		if err := db.Put([]byte(key), v); err != nil {
+			t.Fatalf("put %d refused after %d bytes (%.1fx capacity): %v",
+				i, written, float64(written)/float64(logCap), err)
+		}
+		model[key] = byte(i)
+		written += uint64(len(v))
+	}
+	s := db.Stats()
+	if s.Compaction == nil || s.Compaction.Passes == 0 {
+		t.Fatalf("churn of %d bytes over a %d-byte log ran no compaction: %+v", written, logCap, s.Compaction)
+	}
+	if s.Compaction.ReclaimedLines == 0 {
+		t.Fatal("compaction reclaimed no lines")
+	}
+	for key, tag := range model {
+		v, ok, err := db.Get([]byte(key))
+		if err != nil || !ok || v[0] != tag || !bytes.Equal(v[1:], val) {
+			t.Fatalf("key %s lost through churn: ok=%v err=%v", key, ok, err)
+		}
+	}
+	// The full state must survive a crash + reboot + rescan.
+	img := db.Crash()
+	st2, _, err := store.Reboot(img, store.Options{Params: engine.Params{UpdateLimit: 16, QueueEntries: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := compactDB(t, st2)
+	for key, tag := range model {
+		v, ok, err := db2.Get([]byte(key))
+		if err != nil || !ok || v[0] != tag {
+			t.Fatalf("key %s lost across reboot: ok=%v err=%v", key, ok, err)
+		}
+	}
+	if db2.Generation() == 0 {
+		t.Fatal("recovered namespace lost its compaction generation")
+	}
+}
+
+// TestCompactCrashAtEveryWriteBoundary arms a power failure at every
+// accepted host write across a workload with an explicit mid-stream
+// pass, and demands reopen always lands on a consistent prefix: acked
+// batches present, deleted keys dead, no partial state.
+func TestCompactCrashAtEveryWriteBoundary(t *testing.T) {
+	type step struct {
+		ops []Op
+	}
+	steps := []step{
+		{ops: []Op{{Kind: OpPut, Key: []byte("a"), Val: bytes.Repeat([]byte{1}, 100)}}},
+		{ops: []Op{{Kind: OpPut, Key: []byte("b"), Val: bytes.Repeat([]byte{2}, 100)}}},
+		{ops: []Op{{Kind: OpDelete, Key: []byte("a")}}},
+		{ops: []Op{{Kind: OpPut, Key: []byte("c"), Val: bytes.Repeat([]byte{3}, 100)}}},
+	}
+	// Prefix states: state after j steps, with compaction after step 2.
+	states := make([]map[string]bool, len(steps)+1)
+	states[0] = map[string]bool{}
+	for i, s := range steps {
+		cp := map[string]bool{}
+		for k, v := range states[i] {
+			cp[k] = v
+		}
+		for _, op := range s.ops {
+			if op.Kind == OpDelete {
+				delete(cp, string(op.Key))
+			} else {
+				cp[string(op.Key)] = true
+			}
+		}
+		states[i+1] = cp
+	}
+
+	for n := 0; ; n++ {
+		st := compactStore(t, 1<<20)
+		db := compactDB(t, st)
+		st.ArmCrash(n)
+		acked, struck := 0, false
+		for i, s := range steps {
+			if err := db.Batch(s.ops); err != nil {
+				if !errors.Is(err, store.ErrCrashed) {
+					t.Fatalf("crash %d step %d: %v", n, i, err)
+				}
+				struck = true
+				break
+			}
+			acked = i + 1
+			if i == 1 {
+				if err := db.Compact(); err != nil {
+					if !errors.Is(err, store.ErrCrashed) {
+						t.Fatalf("crash %d compact: %v", n, err)
+					}
+					struck = true
+					break
+				}
+			}
+		}
+		img := db.Crash()
+		st2, _, err := store.Reboot(img, store.Options{Params: engine.Params{UpdateLimit: 16, QueueEntries: 64}})
+		if err != nil {
+			t.Fatalf("crash %d reboot: %v", n, err)
+		}
+		db2 := compactDB(t, st2)
+		// The recovered namespace must equal states[j] for some j >= acked.
+		match := -1
+		for j := acked; j <= len(steps); j++ {
+			okAll := true
+			for _, k := range []string{"a", "b", "c"} {
+				_, ok, err := db2.Get([]byte(k))
+				if err != nil {
+					t.Fatalf("crash %d get %s: %v", n, k, err)
+				}
+				if ok != states[j][k] {
+					okAll = false
+					break
+				}
+			}
+			if okAll {
+				match = j
+				break
+			}
+		}
+		if match < 0 {
+			t.Fatalf("crash %d: recovered state matches no prefix >= %d acked", n, acked)
+		}
+		if !struck {
+			t.Logf("swept %d crash boundaries", n)
+			return
+		}
+	}
+}
+
+// TestSnapshotMidCompactionReadsPreSwitchView pins the satellite
+// contract: a snapshot taken while a pass is relocating the live set
+// keeps serving the consistent pre-switch view after the switch, the
+// retired half's reclaim is deferred to its Release, and a further pass
+// is refused while the pin lasts.
+func TestSnapshotMidCompactionReadsPreSwitchView(t *testing.T) {
+	st := compactStore(t, 1<<20)
+	db := compactDB(t, st)
+	if err := db.Put([]byte("keep"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("gone"), []byte("dead")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete([]byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap *Snapshot
+	db.testHookMidCopy = func() { snap = db.Snapshot() }
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	db.testHookMidCopy = nil
+	if snap == nil {
+		t.Fatal("mid-copy hook never ran")
+	}
+	// Overwrite after the pass; the snapshot must still see v1 and the
+	// pre-snapshot deletion.
+	if err := db.Put([]byte("keep"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := snap.Get([]byte("keep")); err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("snapshot view moved: (%q,%v,%v)", v, ok, err)
+	}
+	if _, ok, _ := snap.Get([]byte("gone")); ok {
+		t.Fatal("snapshot resurrects a deleted key")
+	}
+	if v, _, _ := db.Get([]byte("keep")); string(v) != "v2" {
+		t.Fatalf("live view stale: %q", v)
+	}
+	db.mu.Lock()
+	pending := db.pendingReclaim
+	db.mu.Unlock()
+	if pending < 0 {
+		t.Fatal("retired half reclaimed under an open snapshot")
+	}
+	if err := db.Compact(); !errors.Is(err, ErrCompactPinned) {
+		t.Fatalf("pass over a pinned retired half: %v", err)
+	}
+	snap.Release()
+	db.mu.Lock()
+	pending = db.pendingReclaim
+	db.mu.Unlock()
+	if pending >= 0 {
+		t.Fatal("Release did not reclaim the retired half")
+	}
+	if _, _, err := snap.Get([]byte("keep")); !errors.Is(err, ErrSnapshotReleased) {
+		t.Fatalf("released snapshot still readable: %v", err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatalf("pass after Release: %v", err)
+	}
+}
+
+// TestDeletedKeyNeverResurrectsThroughCompactCrashRecover is the
+// delete-heavy churn satellite: keys deleted before a pass must stay
+// dead through compact + crash + recover, at every crash boundary of
+// the pass itself.
+func TestDeletedKeyNeverResurrectsThroughCompactCrashRecover(t *testing.T) {
+	for n := 0; ; n++ {
+		st := compactStore(t, 1<<20)
+		db := compactDB(t, st)
+		for i := 0; i < 8; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{byte(i)}, 120)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if err := db.Delete([]byte(fmt.Sprintf("k%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Everything above is acked; only the pass is under the gun.
+		st.ArmCrash(n)
+		struck := false
+		if err := db.Compact(); err != nil {
+			if !errors.Is(err, store.ErrCrashed) {
+				t.Fatalf("crash %d compact: %v", n, err)
+			}
+			struck = true
+		}
+		img := db.Crash()
+		st2, _, err := store.Reboot(img, store.Options{Params: engine.Params{UpdateLimit: 16, QueueEntries: 64}})
+		if err != nil {
+			t.Fatalf("crash %d reboot: %v", n, err)
+		}
+		db2 := compactDB(t, st2)
+		for i := 0; i < 4; i++ {
+			if _, ok, _ := db2.Get([]byte(fmt.Sprintf("k%d", i))); ok {
+				t.Fatalf("crash %d: deleted key k%d resurrected", n, i)
+			}
+		}
+		for i := 4; i < 8; i++ {
+			v, ok, err := db2.Get([]byte(fmt.Sprintf("k%d", i)))
+			if err != nil || !ok || len(v) != 120 || v[0] != byte(i) {
+				t.Fatalf("crash %d: live key k%d lost (%v,%v)", n, i, ok, err)
+			}
+		}
+		if !struck {
+			t.Logf("swept %d pass-internal crash boundaries", n)
+			return
+		}
+	}
+}
+
+// TestReopenDiscardsOrphanRunAndConverges: an interrupted pass leaves
+// an orphan run (no committed manifest); reopen must hide and reclaim
+// it, and a second reopen must find nothing left to reclaim —
+// space-reclaimed is monotonic and reopen idempotent.
+func TestReopenDiscardsOrphanRunAndConverges(t *testing.T) {
+	st := compactStore(t, 1<<20)
+	db := compactDB(t, st)
+	for i := 0; i < 6; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("o%d", i)), bytes.Repeat([]byte{byte(i)}, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash right after the run flush, before the manifest commit: the
+	// run is fully on media but uncommitted.
+	db.testHookMidCopy = func() { st.ArmCrash(0) }
+	err := db.Compact()
+	if err == nil || !errors.Is(err, store.ErrCrashed) {
+		t.Fatalf("pass survived the armed crash: %v", err)
+	}
+	img := db.Crash()
+	st2, _, rerr := store.Reboot(img, store.Options{Params: engine.Params{UpdateLimit: 16, QueueEntries: 64}})
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	db2 := compactDB(t, st2)
+	if g := db2.Generation(); g != 0 {
+		t.Fatalf("orphan run committed a generation: %d", g)
+	}
+	s2 := db2.Stats()
+	if s2.Compaction == nil || s2.Compaction.ReclaimedLines == 0 {
+		t.Fatalf("reopen did not reclaim the orphan run: %+v", s2.Compaction)
+	}
+	for i := 0; i < 6; i++ {
+		v, ok, err := db2.Get([]byte(fmt.Sprintf("o%d", i)))
+		if err != nil || !ok || len(v) != 200 {
+			t.Fatalf("key o%d lost to an orphan run: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// Second reopen over the same store: nothing left to reclaim.
+	db3 := compactDB(t, st2)
+	if s3 := db3.Stats(); s3.Compaction != nil && s3.Compaction.ReclaimedLines != 0 {
+		t.Fatalf("reclaim not monotonic: second reopen zeroed %d more lines", s3.Compaction.ReclaimedLines)
+	}
+}
+
+// TestLadderAndStallStatsStayQuietWhenHealthy pins the satellite
+// byte-identity contract: a namespace that never stalled marshals its
+// stall stats exactly as the pre-ladder schema did, and the ladder and
+// compaction fields are absent entirely.
+func TestLadderAndStallStatsStayQuietWhenHealthy(t *testing.T) {
+	st := compactStore(t, 1<<20)
+	db := compactDB(t, st)
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Ladder != LadderHealthy || s.Compaction != nil {
+		t.Fatalf("healthy namespace reports ladder=%q compaction=%+v", s.Ladder, s.Compaction)
+	}
+	b, err := json.Marshal(s.Stall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := db.wc.Stats()
+	want := fmt.Sprintf(`{"capacity":%d,"slowdown_at":%d,"stop_at":%d}`, wc.Capacity, wc.SlowdownAt, wc.StopAt)
+	if string(b) != want {
+		t.Fatalf("faultless stall JSON changed shape:\n got %s\nwant %s", b, want)
+	}
+	// And the full Stats object omits ladder/compaction keys.
+	full, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(full, []byte("ladder")) || bytes.Contains(full, []byte("compaction")) {
+		t.Fatalf("faultless stats leak ladder fields: %s", full)
+	}
+}
+
+// TestBackpressureCountsWritersQueuedBehindPass: a writer arriving
+// while a pass runs waits on the backpressure rung and is admitted
+// after the switch, with the wait counted and the ladder reporting the
+// rung while the pass is active.
+func TestBackpressureCountsWritersQueuedBehindPass(t *testing.T) {
+	st := compactStore(t, 1<<20)
+	db := compactDB(t, st)
+	for i := 0; i < 4; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("b%d", i)), bytes.Repeat([]byte{9}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enter := make(chan struct{})
+	done := make(chan error, 1)
+	db.testHookMidCopy = func() {
+		db.mu.Lock()
+		ladder := db.ladderLocked()
+		db.mu.Unlock()
+		if ladder != LadderBackpressure {
+			t.Errorf("mid-pass ladder = %q, want backpressure", ladder)
+		}
+		close(enter)
+		// Give the writer a moment to reach the queue; the pass then
+		// finishes and releases it.
+		time.Sleep(10 * time.Millisecond)
+	}
+	go func() {
+		<-enter
+		done <- db.Put([]byte("queued"), []byte("after-pass"))
+	}()
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("queued writer refused: %v", err)
+	}
+	if v, ok, _ := db.Get([]byte("queued")); !ok || string(v) != "after-pass" {
+		t.Fatalf("queued write lost: (%q,%v)", v, ok)
+	}
+}

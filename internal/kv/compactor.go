@@ -1,0 +1,275 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ccnvm/internal/mem"
+	"ccnvm/internal/store"
+)
+
+// ErrCompactPinned reports a pass refused because open snapshots still
+// pin the retired half the pass would overwrite. Release the snapshots
+// and retry.
+var ErrCompactPinned = errors.New("kv: compaction blocked: open snapshots pin the retired half")
+
+// Compacted-run frame shape: live records are packed into full frames
+// instead of one frame per original batch, which is where compaction's
+// space win beyond garbage collection comes from.
+const (
+	compactFrameOps   = 64      // max records per compacted frame
+	compactMaxPayload = 16 << 10 // max payload bytes per compacted frame
+)
+
+// CompactionStats reports the compactor's lifetime counters. Nil in
+// Stats until the namespace has compacted or reclaimed anything, so
+// faultless stats JSON is unchanged.
+type CompactionStats struct {
+	Generation     uint64 `json:"generation"`
+	ActiveHalf     int    `json:"active_half"`
+	Passes         uint64 `json:"passes,omitzero"`
+	FreedBytes     uint64 `json:"freed_bytes,omitzero"`
+	ReclaimedLines uint64 `json:"reclaimed_lines,omitzero"`
+	LiveBytes      uint64 `json:"live_bytes,omitzero"`
+}
+
+// estCompactedLocked is a conservative upper bound on the log bytes the
+// live set would occupy after a pass: the live record bytes plus one
+// header line and worst-case padding per compacted frame. Caller holds
+// mu.
+func (db *DB) estCompactedLocked() uint64 {
+	recs := len(db.idx)
+	if recs == 0 {
+		return 0
+	}
+	frames := (recs + compactFrameOps - 1) / compactFrameOps
+	if byPayload := int(db.liveBytes/compactMaxPayload) + 1; byPayload > frames {
+		frames = byPayload
+	}
+	return db.liveBytes + uint64(frames)*(2*mem.LineSize-1)
+}
+
+// worthCompactingLocked is the gain floor: run a pass only when it
+// frees at least a quarter of the used log (so an all-live namespace
+// does not thrash in compaction storms) and, for a write already past
+// the stop trigger, only when the compacted layout actually admits it.
+// Caller holds mu.
+func (db *DB) worthCompactingLocked(need uint64, overStop bool) bool {
+	if db.pins[1-db.active] > 0 {
+		return false
+	}
+	used := db.usedLocked()
+	est := db.estCompactedLocked()
+	if overStop && est+need > db.wc.stopTrigger() {
+		return false
+	}
+	return used > est && used-est >= used/4 && used-est >= 4*mem.LineSize
+}
+
+// Compact runs one garbage-collection pass unconditionally (the admin
+// verb; admission-triggered passes apply the gain floor first): rewrite
+// the live set into the inactive half as fresh header-last sealed
+// frames, flush, commit the relocation with one manifest slot write,
+// flush again, switch the in-memory keymap, and only then reclaim the
+// retired half. If a pass is already running, Compact waits for it and
+// returns. Open snapshots pinning the retired half refuse the pass with
+// ErrCompactPinned.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrDBClosed
+	}
+	if db.compacting {
+		for db.compacting && !db.closed {
+			db.ccond.Wait()
+		}
+		return nil
+	}
+	if db.pins[1-db.active] > 0 {
+		return ErrCompactPinned
+	}
+	return db.compactLocked()
+}
+
+// compactLocked runs one pass. Called with mu held and compaction idle;
+// returns with mu held. The pass owns the backpressure rung: writers
+// arriving while it runs queue on ccond, so the frame sequence cannot
+// advance under it — which is what makes a crash at any host-write
+// boundary leave either the old layout or the committed new one.
+func (db *DB) compactLocked() error {
+	db.compacting = true
+	src := db.active
+	dst := 1 - src
+	startSeq := db.seq
+	genBefore := db.gen
+	usedBefore := db.usedLocked()
+	needClean := db.pendingReclaim == dst
+	keys := make([]string, 0, len(db.idx))
+	for k := range db.idx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	refs := make([]valRef, len(keys))
+	for i, k := range keys {
+		refs[i] = db.idx[k]
+	}
+	db.mu.Unlock()
+
+	fail := func(err error) error {
+		db.mu.Lock()
+		db.compacting = false
+		db.ccond.Broadcast()
+		return err
+	}
+
+	if needClean {
+		// A previous pass's reclaim was deferred (pinned snapshots,
+		// read-only window) and the pins are gone now: the destination
+		// must be all-zero before the run lands in it.
+		if err := db.reclaimHalf(dst); err != nil {
+			return fail(fmt.Errorf("kv: reclaim destination half: %w", err))
+		}
+	}
+
+	// Copy phase: pack the live set into fresh sealed frames in the
+	// destination half, in sorted key order so a pass is deterministic
+	// for the crash-sweep harness. Values are read without rmu — they
+	// live in the active half, which is never reclaimed while a pass
+	// runs.
+	newIdx := make(map[string]valRef, len(keys))
+	dstStart := db.halfStart(dst)
+	w := dstStart
+	seq := startSeq
+	for i := 0; i < len(keys); {
+		ops := make([]Op, 0, compactFrameOps)
+		payloadBytes := 0
+		for i < len(keys) && len(ops) < compactFrameOps && payloadBytes < compactMaxPayload {
+			val, err := db.readBytes(refs[i])
+			if err != nil {
+				return fail(fmt.Errorf("kv: compaction read %q: %w", keys[i], err))
+			}
+			ops = append(ops, Op{Kind: OpPut, Key: []byte(keys[i]), Val: val})
+			payloadBytes += recHeadBytes + len(keys[i]) + len(val)
+			i++
+		}
+		payload, err := encodePayload(ops)
+		if err != nil {
+			return fail(fmt.Errorf("kv: compaction encode: %w", err))
+		}
+		need := mem.Addr(frameLines(len(payload))) * mem.LineSize
+		if uint64(w-dstStart)+uint64(need) > db.halfBytes {
+			return fail(fmt.Errorf("kv: compacted run overflows the %d-byte half", db.halfBytes))
+		}
+		payloadStart := w + mem.LineSize
+		for j := 0; j < payloadLines(len(payload)); j++ {
+			var l mem.Line
+			copy(l[:], payload[j*mem.LineSize:])
+			if werr := db.st.Write(payloadStart+mem.Addr(j*mem.LineSize), l); werr != nil {
+				return fail(fmt.Errorf("kv: compaction payload write: %w", werr))
+			}
+		}
+		hl := encodeHeader(seq+1, len(ops), len(payload))
+		sealHeader(&hl, fnv64(payload))
+		if werr := db.st.Write(w, hl); werr != nil {
+			return fail(fmt.Errorf("kv: compaction commit write: %w", werr))
+		}
+		seq++
+		recs, derr := decodePayload(payload, len(ops))
+		if derr != nil {
+			return fail(fmt.Errorf("kv: compaction round-trip decode: %w", derr))
+		}
+		for _, r := range recs {
+			newIdx[string(r.key)] = valRef{payload: payloadStart, off: r.valOff, n: r.valLen}
+		}
+		w += need
+	}
+	if db.testHookMidCopy != nil {
+		db.testHookMidCopy()
+	}
+	// The run must be durable before the manifest can point at it.
+	if err := db.st.FlushEpoch(); err != nil {
+		return fail(fmt.Errorf("kv: compaction run flush: %w", err))
+	}
+
+	// Commit phase: one checksummed slot write switches the layout.
+	// Before this write the run is an invisible orphan (reopen reclaims
+	// it); after it the old half is the invisible garbage. The sabotage
+	// knob drops exactly this write, which the break-compact-switch
+	// torture self-test proves the oracles catch.
+	if !db.sabotageDropManifest {
+		rec := manifestRecord{Seq: genBefore + 1, StartSeq: startSeq, Half: dst}
+		if err := db.st.Write(manifestSlotAddr(rec.Seq), encodeManifest(rec)); err != nil {
+			return fail(fmt.Errorf("kv: manifest commit write: %w", err))
+		}
+		if err := db.st.FlushEpoch(); err != nil {
+			return fail(fmt.Errorf("kv: manifest commit flush: %w", err))
+		}
+	}
+
+	// Switch phase: the keymap flips to the compacted refs atomically
+	// under mu. Writers are still queued, so seq cannot have moved.
+	db.mu.Lock()
+	if db.seq != startSeq {
+		db.mu.Unlock()
+		return fail(fmt.Errorf("kv: frame seq advanced from %d to %d during a pass", startSeq, db.seq))
+	}
+	db.idx = newIdx
+	db.seq = seq
+	db.head = w
+	db.active = dst
+	db.gen = genBefore + 1
+	db.startSeq = startSeq
+	db.compactions++
+	if newUsed := uint64(w - dstStart); usedBefore > newUsed {
+		db.compactFreed += usedBefore - newUsed
+	}
+	// The retired half owes a reclaim; reclaimHalf clears this once the
+	// zeroing actually lands (it may be deferred past pinned snapshots
+	// or a read-only window).
+	db.pendingReclaim = src
+	pinned := db.pins[src] > 0
+	db.mu.Unlock()
+
+	// Everything through the run's last frame was flushed above, so
+	// group commit may acknowledge it without another epoch.
+	db.fmu.Lock()
+	if seq > db.appended {
+		db.appended = seq
+	}
+	if db.flushErr == nil && seq > db.durable {
+		db.durable = seq
+	}
+	db.fmu.Unlock()
+
+	if db.testHookAfterSwitch != nil {
+		db.testHookAfterSwitch()
+	}
+
+	// Reclaim phase, strictly after the committed switch: zero the
+	// retired half so dead pages return to the allocatable state.
+	// Pinned snapshots defer it to their Release; read-only degradation
+	// defers it to the next reopen. Either way the retired frames stay
+	// invisible — the manifest no longer reaches them.
+	var reclaimErr error
+	if !pinned {
+		if err := db.reclaimHalf(src); err != nil && !errors.Is(err, store.ErrReadOnly) {
+			reclaimErr = fmt.Errorf("kv: reclaim retired half: %w", err)
+		}
+	}
+	db.mu.Lock()
+	db.compacting = false
+	db.ccond.Broadcast()
+	return reclaimErr
+}
+
+// SabotageDropManifestCommit makes every future pass skip its manifest
+// commit write while still switching and reclaiming — the
+// "half-switched keymap" defect class. Torture self-tests only: it
+// exists to prove the compaction oracles bite.
+func (db *DB) SabotageDropManifestCommit() {
+	db.mu.Lock()
+	db.sabotageDropManifest = true
+	db.mu.Unlock()
+}

@@ -21,16 +21,26 @@ type Options struct {
 	WriteController WriteControllerOptions
 }
 
-// valRef locates one value inside the append-only log: the frame's
-// first payload line plus the value's byte range within the payload.
-// Log addresses are never rewritten while the DB is open, so refs stay
-// valid for the DB's lifetime — which is what makes snapshots a pure
-// index copy.
+// valRef locates one value inside the frame log: the frame's first
+// payload line plus the value's byte range within the payload. Refs
+// stay valid until the half of the arena they point into is reclaimed,
+// which only happens after every reader of that half (the live keymap,
+// pinned snapshots) has moved to the compacted copy.
 type valRef struct {
 	payload mem.Addr
 	off     int
 	n       int
 }
+
+// Ladder states, most to least healthy. Stats.Ladder reports the
+// current rung; healthy marshals as the empty string so faultless
+// stats JSON is byte-identical to a namespace without the ladder.
+const (
+	LadderHealthy      = ""
+	LadderThrottled    = "throttled"
+	LadderBackpressure = "backpressure"
+	LadderReadOnly     = "readonly"
+)
 
 // Stats is a point-in-time view of a DB.
 type Stats struct {
@@ -43,20 +53,52 @@ type Stats struct {
 	Batches    uint64               `json:"batches"`
 	Ops        uint64               `json:"ops"`
 	Stall      WriteControllerStats `json:"stall"`
+	Ladder     string               `json:"ladder,omitempty"`
+	Compaction *CompactionStats     `json:"compaction,omitempty"`
 }
 
 // DB is one KV namespace over a storage-engine facade. All methods are
 // safe for concurrent use; batches from concurrent writers serialize
 // at the log head and share epoch flushes (group commit).
+//
+// The data region is laid out as two manifest slots followed by a log
+// arena split into two equal halves. The live log occupies exactly one
+// half (the write controller's capacity); compaction rewrites the live
+// set into the other half and flips the manifest, so the namespace
+// survives indefinite write traffic as long as the live set fits.
 type DB struct {
 	st *store.Store
 	wc *WriteController
 
-	mu     sync.Mutex // index, log head, append ordering
-	idx    map[string]valRef
-	head   mem.Addr // next free log line
-	seq    uint64   // last appended frame
-	closed bool
+	// rmu orders value reads against half reclamation: readers hold it
+	// shared from index lookup through the last line read, the
+	// reclaimer exclusively while zeroing a retired half. Always
+	// acquired before mu, never while holding it.
+	rmu sync.RWMutex
+
+	mu        sync.Mutex // index, log head, append ordering, compaction state
+	idx       map[string]valRef
+	head      mem.Addr // next free log line (inside the active half)
+	seq       uint64   // last appended frame
+	closed    bool
+	halfBytes uint64 // log capacity: bytes per arena half
+	active    int    // arena half holding the live log
+	gen       uint64 // committed manifest generation
+	startSeq  uint64 // frame seq preceding the active half's first frame
+	liveBytes uint64 // payload bytes of live records (compaction estimate)
+
+	compacting     bool       // a pass is relocating the live set
+	ccond          *sync.Cond // over mu; broadcast when a pass ends
+	pins           [2]int     // open snapshots pinning each half
+	pendingReclaim int        // retired half awaiting reclaim (-1: none)
+
+	compactions    uint64
+	compactFreed   uint64 // log bytes freed by passes
+	reclaimedLines uint64 // lines returned to zero (passes + reopen)
+
+	sabotageDropManifest bool   // torture self-tests: skip the manifest commit
+	testHookMidCopy      func() // tests: runs after the copy phase, before commit
+	testHookAfterSwitch  func() // tests: runs between switch and reclaim
 
 	gets    uint64
 	batches uint64
@@ -70,32 +112,72 @@ type DB struct {
 	flushErr error  // sticky terminal flush failure
 }
 
-// Open builds the namespace over st, rebuilding the keymap by scanning
-// the frame log from the start of the data region. The scan stops at
-// the first line that is not a valid next frame header — everything
+// Open builds the namespace over st: load the compaction manifest
+// (newest valid slot wins, torn slot falls back), rebuild the keymap by
+// scanning the active half's frame log, then finish whatever a crash
+// interrupted — repair the torn manifest slot and reclaim the inactive
+// half, which discards orphan compacted runs that never committed a
+// manifest and finishes the reclaim of a committed pass. The scan stops
+// at the first line that is not a valid next frame header — everything
 // past the last committed frame (orphan payloads of a crashed batch,
 // never-written zero lines) is invisible, which is the crash-atomicity
 // guarantee.
 func Open(st *store.Store, o Options) (*DB, error) {
-	wc, err := NewWriteController(st.Capacity(), o.WriteController)
+	capacity := st.Capacity()
+	hb := (capacity - min(capacity, uint64(arenaStart))) / 2
+	hb -= hb % mem.LineSize
+	if hb < 4*mem.LineSize {
+		return nil, fmt.Errorf("kv: capacity %d too small for a two-half log arena", capacity)
+	}
+	wc, err := NewWriteController(hb, o.WriteController)
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{st: st, wc: wc, idx: make(map[string]valRef)}
+	db := &DB{st: st, wc: wc, idx: make(map[string]valRef), halfBytes: hb, pendingReclaim: -1}
 	db.fcond = sync.NewCond(&db.fmu)
+	db.ccond = sync.NewCond(&db.mu)
+
+	l0, err := st.Read(0)
+	if err != nil {
+		return nil, fmt.Errorf("kv: manifest slot 0: %w", err)
+	}
+	l1, err := st.Read(mem.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("kv: manifest slot 1: %w", err)
+	}
+	rec, torn, err := chooseManifest(l0, l1)
+	if err != nil {
+		return nil, err
+	}
+	db.gen, db.active, db.startSeq = rec.Seq, rec.Half, rec.StartSeq
+	db.seq = rec.StartSeq
 	if err := db.scan(); err != nil {
 		return nil, err
 	}
 	db.appended, db.durable = db.seq, db.seq
+	if err := db.repairAndReclaim(rec, torn); err != nil {
+		return nil, err
+	}
 	return db, nil
 }
 
-// scan replays the committed frame prefix into the index.
+// halfStart is the first line of arena half h.
+func (db *DB) halfStart(h int) mem.Addr {
+	return arenaStart + mem.Addr(h)*mem.Addr(db.halfBytes)
+}
+
+// usedLocked is the active half's consumed bytes. Caller holds mu.
+func (db *DB) usedLocked() uint64 {
+	return uint64(db.head - db.halfStart(db.active))
+}
+
+// scan replays the active half's committed frame prefix into the index.
 func (db *DB) scan() error {
-	capBytes := db.st.Capacity()
-	addr := mem.Addr(0)
+	start := db.halfStart(db.active)
+	end := start + mem.Addr(db.halfBytes)
+	addr := start
 	for {
-		if uint64(addr)+mem.LineSize > capBytes {
+		if addr+mem.LineSize > end {
 			break
 		}
 		hl, err := db.st.Read(addr)
@@ -106,8 +188,8 @@ func (db *DB) scan() error {
 		if err != nil || seq != db.seq+1 {
 			break
 		}
-		need := uint64(frameLines(payloadBytes)) * mem.LineSize
-		if uint64(addr)+need > capBytes {
+		need := mem.Addr(frameLines(payloadBytes)) * mem.LineSize
+		if addr+need > end {
 			break
 		}
 		payloadStart := addr + mem.LineSize
@@ -124,18 +206,106 @@ func (db *DB) scan() error {
 		}
 		db.apply(payloadStart, payload, recs)
 		db.seq = seq
-		addr += mem.Addr(need)
+		addr += need
 	}
 	db.head = addr
 	return nil
 }
 
-// apply folds one frame's records into the index.
+// repairAndReclaim finishes an interrupted compaction pass at reopen:
+// re-encode the ruling manifest record over a torn slot (or zero it
+// when no commit ever ruled), then return the inactive half to the
+// all-zero state — orphan runs without a committed manifest become
+// invisible and reclaimed, a committed pass gets its reclaim completed.
+// Read-only media degradation is tolerated: the namespace still serves
+// reads, orphans stay invisible either way.
+func (db *DB) repairAndReclaim(rec manifestRecord, torn int) error {
+	if torn >= 0 {
+		var l mem.Line
+		if rec.Seq > 0 {
+			l = encodeManifest(rec)
+		}
+		err := db.st.Write(mem.Addr(torn)*mem.LineSize, l)
+		if err != nil && !errors.Is(err, store.ErrReadOnly) {
+			return fmt.Errorf("kv: manifest slot %d repair: %w", torn, err)
+		}
+	}
+	if err := db.reclaimHalf(1 - db.active); err != nil && !errors.Is(err, store.ErrReadOnly) {
+		return fmt.Errorf("kv: reclaim inactive half: %w", err)
+	}
+	return nil
+}
+
+// reclaimHalf zeroes every written line of arena half h — only ever an
+// inactive half: a retired log after a committed pass, or an orphan run
+// at reopen. Takes rmu exclusively so no in-flight value read can
+// observe the zeroing.
+func (db *DB) reclaimHalf(h int) error {
+	lo := db.halfStart(h)
+	db.rmu.Lock()
+	n, err := db.st.ReclaimRange(lo, lo+mem.Addr(db.halfBytes))
+	db.rmu.Unlock()
+	db.mu.Lock()
+	db.reclaimedLines += uint64(n)
+	if err == nil && db.pendingReclaim == h {
+		db.pendingReclaim = -1
+	}
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		if ferr := db.st.FlushEpoch(); ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// reclaimRetired is the deferred-reclaim path (snapshot Release): it
+// re-validates that h is still a retired half owing a reclaim while
+// already holding rmu exclusively, so it can never race a new pass
+// that is about to write a fresh run into h — a pass that has not yet
+// taken rmu for its own destination cleaning cannot have written yet,
+// and one that has is ordered entirely before or after us.
+func (db *DB) reclaimRetired(h int) {
+	db.rmu.Lock()
+	db.mu.Lock()
+	ok := db.pendingReclaim == h && db.pins[h] == 0 && h != db.active &&
+		!db.compacting && !db.closed
+	db.mu.Unlock()
+	if !ok {
+		db.rmu.Unlock()
+		return
+	}
+	lo := db.halfStart(h)
+	n, err := db.st.ReclaimRange(lo, lo+mem.Addr(db.halfBytes))
+	db.rmu.Unlock()
+	db.mu.Lock()
+	db.reclaimedLines += uint64(n)
+	if err == nil && db.pendingReclaim == h {
+		db.pendingReclaim = -1
+	}
+	db.mu.Unlock()
+	if err == nil && n > 0 {
+		// Reclaim durability is best-effort here: a failed flush is
+		// retried by the next pass or reopen.
+		_ = db.st.FlushEpoch()
+	}
+}
+
+// apply folds one frame's records into the index, keeping the live-set
+// byte estimate the compaction gain floor uses.
 func (db *DB) apply(payloadStart mem.Addr, payload []byte, recs []record) {
 	for _, r := range recs {
+		old, had := db.idx[string(r.key)]
+		if had {
+			db.liveBytes -= uint64(recHeadBytes + len(r.key) + old.n)
+		}
 		switch r.kind {
 		case OpPut:
 			db.idx[string(r.key)] = valRef{payload: payloadStart, off: r.valOff, n: r.valLen}
+			db.liveBytes += uint64(recHeadBytes + len(r.key) + r.valLen)
 		case OpDelete:
 			delete(db.idx, string(r.key))
 		}
@@ -161,8 +331,9 @@ func (db *DB) readRange(addr mem.Addr, n int) ([]byte, error) {
 	return out, nil
 }
 
-// readBytes reads one value by ref. Refs point into committed frames,
-// which are never rewritten, so this needs no index lock.
+// readBytes reads one value by ref. The caller must hold rmu shared
+// (or otherwise know the ref's half cannot be reclaimed, as the
+// compactor does for the active half it is copying out of).
 func (db *DB) readBytes(ref valRef) ([]byte, error) {
 	if ref.n == 0 {
 		return []byte{}, nil
@@ -189,8 +360,11 @@ func (db *DB) readBytes(ref valRef) ([]byte, error) {
 
 // Get returns the value for key, reporting whether it exists. Reads
 // see every applied batch, including ones not yet acknowledged
-// (read-your-writes); use a Snapshot for a frozen view.
+// (read-your-writes); use a Snapshot for a frozen view. Reads keep
+// serving through every ladder rung, including read-only refusal.
 func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	db.rmu.RLock()
+	defer db.rmu.RUnlock()
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -220,6 +394,16 @@ func (db *DB) Delete(key []byte) error {
 // sees either every op or none. Batch returns only once a covering
 // epoch flush has committed — a nil return means the batch survives
 // any later crash.
+//
+// Admission walks the degradation ladder: healthy batches append
+// immediately; in the throttled band each admission is delayed and a
+// worthwhile compaction pass runs first; while a pass is relocating
+// the live set, writers queue behind it (backpressure); and when
+// neither the media (read-only degradation) nor compaction (live set
+// too big to free space) can make room, the write gets a typed refusal
+// while reads keep serving. Delete-only batches are admitted past the
+// stop trigger while physical room remains, so a full namespace can
+// always shrink its way back to health.
 func (db *DB) Batch(ops []Op) error {
 	if len(ops) == 0 {
 		return nil
@@ -229,17 +413,79 @@ func (db *DB) Batch(ops []Op) error {
 		return err
 	}
 	need := uint64(frameLines(len(payload))) * mem.LineSize
+	deleteOnly := true
+	for _, op := range ops {
+		if op.Kind != OpDelete {
+			deleteOnly = false
+			break
+		}
+	}
 
 	db.mu.Lock()
-	if db.closed {
+	triedCompact := false
+	var delay time.Duration
+	for {
+		delay = 0
+		if db.closed {
+			db.mu.Unlock()
+			return ErrDBClosed
+		}
+		if db.compacting {
+			// Backpressure rung: queue behind the running pass, then
+			// re-evaluate against the compacted layout.
+			db.wc.noteBackpressure()
+			t0 := time.Now()
+			for db.compacting && !db.closed {
+				db.ccond.Wait()
+			}
+			db.wc.noteStall(time.Since(t0))
+			continue
+		}
+		if db.st.Health() == store.HealthReadOnly {
+			db.wc.noteReadOnlyStop()
+			db.mu.Unlock()
+			return fmt.Errorf("kv: write refused: %w", store.ErrReadOnly)
+		}
+		used := db.usedLocked()
+		adm := db.wc.evaluate(used, need)
+		if !adm.overStop {
+			delay = adm.delay
+			if delay > 0 {
+				db.wc.noteSlowdown()
+				// Throttled rung: run a worthwhile pass before the
+				// delayed admission so the log drains back to healthy.
+				if !triedCompact && db.worthCompactingLocked(0, false) {
+					triedCompact = true
+					if cerr := db.compactLocked(); cerr != nil {
+						db.mu.Unlock()
+						return fmt.Errorf("kv: compaction before admission: %w", cerr)
+					}
+					continue
+				}
+			}
+			break
+		}
+		// Past the stop trigger: compaction is the only way forward.
+		if !triedCompact && db.worthCompactingLocked(need, true) {
+			triedCompact = true
+			if cerr := db.compactLocked(); cerr != nil {
+				db.mu.Unlock()
+				return fmt.Errorf("kv: compaction before admission: %w", cerr)
+			}
+			continue
+		}
+		if deleteOnly && used+need <= db.halfBytes {
+			// Tombstone headroom: deletes shrink the live set, so they
+			// are admitted past the stop trigger while lines remain —
+			// otherwise a full namespace could never free itself.
+			break
+		}
+		db.wc.noteCapacityStop()
 		db.mu.Unlock()
-		return ErrDBClosed
+		return fmt.Errorf("%w: %d used + %d needed > %d stop trigger and compaction cannot free enough",
+			ErrLogFull, used, need, db.wc.stopTrigger())
 	}
-	delay, err := db.wc.Admit(uint64(db.head), need)
-	if err != nil {
-		db.mu.Unlock()
-		return err
-	}
+
 	header := db.head
 	payloadStart := header + mem.LineSize
 	// Payload first, header last: a crash before the header write
@@ -329,11 +575,22 @@ func (db *DB) Stats() Stats {
 	s := Stats{
 		Keys:     len(db.idx),
 		Seq:      db.seq,
-		LogBytes: uint64(db.head),
+		LogBytes: db.usedLocked(),
 		Capacity: db.st.Capacity(),
 		Gets:     db.gets,
 		Batches:  db.batches,
 		Ops:      db.opCount,
+		Ladder:   db.ladderLocked(),
+	}
+	if db.gen > 0 || db.compactions > 0 || db.reclaimedLines > 0 {
+		s.Compaction = &CompactionStats{
+			Generation:     db.gen,
+			ActiveHalf:     db.active,
+			Passes:         db.compactions,
+			FreedBytes:     db.compactFreed,
+			ReclaimedLines: db.reclaimedLines,
+			LiveBytes:      db.liveBytes,
+		}
 	}
 	db.mu.Unlock()
 	db.fmu.Lock()
@@ -341,6 +598,27 @@ func (db *DB) Stats() Stats {
 	db.fmu.Unlock()
 	s.Stall = db.wc.Stats()
 	return s
+}
+
+// ladderLocked names the current degradation rung. Caller holds mu.
+func (db *DB) ladderLocked() string {
+	switch {
+	case db.st.Health() == store.HealthReadOnly:
+		return LadderReadOnly
+	case db.compacting:
+		return LadderBackpressure
+	case db.usedLocked() >= db.wc.slowdownTrigger():
+		return LadderThrottled
+	default:
+		return LadderHealthy
+	}
+}
+
+// Generation is the committed compaction manifest generation.
+func (db *DB) Generation() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.gen
 }
 
 // Store exposes the underlying facade (health probes, torture seams).
@@ -351,6 +629,7 @@ func (db *DB) Store() *store.Store { return db.st }
 func (db *DB) Crash() *engine.CrashImage {
 	db.mu.Lock()
 	db.closed = true
+	db.ccond.Broadcast()
 	db.mu.Unlock()
 	db.fmu.Lock()
 	if db.flushErr == nil {
@@ -367,6 +646,7 @@ func (db *DB) Close() error {
 	err := db.Flush()
 	db.mu.Lock()
 	db.closed = true
+	db.ccond.Broadcast()
 	db.mu.Unlock()
 	db.fmu.Lock()
 	if db.flushErr == nil {

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"ccnvm/internal/engine"
+	"ccnvm/internal/store"
 )
 
 // The wire protocol is JSON lines over TCP: one request object per
@@ -17,7 +18,7 @@ import (
 
 // Request is one client command.
 type Request struct {
-	Op   string      `json:"op"`             // ping get put del batch snap snapget snaprel flush stats crash quit
+	Op   string      `json:"op"`             // ping get put del batch snap snapget snaprel flush stats compact crash quit
 	Key  string      `json:"key,omitempty"`  // get put del snapget
 	Val  string      `json:"val,omitempty"`  // put
 	Ops  []RequestOp `json:"ops,omitempty"`  // batch
@@ -31,7 +32,10 @@ type RequestOp struct {
 	Val string `json:"val,omitempty"`
 }
 
-// Response answers one request.
+// Response answers one request. Code types refusals so clients can
+// tell a retriable/degraded condition from a plain failure: "readonly"
+// (media degraded, reads still served), "full" (log out of space and
+// compaction cannot help), "closed" (namespace shut down).
 type Response struct {
 	OK    bool   `json:"ok"`
 	Found bool   `json:"found,omitempty"`
@@ -39,8 +43,16 @@ type Response struct {
 	Snap  uint64 `json:"snap,omitempty"`
 	Seq   uint64 `json:"seq,omitempty"`
 	Err   string `json:"err,omitempty"`
+	Code  string `json:"code,omitempty"`
 	Stats *Stats `json:"stats,omitempty"`
 }
+
+// Refusal codes carried in Response.Code.
+const (
+	CodeReadOnly = "readonly"
+	CodeFull     = "full"
+	CodeClosed   = "closed"
+)
 
 // Server serves one DB over a listener. Termination ops (crash, quit)
 // capture the crash image and hand it to OnShutdown exactly once; the
@@ -209,8 +221,12 @@ func (s *Server) handle(req *Request) (Response, func()) {
 		return Response{OK: true, Found: found, Val: string(v)}, nil
 	case "snaprel":
 		s.mu.Lock()
+		snap := s.snaps[req.Snap]
 		delete(s.snaps, req.Snap)
 		s.mu.Unlock()
+		if snap != nil {
+			snap.Release()
+		}
 		return Response{OK: true}, nil
 	case "flush":
 		if err := s.db.Flush(); err != nil {
@@ -218,6 +234,13 @@ func (s *Server) handle(req *Request) (Response, func()) {
 		}
 		return Response{OK: true}, nil
 	case "stats":
+		st := s.db.Stats()
+		return Response{OK: true, Seq: st.Seq, Stats: &st}, nil
+	case "compact":
+		// Admin verb: run (or join) one compaction pass.
+		if err := s.db.Compact(); err != nil {
+			return errResp(err), nil
+		}
 		st := s.db.Stats()
 		return Response{OK: true, Seq: st.Seq, Stats: &st}, nil
 	case "crash":
@@ -231,8 +254,11 @@ func (s *Server) handle(req *Request) (Response, func()) {
 			}
 		}
 	case "quit":
-		// Clean shutdown: settle the final epoch, then checkpoint.
-		if err := s.db.Flush(); err != nil {
+		// Clean shutdown: settle the final epoch, then checkpoint. A
+		// read-only namespace cannot flush, but it has nothing unacked
+		// to lose either — quit must still succeed (exit 0) so a
+		// degraded daemon can be retired gracefully.
+		if err := s.db.Flush(); err != nil && !errors.Is(err, store.ErrReadOnly) {
 			return errResp(err), nil
 		}
 		return Response{OK: true}, func() {
@@ -247,4 +273,17 @@ func (s *Server) handle(req *Request) (Response, func()) {
 	}
 }
 
-func errResp(err error) Response { return Response{Err: err.Error()} }
+// errResp types known refusals so clients can react without parsing
+// error strings.
+func errResp(err error) Response {
+	resp := Response{Err: err.Error()}
+	switch {
+	case errors.Is(err, store.ErrReadOnly):
+		resp.Code = CodeReadOnly
+	case errors.Is(err, ErrLogFull):
+		resp.Code = CodeFull
+	case errors.Is(err, ErrDBClosed):
+		resp.Code = CodeClosed
+	}
+	return resp
+}

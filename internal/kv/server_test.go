@@ -10,6 +10,7 @@ import (
 
 	"ccnvm/internal/engine"
 	"ccnvm/internal/kv"
+	"ccnvm/internal/nvm"
 	"ccnvm/internal/store"
 )
 
@@ -250,5 +251,58 @@ func TestServerQuitIsCleanShutdown(t *testing.T) {
 	db2 := openDB(t, st2)
 	if v, ok, _ := db2.Get([]byte("k")); !ok || string(v) != "v" {
 		t.Fatalf("value lost across clean shutdown: (%q,%v)", v, ok)
+	}
+}
+
+// TestServerReadOnlyDegradationServesReads retires a namespace
+// gracefully: with the media degraded to read-only (spare pool
+// exhausted), gets and stats keep serving, writes come back as typed
+// "readonly" refusals rather than connection errors, and quit still
+// checkpoints and reports a clean shutdown.
+func TestServerReadOnlyDegradationServesReads(t *testing.T) {
+	st, err := store.Open(store.Options{
+		Capacity: capacity,
+		Params:   engine.Params{UpdateLimit: 16, QueueEntries: 64},
+		Faults:   &nvm.FaultModel{SpareLines: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := openDB(t, st)
+	_, addr, down := startServer(t, db)
+	c := dial(t, addr)
+
+	if resp := c.do(t, kv.Request{Op: "put", Key: "k", Val: "v"}); !resp.OK {
+		t.Fatalf("healthy put: %+v", resp)
+	}
+	// Consume the single spare: the pure-function health machine flips
+	// to read-only on the very next admission check.
+	if err := st.Device().Remap(st.Device().Snapshot().Store.Addrs()[0], true); err != nil {
+		t.Fatal(err)
+	}
+	if st.Health() != store.HealthReadOnly {
+		t.Fatalf("health = %v after pool exhaustion", st.Health())
+	}
+
+	if resp := c.do(t, kv.Request{Op: "get", Key: "k"}); !resp.OK || !resp.Found || resp.Val != "v" {
+		t.Fatalf("read-only get: %+v", resp)
+	}
+	if resp := c.do(t, kv.Request{Op: "stats"}); !resp.OK || resp.Stats == nil || resp.Stats.Ladder != kv.LadderReadOnly {
+		t.Fatalf("read-only stats: %+v", resp)
+	}
+	resp := c.do(t, kv.Request{Op: "put", Key: "k2", Val: "x"})
+	if resp.OK || resp.Code != kv.CodeReadOnly {
+		t.Fatalf("read-only put not typed: %+v", resp)
+	}
+	resp = c.do(t, kv.Request{Op: "batch", Ops: []kv.RequestOp{{Op: "put", Key: "k3", Val: "y"}}})
+	if resp.OK || resp.Code != kv.CodeReadOnly {
+		t.Fatalf("read-only batch not typed: %+v", resp)
+	}
+
+	if resp := c.do(t, kv.Request{Op: "quit"}); !resp.OK {
+		t.Fatalf("read-only quit: %+v", resp)
+	}
+	if d := <-down; !d.clean {
+		t.Fatal("read-only quit reported as crash")
 	}
 }

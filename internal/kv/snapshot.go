@@ -1,19 +1,28 @@
 package kv
 
+import "errors"
+
+// ErrSnapshotReleased reports a read on a released snapshot.
+var ErrSnapshotReleased = errors.New("kv: snapshot released")
+
 // Snapshot is a point-in-time read view: the keymap as of some frame
-// sequence number. Because the log is append-only and value refs point
-// into committed frames that are never rewritten, a snapshot is a pure
-// index copy — no log pages are pinned and writers are never stalled
-// by open snapshots. (The facade's COW NVM snapshot serves crash
-// images; this one serves consistent reads.)
+// sequence number. The log is append-only between compaction passes,
+// so a snapshot is a pure index copy; what keeps the copy readable
+// across a pass is the pin it holds on the arena half its refs point
+// into — a committed pass defers reclaiming that half until the last
+// pinning snapshot is Released, so a snapshot taken mid-compaction
+// keeps serving the consistent pre-switch view. (The facade's COW NVM
+// snapshot serves crash images; this one serves consistent reads.)
 type Snapshot struct {
-	db  *DB
-	idx map[string]valRef
-	seq uint64
+	db       *DB
+	idx      map[string]valRef
+	seq      uint64
+	half     int
+	released bool
 }
 
-// Snapshot captures the current keymap. The view is immutable: writes
-// applied after the call are invisible to it.
+// Snapshot captures the current keymap and pins the active half
+// against reclamation until Release.
 func (db *DB) Snapshot() *Snapshot {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -21,7 +30,8 @@ func (db *DB) Snapshot() *Snapshot {
 	for k, v := range db.idx {
 		idx[k] = v
 	}
-	return &Snapshot{db: db, idx: idx, seq: db.seq}
+	db.pins[db.active]++
+	return &Snapshot{db: db, idx: idx, seq: db.seq, half: db.active}
 }
 
 // Seq is the frame sequence number the snapshot froze at.
@@ -32,10 +42,39 @@ func (s *Snapshot) Len() int { return len(s.idx) }
 
 // Get returns the value key had when the snapshot was taken.
 func (s *Snapshot) Get(key []byte) ([]byte, bool, error) {
+	s.db.rmu.RLock()
+	defer s.db.rmu.RUnlock()
+	s.db.mu.Lock()
+	released := s.released
+	s.db.mu.Unlock()
+	if released {
+		return nil, false, ErrSnapshotReleased
+	}
 	ref, ok := s.idx[string(key)]
 	if !ok {
 		return nil, false, nil
 	}
 	v, err := s.db.readBytes(ref)
 	return v, ok, err
+}
+
+// Release drops the snapshot's pin. If a committed compaction pass was
+// waiting on it, the retired half is reclaimed now. Idempotent; reads
+// after Release fail with ErrSnapshotReleased.
+func (s *Snapshot) Release() {
+	db := s.db
+	db.mu.Lock()
+	if s.released {
+		db.mu.Unlock()
+		return
+	}
+	s.released = true
+	db.pins[s.half]--
+	reclaim := db.pendingReclaim == s.half && db.pins[s.half] == 0 && s.half != db.active
+	db.mu.Unlock()
+	if reclaim {
+		// Deferred reclaim errors (read-only media, crash) keep
+		// pendingReclaim set; the next pass or reopen retries.
+		db.reclaimRetired(s.half)
+	}
 }

@@ -8,27 +8,31 @@ import (
 )
 
 // ErrLogFull reports that the namespace's log region is out of space:
-// the stop trigger fired and the write was refused outright.
+// the stop trigger fired, compaction could not free enough, and the
+// write was refused outright.
 var ErrLogFull = errors.New("kv: log region full")
 
-// WriteController throttles writers as the append-only log fills, in
+// WriteController throttles writers as the log's active half fills, in
 // the classic LSM shape: past the slowdown trigger every batch is
-// delayed, past the stop trigger writes are refused. The triggers are
-// fractions of the log capacity, so one controller works across
-// namespace sizes. It is also the read-only gate: when the media
-// health machine degrades the store to read-only, the DB routes the
-// refusal through here so the stats count both causes of stalling.
+// delayed, past the stop trigger writes are refused unless a compaction
+// pass can make room. It is also the ladder's scoreboard: the DB routes
+// every stall through it — capacity refusals, read-only refusals and
+// backpressure waits behind a running pass are counted separately so
+// the stats name the cause, not just the symptom.
 type WriteController struct {
 	mu sync.Mutex
 
-	capacity   uint64 // log bytes available
+	capacity   uint64 // log bytes available (one arena half)
 	slowdownAt uint64 // used >= this: delay every admission
 	stopAt     uint64 // used + need > this: refuse
 
 	delay time.Duration // per-admission delay in the slowdown band
 
-	slowdowns uint64
-	stops     uint64
+	slowdowns     uint64
+	capacityStops uint64
+	readOnlyStops uint64
+	backpressure  uint64
+	stallNanos    int64
 }
 
 // WriteControllerOptions tunes the triggers. Zero values take the
@@ -67,31 +71,74 @@ func NewWriteController(capacity uint64, o WriteControllerOptions) (*WriteContro
 	}, nil
 }
 
-// Admit decides whether a batch needing need bytes may proceed when
-// used bytes of log are already consumed. It returns the delay the
-// writer must observe (zero below the slowdown trigger) or ErrLogFull
-// past the stop trigger.
-func (wc *WriteController) Admit(used, need uint64) (time.Duration, error) {
-	wc.mu.Lock()
-	defer wc.mu.Unlock()
-	if used+need > wc.stopAt {
-		wc.stops++
-		return 0, fmt.Errorf("%w: %d used + %d needed > %d stop trigger", ErrLogFull, used, need, wc.stopAt)
-	}
-	if used >= wc.slowdownAt {
-		wc.slowdowns++
-		return wc.delay, nil
-	}
-	return 0, nil
+// admission is the controller's pure verdict on one batch; the DB walks
+// the ladder (compact, queue, refuse) and reports what it actually did
+// through the note* counters.
+type admission struct {
+	delay    time.Duration
+	overStop bool
 }
 
-// WriteControllerStats is a point-in-time view of the throttle.
+// evaluate judges a batch needing need bytes when used bytes of log are
+// already consumed. Pure: counters move only via the note* calls.
+func (wc *WriteController) evaluate(used, need uint64) admission {
+	if used+need > wc.stopAt {
+		return admission{overStop: true}
+	}
+	if used >= wc.slowdownAt {
+		return admission{delay: wc.delay}
+	}
+	return admission{}
+}
+
+func (wc *WriteController) slowdownTrigger() uint64 { return wc.slowdownAt }
+func (wc *WriteController) stopTrigger() uint64     { return wc.stopAt }
+
+func (wc *WriteController) noteSlowdown() {
+	wc.mu.Lock()
+	wc.slowdowns++
+	wc.mu.Unlock()
+}
+
+func (wc *WriteController) noteCapacityStop() {
+	wc.mu.Lock()
+	wc.capacityStops++
+	wc.mu.Unlock()
+}
+
+func (wc *WriteController) noteReadOnlyStop() {
+	wc.mu.Lock()
+	wc.readOnlyStops++
+	wc.mu.Unlock()
+}
+
+func (wc *WriteController) noteBackpressure() {
+	wc.mu.Lock()
+	wc.backpressure++
+	wc.mu.Unlock()
+}
+
+func (wc *WriteController) noteStall(d time.Duration) {
+	wc.mu.Lock()
+	wc.stallNanos += int64(d)
+	wc.mu.Unlock()
+}
+
+// WriteControllerStats is a point-in-time view of the throttle. Stops
+// stays the aggregate refusal count; the per-cause counters split it so
+// "out of space" and "media read-only" and "queued behind compaction"
+// are distinguishable. Everything variable is omitzero, so a namespace
+// that never stalled marshals exactly as it always has.
 type WriteControllerStats struct {
-	Capacity   uint64 `json:"capacity"`
-	SlowdownAt uint64 `json:"slowdown_at"`
-	StopAt     uint64 `json:"stop_at"`
-	Slowdowns  uint64 `json:"slowdowns,omitzero"`
-	Stops      uint64 `json:"stops,omitzero"`
+	Capacity          uint64 `json:"capacity"`
+	SlowdownAt        uint64 `json:"slowdown_at"`
+	StopAt            uint64 `json:"stop_at"`
+	Slowdowns         uint64 `json:"slowdowns,omitzero"`
+	Stops             uint64 `json:"stops,omitzero"`
+	CapacityStops     uint64 `json:"capacity_stops,omitzero"`
+	ReadOnlyStops     uint64 `json:"readonly_stops,omitzero"`
+	BackpressureWaits uint64 `json:"backpressure_waits,omitzero"`
+	StallNanos        int64  `json:"stall_nanos,omitzero"`
 }
 
 // Stats snapshots the trigger configuration and firing counts.
@@ -99,10 +146,14 @@ func (wc *WriteController) Stats() WriteControllerStats {
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
 	return WriteControllerStats{
-		Capacity:   wc.capacity,
-		SlowdownAt: wc.slowdownAt,
-		StopAt:     wc.stopAt,
-		Slowdowns:  wc.slowdowns,
-		Stops:      wc.stops,
+		Capacity:          wc.capacity,
+		SlowdownAt:        wc.slowdownAt,
+		StopAt:            wc.stopAt,
+		Slowdowns:         wc.slowdowns,
+		Stops:             wc.capacityStops + wc.readOnlyStops,
+		CapacityStops:     wc.capacityStops,
+		ReadOnlyStops:     wc.readOnlyStops,
+		BackpressureWaits: wc.backpressure,
+		StallNanos:        wc.stallNanos,
 	}
 }

@@ -58,6 +58,12 @@ type Ledger struct {
 	// before the KV layer existed.
 	KV *KVPerf `json:"kv,omitempty"`
 
+	// Churn records the sustained-churn measurement (see MeasureChurn):
+	// overwrite throughput with the log wrapping through the compactor
+	// and the degradation ladder, plus the stall time charged. Nil in
+	// ledgers pinned before the compactor existed.
+	Churn *ChurnPerf `json:"churn,omitempty"`
+
 	// Parallel records the serial-vs-parallel speedup of the
 	// subtree-sharded tree pipeline (the recovery-style VerifyAll +
 	// Rebuild kernel, which is pure parallel crypto work), one point per
@@ -184,6 +190,17 @@ func Compare(pinned, fresh *Ledger) error {
 			if p.OpsPerSec > 0 && f.OpsPerSec < p.OpsPerSec*(1-2*Tolerance) {
 				regressions = append(regressions,
 					fmt.Sprintf("kv: %.0f -> %.0f ops/sec (-%.1f%%)", p.OpsPerSec, f.OpsPerSec, 100*(1-f.OpsPerSec/p.OpsPerSec)))
+			}
+		}
+		// The churn row is deterministic work but folds in compaction
+		// scheduling and sleep-based throttling, so it gets the same
+		// doubled tolerance, again only when the run shapes match.
+		if p, f := pinned.Churn, fresh.Churn; p != nil && f != nil &&
+			p.Design == f.Design && p.Capacity == f.Capacity &&
+			p.ValBytes == f.ValBytes && p.Keys == f.Keys && p.Multiple == f.Multiple {
+			if p.OpsPerSec > 0 && f.OpsPerSec < p.OpsPerSec*(1-2*Tolerance) {
+				regressions = append(regressions,
+					fmt.Sprintf("churn: %.0f -> %.0f ops/sec (-%.1f%%)", p.OpsPerSec, f.OpsPerSec, 100*(1-f.OpsPerSec/p.OpsPerSec)))
 			}
 		}
 	} else {

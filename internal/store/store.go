@@ -30,6 +30,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 
 	"ccnvm/internal/design"
@@ -333,27 +334,50 @@ func (s *Store) writeLocked(a mem.Addr, l mem.Line) error {
 // has no "unwrite"; zero is the default content of an untouched line).
 // Used by namespace owners to trim retired log regions.
 func (s *Store) DeleteRange(lo, hi mem.Addr) error {
+	_, err := s.ReclaimRange(lo, hi)
+	return err
+}
+
+// ReclaimRange is the page-reclaim hook: like DeleteRange it zeroes
+// every written non-zero line in [lo, hi), but it reports how many
+// lines it returned to the zero state, and it walks the range in
+// ascending address order so a reclaim is deterministic — crash-sweep
+// harnesses arm a power failure at the n-th accepted write and need the
+// n-th write to be the same line on every run. On error the count
+// covers the lines already reclaimed; the zero writes that were
+// accepted stand.
+func (s *Store) ReclaimRange(lo, hi mem.Addr) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if hi > mem.Addr(s.lay.DataBytes) {
 		hi = mem.Addr(s.lay.DataBytes)
 	}
+	addrs := s.dev.Snapshot().Store.Addrs()
+	slices.Sort(addrs)
 	var zero mem.Line
-	for _, a := range s.dev.Snapshot().Store.Addrs() {
+	reclaimed := 0
+	for _, a := range addrs {
 		if a < mem.Align(lo) || a >= hi || s.lay.RegionOf(a) != mem.RegionData {
 			continue
 		}
-		if l, ok := s.dev.Peek(a); ok && l == zero {
+		// The media holds ciphertext, so "already zero" must be judged on
+		// the decrypted content — an encrypted zero line is not the zero
+		// ciphertext, and re-zeroing it would make reclaim non-idempotent
+		// (and non-monotonic across reopens).
+		pt, done := s.eng.ReadBlock(s.now, a)
+		s.now = done
+		if pt == zero {
 			continue
 		}
 		if err := s.writeLocked(a, zero); err != nil {
-			return err
+			return reclaimed, err
 		}
+		reclaimed++
 	}
-	return nil
+	return reclaimed, nil
 }
 
 // FlushEpoch closes the current ADR epoch: every accepted write and all

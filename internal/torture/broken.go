@@ -5,6 +5,7 @@ import (
 
 	"ccnvm/internal/bmt"
 	"ccnvm/internal/engine"
+	"ccnvm/internal/kv"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/recovery"
 	"ccnvm/internal/seccrypto"
@@ -15,7 +16,7 @@ import (
 // harness can run, used to prove the oracles have teeth: each mode must
 // be caught by at least one oracle on an otherwise healthy matrix.
 func BrokenModes() []string {
-	return []string{"skip-counter-replay", "ignore-tampered", "skip-root-check", "accept-torn", "accept-divergent", "reorder-persist", "break-remap-commit"}
+	return []string{"skip-counter-replay", "ignore-tampered", "skip-root-check", "accept-torn", "accept-divergent", "reorder-persist", "break-remap-commit", "break-compact-switch"}
 }
 
 // reorderAfterCommits is the reorder-persist defect's arming point: the
@@ -167,6 +168,23 @@ func BrokenRunner(mode string) (*Runner, error) {
 			ArmController: func(c Cell, ctrl *store.Store) {
 				if c.Spares > 0 {
 					ctrl.Device().SabotageDropRemapCommit()
+				}
+			},
+		}, nil
+	case "break-compact-switch":
+		// A KV-layer crash-consistency bug: the compactor copies the live
+		// set, switches the in-memory keymap and reclaims the retired
+		// half, but never writes the manifest slot that commits the
+		// switch — the classic "forgot the commit record" defect. The
+		// namespace looks perfect until the crash, when reopen follows
+		// the stale manifest into a half whose frames were just zeroed.
+		// The compaction oracles (generation equality first, lost-acked
+		// and resurrection checks behind it) must catch it on any compact
+		// cell; non-compact cells run clean.
+		return &Runner{
+			ArmDB: func(c KVCell, db *kv.DB) {
+				if c.CompactEvery > 0 {
+					db.SabotageDropManifestCommit()
 				}
 			},
 		}, nil

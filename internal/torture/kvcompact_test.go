@@ -1,0 +1,141 @@
+package torture
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKVCompactCrashSweep crashes the KV namespace at every host-write
+// boundary while a compaction pass runs after every second acknowledged
+// batch — so the sweep lands inside the pass's copy loop, between the
+// run flush and the manifest commit, on the manifest slot write itself,
+// and inside the retired half's reclaim. Every boundary must recover to
+// an exact reachable prefix state with the manifest generation intact.
+func TestKVCompactCrashSweep(t *testing.T) {
+	designs := KVDesigns()
+	if len(designs) == 0 {
+		t.Fatal("no crash-consistent designs registered")
+	}
+	r := DefaultRunner()
+	for _, d := range designs {
+		t.Run(d, func(t *testing.T) {
+			t.Parallel()
+			fail, cells := r.KVSweep(KVCell{Design: d, Seed: 7, Batches: 6, CompactEvery: 2})
+			if fail != nil {
+				t.Fatal(fail.Detail)
+			}
+			if cells < 10 {
+				t.Fatalf("compact sweep covered only %d crash points; workload too small to matter", cells)
+			}
+			t.Logf("%s: %d compaction crash boundaries swept clean", d, cells)
+		})
+	}
+}
+
+// TestKVCompactRebootLoopAxis stacks the axes: compaction every second
+// acked batch, a crash at every third write boundary, and a recovery
+// that is itself re-crashed twice before the final uninterrupted pass.
+// Besides the prefix-state oracles this exercises kv-compact-idempotent:
+// the looped recovery must land on the same namespace as a single-shot
+// recovery of a pristine clone.
+func TestKVCompactRebootLoopAxis(t *testing.T) {
+	r := DefaultRunner()
+	cells := 0
+	for n := 0; ; n += 3 {
+		c := KVCell{Design: "ccnvm", Seed: 11, Batches: 5, CrashWrite: n,
+			Reboots: 2, RebootEvery: 2, CompactEvery: 2}
+		fail, struck := r.RunKVCell(c)
+		cells++
+		if fail != nil {
+			t.Fatal(fail.Detail)
+		}
+		if !struck {
+			break
+		}
+	}
+	if cells < 4 {
+		t.Fatalf("only %d compact reboot-loop cells ran", cells)
+	}
+	t.Logf("%d compact reboot-loop cells survived", cells)
+}
+
+// TestKVCompactCellValidate rejects a negative compaction stride and
+// keeps the spec string round-trippable for compact cells.
+func TestKVCompactCellValidate(t *testing.T) {
+	err := (KVCell{Design: "ccnvm", Batches: 3, CompactEvery: -1}).Validate()
+	if err == nil || !strings.Contains(err.Error(), "compact-every") {
+		t.Fatalf("negative compact-every accepted: %v", err)
+	}
+	if err := (KVCell{Design: "ccnvm", Batches: 3, CompactEvery: 2}).Validate(); err != nil {
+		t.Fatalf("valid compact cell rejected: %v", err)
+	}
+	c := KVCell{Design: "ccnvm", Seed: 1, Batches: 3, CrashWrite: 4, CompactEvery: 2}
+	if s := c.String(); !strings.Contains(s, "compact-every=2") {
+		t.Fatalf("compact stride missing from cell spec: %q", s)
+	}
+}
+
+// TestBrokenCompactSwitchCaught proves the compaction oracles have
+// teeth: a compactor that switches and reclaims without ever writing
+// the manifest commit must be caught, the failing cell must shrink to
+// something smaller, and the shrunk cell must pass the unsabotaged
+// runner.
+func TestBrokenCompactSwitchCaught(t *testing.T) {
+	r, err := BrokenRunner("break-compact-switch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := KVCell{Design: "ccnvm", Seed: 5, Batches: 6, CrashWrite: -1, CompactEvery: 2}
+	fail, _ := r.RunKVCell(c)
+	if fail == nil {
+		t.Fatal("break-compact-switch slipped past every compaction oracle")
+	}
+	min, runs := ShrinkKVCell(r, c, fail.Oracle, 64)
+	if min.Batches > c.Batches {
+		t.Fatalf("shrink grew the cell: %s", min)
+	}
+	again, _ := r.RunKVCell(min)
+	if again == nil {
+		t.Fatalf("minimized cell %s no longer fails", min)
+	}
+	if again.Oracle != fail.Oracle {
+		t.Fatalf("minimized cell fails a different oracle: %s vs %s", again.Oracle, fail.Oracle)
+	}
+	if g, _ := DefaultRunner().RunKVCell(min); g != nil {
+		t.Fatalf("minimized cell also fails the real compactor: %v", g.Detail)
+	}
+	// The sabotage must not poison non-compact cells: the same runner on
+	// a plain cell stays clean.
+	if g, _ := r.RunKVCell(KVCell{Design: "ccnvm", Seed: 5, Batches: 3, CrashWrite: -1}); g != nil {
+		t.Fatalf("break-compact-switch leaked into a non-compact cell: %v", g.Detail)
+	}
+	t.Logf("break-compact-switch caught by oracle %q, shrunk to %s in %d runs", fail.Oracle, min, runs)
+}
+
+// FuzzKVCompactCell fuzzes the compaction axis: any (seed, batches,
+// crash point, compaction stride, reboot count) combination must
+// satisfy every compaction oracle on the real recovery path.
+func FuzzKVCompactCell(f *testing.F) {
+	f.Add(int64(7), uint8(6), int16(4), uint8(2), uint8(0))
+	f.Add(int64(11), uint8(5), int16(12), uint8(1), uint8(2))
+	f.Add(int64(3), uint8(8), int16(-1), uint8(3), uint8(0))
+	r := DefaultRunner()
+	f.Fuzz(func(t *testing.T, seed int64, batches uint8, crash int16, every, reboots uint8) {
+		c := KVCell{
+			Design:       "ccnvm",
+			Seed:         seed,
+			Batches:      1 + int(batches)%8,
+			CompactEvery: 1 + int(every)%4,
+			CrashWrite:   int(crash) % 96,
+		}
+		if c.CrashWrite < 0 {
+			c.CrashWrite = -1
+		}
+		if n := int(reboots) % 4; n > 0 {
+			c.Reboots, c.RebootEvery = n, 2
+		}
+		if fail, _ := r.RunKVCell(c); fail != nil {
+			t.Fatalf("%s: %s", fail.Oracle, fail.Detail)
+		}
+	})
+}

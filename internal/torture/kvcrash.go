@@ -26,13 +26,31 @@ import (
 //   - kv-no-ghosts: nothing beyond the issued batches appears.
 //   - kv-batch-atomic: the namespace equals state-after-batch-j for
 //     some j in [acked, issued] — no partial batch is ever visible.
+//
+// The compaction axis (CompactEvery > 0) runs a garbage-collection pass
+// after every CompactEvery-th acknowledged batch, so the crash sweep
+// also lands inside the pass's copy, commit and reclaim phases. Compact
+// cells swap the seq-based prefix oracle for four compaction ones:
+//
+//   - kv-compact-lost-acked: a key acknowledged in every reachable
+//     prefix state vanished through compact+crash+recover.
+//   - kv-no-ghost-resurrection: a key deleted (or never written) in
+//     every reachable prefix state came back.
+//   - kv-compact-gen: the recovered manifest generation diverges from
+//     the in-memory generation at the crash — the single-slot-write
+//     commit tore.
+//   - kv-reclaim-monotonic: a second reopen over the recovered store
+//     found more lines to reclaim — reclaim did not converge.
+//   - kv-compact-idempotent (reboot axis only): the reboot-looped
+//     recovery disagrees with a single-shot recovery of the same image.
 type KVCell struct {
-	Design      string `json:"design"`
-	Seed        int64  `json:"seed"`
-	Batches     int    `json:"batches"`
-	CrashWrite  int    `json:"crash_write"`            // -1: never crash
-	Reboots     int    `json:"reboots,omitempty"`      // reboot-loop axis passes
-	RebootEvery int    `json:"reboot_every,omitempty"` // strike the k-th recovery write
+	Design       string `json:"design"`
+	Seed         int64  `json:"seed"`
+	Batches      int    `json:"batches"`
+	CrashWrite   int    `json:"crash_write"`             // -1: never crash
+	Reboots      int    `json:"reboots,omitempty"`       // reboot-loop axis passes
+	RebootEvery  int    `json:"reboot_every,omitempty"`  // strike the k-th recovery write
+	CompactEvery int    `json:"compact_every,omitempty"` // compact after every k-th acked batch
 }
 
 // KVCapacity sizes KV cells' stores: small enough that a full crash
@@ -43,6 +61,9 @@ func (c KVCell) String() string {
 	s := fmt.Sprintf("kv design=%s seed=%d batches=%d crash-write=%d", c.Design, c.Seed, c.Batches, c.CrashWrite)
 	if c.Reboots > 0 {
 		s += fmt.Sprintf(" reboots=%d every=%d", c.Reboots, c.RebootEvery)
+	}
+	if c.CompactEvery > 0 {
+		s += fmt.Sprintf(" compact-every=%d", c.CompactEvery)
 	}
 	return s
 }
@@ -65,6 +86,9 @@ func (c KVCell) Validate() error {
 	}
 	if c.Reboots > 0 && c.RebootEvery < 1 {
 		return fmt.Errorf("torture: kv reboot axis needs reboot-every >= 1, got %d", c.RebootEvery)
+	}
+	if c.CompactEvery < 0 {
+		return fmt.Errorf("torture: kv compact-every must be >= 0, got %d", c.CompactEvery)
 	}
 	return nil
 }
@@ -148,6 +172,9 @@ func (r *Runner) RunKVCell(c KVCell) (fail *Failure, struck bool) {
 	if err != nil {
 		return &Failure{Oracle: "cell-spec", Detail: err.Error()}, false
 	}
+	if r.ArmDB != nil {
+		r.ArmDB(c, db)
+	}
 
 	batches := genKVBatches(c.Seed, c.Batches)
 	// Prefix states: states[j] is the namespace after batches [0,j).
@@ -167,6 +194,16 @@ func (r *Runner) RunKVCell(c KVCell) (fail *Failure, struck bool) {
 		err := db.Batch(b)
 		if err == nil {
 			acked = issued
+			if c.CompactEvery > 0 && acked%c.CompactEvery == 0 {
+				if cerr := db.Compact(); cerr != nil {
+					if errors.Is(cerr, store.ErrCrashed) {
+						struck = true
+						break
+					}
+					return &Failure{Oracle: "kv-compact-error",
+						Detail: fmt.Sprintf("compaction pass after batch %d failed pre-crash: %v (%s)", i, cerr, c)}, false
+				}
+			}
 			continue
 		}
 		if errors.Is(err, store.ErrCrashed) {
@@ -175,7 +212,14 @@ func (r *Runner) RunKVCell(c KVCell) (fail *Failure, struck bool) {
 		}
 		return &Failure{Oracle: "kv-batch-error", Detail: fmt.Sprintf("batch %d failed pre-crash: %v (%s)", i, err, c)}, false
 	}
+	memGen := db.Generation()
 	img := db.Crash()
+	// The idempotence oracle recovers a pristine clone single-shot; the
+	// reboot loop below mutates img in place.
+	var goldenImg *engine.CrashImage
+	if c.CompactEvery > 0 && c.Reboots > 0 {
+		goldenImg = img.Clone()
+	}
 
 	rep := r.recoverFn()(img)
 	if !rep.Clean() {
@@ -195,6 +239,12 @@ func (r *Runner) RunKVCell(c KVCell) (fail *Failure, struck bool) {
 	db2, err := kv.Open(st2, kv.Options{})
 	if err != nil {
 		return &Failure{Oracle: "kv-clean-recovery", Detail: fmt.Sprintf("keymap rebuild: %v (%s)", err, c)}, struck
+	}
+
+	if c.CompactEvery > 0 {
+		// Compaction renumbers frames, so the seq-based prefix oracle
+		// does not apply; compact cells get the compaction oracles.
+		return r.checkKVCompact(c, db2, st2, states, acked, issued, memGen, goldenImg), struck
 	}
 
 	recovered := int(db2.Stats().Seq)
@@ -257,6 +307,205 @@ func (r *Runner) kvRecover(c KVCell, img *engine.CrashImage, rep *recovery.Repor
 			Detail: fmt.Sprintf("uninterrupted final recovery pass failed to commit (%s)", c)}
 	}
 	return rec, nil
+}
+
+// checkKVCompact judges a recovered compact cell. The frame seq is not
+// the batch count once a pass has renumbered the log, so the oracle
+// matches the recovered contents against the reachable prefix states
+// directly: the namespace must equal states[j] exactly for some j in
+// [acked, issued]. A failed match is classified — a key live after
+// recovery but dead in every reachable state is a resurrection; a key
+// live in every reachable state but gone is a lost acked write; anything
+// else is a visible partial batch. On top of that, the manifest
+// generation must have survived the crash exactly (the commit is one
+// slot write — it either happened or it did not), reclaim must converge
+// (a second reopen finds nothing more to zero), and under the reboot
+// axis the looped recovery must agree with a single-shot one.
+func (r *Runner) checkKVCompact(c KVCell, db2 *kv.DB, st2 *store.Store, states []map[string][]byte, acked, issued int, memGen uint64, goldenImg *engine.CrashImage) *Failure {
+	if g := db2.Generation(); g != memGen {
+		return &Failure{Oracle: "kv-compact-gen",
+			Detail: fmt.Sprintf("recovered manifest generation %d, but the namespace was at %d when power failed — the compaction commit tore (%s)", g, memGen, c)}
+	}
+	keys := allKVKeys(states[:issued+1])
+	got := map[string][]byte{}
+	for k := range keys {
+		v, ok, err := db2.Get([]byte(k))
+		if err != nil {
+			return &Failure{Oracle: "kv-batch-atomic", Detail: fmt.Sprintf("post-recovery get %s: %v (%s)", k, err, c)}
+		}
+		if ok {
+			got[k] = v
+		}
+	}
+	match := -1
+	for j := acked; j <= issued; j++ {
+		if kvStateEqual(got, states[j]) {
+			match = j
+			break
+		}
+	}
+	if match < 0 {
+		ghost, lost := "", ""
+		for k := range keys {
+			_, liveNow := got[k]
+			anyPresent, allPresent := false, true
+			for j := acked; j <= issued; j++ {
+				if _, ok := states[j][k]; ok {
+					anyPresent = true
+				} else {
+					allPresent = false
+				}
+			}
+			if liveNow && !anyPresent {
+				ghost = k
+			}
+			if !liveNow && allPresent {
+				lost = k
+			}
+		}
+		switch {
+		case ghost != "":
+			return &Failure{Oracle: "kv-no-ghost-resurrection",
+				Detail: fmt.Sprintf("key %s is live after recovery but dead in every reachable prefix state [%d,%d] — compaction resurrected it (%s)", ghost, acked, issued, c)}
+		case lost != "":
+			return &Failure{Oracle: "kv-compact-lost-acked",
+				Detail: fmt.Sprintf("key %s is live in every reachable prefix state [%d,%d] but gone after recovery — compaction lost an acknowledged write (%s)", lost, acked, issued, c)}
+		default:
+			return &Failure{Oracle: "kv-batch-atomic",
+				Detail: fmt.Sprintf("recovered namespace matches no prefix state in [%d,%d] — partial batch visible through compaction (%s)", acked, issued, c)}
+		}
+	}
+	if gotKeys, want := db2.Stats().Keys, len(states[match]); gotKeys != want {
+		return &Failure{Oracle: "kv-no-ghosts",
+			Detail: fmt.Sprintf("recovered keymap has %d keys, prefix state %d has %d (%s)", gotKeys, match, want, c)}
+	}
+
+	// Space-reclaimed-monotonic: the first reopen is allowed (required)
+	// to finish an interrupted pass's reclaim; a second reopen over the
+	// same recovered store must find nothing left to zero.
+	db3, err := kv.Open(st2, kv.Options{})
+	if err != nil {
+		return &Failure{Oracle: "kv-clean-recovery", Detail: fmt.Sprintf("second keymap rebuild: %v (%s)", err, c)}
+	}
+	if cs := db3.Stats().Compaction; cs != nil && cs.ReclaimedLines != 0 {
+		return &Failure{Oracle: "kv-reclaim-monotonic",
+			Detail: fmt.Sprintf("second reopen reclaimed %d more lines — reclaim did not converge (%s)", cs.ReclaimedLines, c)}
+	}
+
+	// Compaction-idempotent across the reboot loop: recovering the same
+	// crash image in one uninterrupted pass must land on the same
+	// namespace the interrupted-and-resumed passes did.
+	if goldenImg != nil {
+		grep := r.recoverFn()(goldenImg)
+		if !grep.Clean() {
+			return &Failure{Oracle: "kv-clean-recovery",
+				Detail: fmt.Sprintf("single-shot recovery of the golden clone flagged a clean image (%s)", c)}
+		}
+		grec := r.applyFn()(goldenImg, grep)
+		stG, err := store.OpenRecovered(goldenImg, grec, store.Options{Params: engine.Params{UpdateLimit: 16, QueueEntries: 64}})
+		if err != nil {
+			return &Failure{Oracle: "kv-compact-idempotent", Detail: fmt.Sprintf("golden reopen: %v (%s)", err, c)}
+		}
+		dbG, err := kv.Open(stG, kv.Options{})
+		if err != nil {
+			return &Failure{Oracle: "kv-compact-idempotent", Detail: fmt.Sprintf("golden keymap rebuild: %v (%s)", err, c)}
+		}
+		if dbG.Generation() != db2.Generation() {
+			return &Failure{Oracle: "kv-compact-idempotent",
+				Detail: fmt.Sprintf("reboot-looped recovery landed on generation %d, single-shot on %d (%s)", db2.Generation(), dbG.Generation(), c)}
+		}
+		for k := range keys {
+			gv, gok, err := dbG.Get([]byte(k))
+			if err != nil {
+				return &Failure{Oracle: "kv-compact-idempotent", Detail: fmt.Sprintf("golden get %s: %v (%s)", k, err, c)}
+			}
+			wv, wok := got[k]
+			if gok != wok || (gok && string(gv) != string(wv)) {
+				return &Failure{Oracle: "kv-compact-idempotent",
+					Detail: fmt.Sprintf("key %s diverges between reboot-looped and single-shot recovery (%s)", k, c)}
+			}
+		}
+	}
+	return nil
+}
+
+// kvStateEqual compares a recovered contents map against a model prefix
+// state: same key set, same values.
+func kvStateEqual(a, b map[string][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || string(v) != string(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// ShrinkKVCell minimizes a failing KV cell while preserving the violated
+// oracle, re-running candidates against the same runner. Phases: drop
+// the reboot axis, drop the crash entirely (a cell that fails uncrashed
+// is the simplest repro there is), halve the batch count toward one,
+// tighten the compaction stride, then bisect and walk the crash write
+// downward. Spends at most budget runs; returns the smallest
+// still-failing cell and the runs used.
+func ShrinkKVCell(r *Runner, c KVCell, oracle string, budget int) (KVCell, int) {
+	if budget <= 0 {
+		budget = 64
+	}
+	best := c
+	runs := 0
+	try := func(cand KVCell) bool {
+		if runs >= budget {
+			return false
+		}
+		runs++
+		fail, _ := r.RunKVCell(cand)
+		if fail == nil || fail.Oracle != oracle {
+			return false
+		}
+		best = cand
+		return true
+	}
+
+	if best.Reboots > 0 {
+		cand := best
+		cand.Reboots, cand.RebootEvery = 0, 0
+		try(cand)
+	}
+	if best.CrashWrite >= 0 {
+		cand := best
+		cand.CrashWrite = -1
+		try(cand)
+	}
+	for best.Batches > 1 {
+		cand := best
+		cand.Batches = best.Batches / 2
+		if !try(cand) {
+			cand.Batches = best.Batches - 1
+			if !try(cand) {
+				break
+			}
+		}
+	}
+	if best.CompactEvery > 1 {
+		cand := best
+		cand.CompactEvery = 1
+		try(cand)
+	}
+	for best.CrashWrite > 0 {
+		cand := best
+		cand.CrashWrite = best.CrashWrite / 2
+		if !try(cand) {
+			cand.CrashWrite = best.CrashWrite - 1
+			if !try(cand) {
+				break
+			}
+		}
+	}
+	return best, runs
 }
 
 // allKVKeys unions every key any prefix state mentions.

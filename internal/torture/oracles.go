@@ -45,6 +45,10 @@ type Context struct {
 	Media         *nvm.FaultLog
 	CtrlStats     store.ControllerStats
 	PostScrubWeak int
+	// MidTraceStuck counts the stuck lines the spare axis injects
+	// mid-trace (see RunCell) — damage with no crash-time fault event,
+	// so the cry-wolf arm of adr-budget must not blame the crash for it.
+	MidTraceStuck int
 
 	// Spare-pool evidence, populated only when the cell arms a finite
 	// pool (Spares > 0). SpareStats, HealthAtCrash and
@@ -544,8 +548,12 @@ func checkADRBudget(c *Context) string {
 	// Cry-wolf: a crash that damaged nothing and left no unserviced
 	// entries must not be blamed on the media. (Clean()-side verdicts are
 	// the other oracles' business — w/o CC legitimately flags its own
-	// staleness as tamper.)
-	if !c.attackInPlay() && len(c.Media.Events) == 0 && len(c.Img.Suspects) == 0 &&
+	// staleness as tamper.) The spare axis injects stuck lines mid-trace
+	// with no crash-time fault event; when the crash lands before the
+	// remaining trace has healed them through the pool, the loss those
+	// lines cause is real damage, not a false alarm — so the arm only
+	// fires when no such injection happened.
+	if !c.attackInPlay() && c.MidTraceStuck == 0 && len(c.Media.Events) == 0 && len(c.Img.Suspects) == 0 &&
 		(len(rep.LostBlocks) > 0 || len(rep.MediaErrors) > 0 || rep.CrashLossWindow) {
 		return fmt.Sprintf("crash damaged nothing yet recovery reports media loss (lost=%d mediaErrs=%d window=%v)",
 			len(rep.LostBlocks), len(rep.MediaErrors), rep.CrashLossWindow)

@@ -7,6 +7,7 @@ import (
 
 	"ccnvm/internal/attack"
 	"ccnvm/internal/engine"
+	"ccnvm/internal/kv"
 	"ccnvm/internal/mem"
 	"ccnvm/internal/nvm"
 	"ccnvm/internal/recovery"
@@ -34,12 +35,16 @@ func (f *Failure) Error() string {
 // deliberately broken ones to prove the oracles catch them.
 // ArmController, when set, is invoked on every cell's freshly built
 // controller before the trace is driven — the seam the reorder-persist
-// sabotage uses to inject a pre-crash ordering defect.
+// sabotage uses to inject a pre-crash ordering defect. ArmDB is the KV
+// equivalent: it runs on every KV cell's freshly opened namespace before
+// batches are driven, and is the seam the break-compact-switch sabotage
+// uses to drop the compaction manifest commit.
 type Runner struct {
 	Recover          func(*engine.CrashImage) *recovery.Report
 	Apply            func(*engine.CrashImage, *recovery.Report) recovery.Recovered
 	ApplyInterrupted func(*engine.CrashImage, *recovery.Report, *recovery.Interrupt) (recovery.Recovered, bool)
 	ArmController    func(Cell, *store.Store)
+	ArmDB            func(KVCell, *kv.DB)
 }
 
 // DefaultRunner runs cells against the real recovery path.
@@ -164,7 +169,7 @@ func (r *Runner) runCell(c Cell) (*Context, *Failure) {
 				// through spares on rewrite, remaps them on retry
 				// exhaustion at reads, and — once the pool empties —
 				// degrades the controller for real.
-				ctrl.Device().InjectStuckLines()
+				ctx.MidTraceStuck = len(ctrl.Device().InjectStuckLines())
 			}
 			if c.WeakPct > 0 {
 				now = ctrl.Scrub(now)
